@@ -1,0 +1,115 @@
+// Command loopscan reproduces the Section VI routing-loop measurement:
+// sweep one ISP window (or the whole BGP universe) with the h / h+2
+// hop-limit method and report the vulnerable population.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ipv6"
+	"repro/internal/loopscan"
+	"repro/internal/report"
+	"repro/internal/topo"
+	"repro/internal/xmap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loopscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode     = flag.String("mode", "isp", "isp: sweep one ISP window; bgp: sweep advertised prefixes")
+		ispIndex = flag.Int("isp", 12, "ISP index for -mode isp")
+		seed     = flag.Int64("seed", 1, "deployment seed")
+		scale    = flag.Float64("scale", 0.0005, "population scale (isp mode)")
+		width    = flag.Int("width", 12, "window width in bits (isp mode)")
+		maxDev   = flag.Int("max-devices", 2000, "device cap per ISP (isp mode)")
+		bgpASes  = flag.Int("ases", 200, "AS count (bgp mode)")
+		hopLimit = flag.Int("hop-limit", loopscan.DefaultHopLimit, "probe hop limit h")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "isp":
+		return runISP(*ispIndex, *seed, *scale, *width, *maxDev, uint8(*hopLimit))
+	case "bgp":
+		return runBGP(*seed, *bgpASes, uint8(*hopLimit))
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func runISP(ispIndex int, seed int64, scale float64, width, maxDev int, h uint8) error {
+	dep, err := topo.Build(topo.Config{
+		Seed: seed, Scale: scale, WindowWidth: width,
+		MaxDevicesPerISP: maxDev, OnlyISPs: []int{ispIndex},
+	})
+	if err != nil {
+		return err
+	}
+	isp := dep.ISPs[0]
+	det := loopscan.NewDetector(xmap.NewSimDriver(dep.Engine, dep.Edge))
+	det.HopLimit = h
+	res, err := det.ScanWindows([]ipv6.Window{isp.Window}, []byte(fmt.Sprintf("cli-%d", seed)))
+	if err != nil {
+		return err
+	}
+	vuln := res.VulnerableHops()
+	sort.Slice(vuln, func(i, j int) bool { return vuln[i].Addr.Less(vuln[j].Addr) })
+
+	fmt.Printf("ISP %d (%s), window %s: %d targets, %d responses, %d loop-vulnerable last hops\n",
+		isp.Spec.Index, isp.Spec.Name, isp.Window, res.Targets, res.Responses, len(vuln))
+	var same, diff int
+	t := report.Table{Headers: []string{"Last hop", "IID class", "same", "diff"}}
+	for _, hop := range vuln {
+		same += hop.SameCount
+		diff += hop.DiffCount
+		t.AddRow(hop.Addr.String(), ipv6.Classify(hop.Addr).String(),
+			fmt.Sprintf("%d", hop.SameCount), fmt.Sprintf("%d", hop.DiffCount))
+	}
+	fmt.Print(t.String())
+	if same+diff > 0 {
+		fmt.Printf("loop replies: %.1f%% same /64, %.1f%% diff\n",
+			100*float64(same)/float64(same+diff), 100*float64(diff)/float64(same+diff))
+	}
+	return nil
+}
+
+func runBGP(seed int64, ases int, h uint8) error {
+	dep, err := topo.BuildBGPUniverse(topo.BGPConfig{Seed: seed, NumASes: ases})
+	if err != nil {
+		return err
+	}
+	det := loopscan.NewDetector(xmap.NewSimDriver(dep.Engine, dep.Edge))
+	det.HopLimit = h
+	res, err := det.ScanWindows(dep.Windows, []byte(fmt.Sprintf("cli-bgp-%d", seed)))
+	if err != nil {
+		return err
+	}
+	summary := analysis.BuildTableIX(res, dep.Geo)
+	t := report.Table{
+		Title:   "BGP-universe loop sweep",
+		Headers: []string{"Last Hops", "# unique", "# ASN", "# Country"},
+	}
+	t.AddRow("Total", report.Count(summary.TotalHops), report.Count(summary.TotalASNs), report.Count(summary.TotalCountry))
+	t.AddRow("with Routing Loop", report.Count(summary.LoopHops), report.Count(summary.LoopASNs), report.Count(summary.LoopCountries))
+	fmt.Print(t.String())
+
+	fig := analysis.BuildFigure5(res, dep.Geo, 10)
+	labels := make([]string, 0, len(fig.TopCountries))
+	values := make([]int, 0, len(fig.TopCountries))
+	for _, r := range fig.TopCountries {
+		labels = append(labels, r.Label)
+		values = append(values, r.Count)
+	}
+	fmt.Print((report.Bars{Title: "\nTop loop countries", Width: 30}).Render(labels, values))
+	return nil
+}

@@ -1,0 +1,317 @@
+// Command xmap runs the fast IPv6 periphery scanner against a simulated
+// deployment — the CLI counterpart of the paper's released tool, with the
+// Internet replaced by the repository's packet-level simulator (a raw
+// socket driver would slot in behind the same xmap.Driver interface).
+//
+// Usage:
+//
+//	xmap -isp 13 -width 12 -scale 0.001 [-probe icmp|tcp:80|dns|ntp]
+//	     [-shards 4 -shard 1] [-output csv|json] [-rate 100000]
+//	xmap -window 2401::/48-64 ...   (scan an explicit window)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ipv6"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/wire"
+	"repro/internal/xmap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ispIndex = flag.Int("isp", 13, "Table I ISP index to scan (1-15)")
+		windowF  = flag.String("window", "", "explicit scan window (addr/from-to); overrides -isp's default window")
+		v4F      = flag.String("v4window", "", `IPv4 scan window ("192.168.0.0/20-25"); implies the icmp4 probe`)
+		width    = flag.Int("width", 12, "window width in bits for the generated deployment")
+		scale    = flag.Float64("scale", 0.0005, "population scale relative to the paper")
+		maxDev   = flag.Int("max-devices", 2000, "cap on devices per ISP")
+		probeF   = flag.String("probe", "icmp", "probe module: icmp, tcp:<port>, dns, ntp")
+		seed     = flag.Int64("seed", 1, "deployment and scan seed")
+		shards   = flag.Int("shards", 1, "total shards")
+		shard    = flag.Int("shard", 0, "this instance's shard index")
+		rate     = flag.Int("rate", 0, "probe rate limit in pps (0 = unlimited)")
+		probesN  = flag.Int("probes", 1, "probes per target (ZMap -P)")
+		blockF   = flag.String("blocklist", "", "blocklist file (one prefix per line, # comments)")
+		outputF  = flag.String("output", "csv", "output module: csv or json")
+		filterF  = flag.String("filter", "", `output filter expression, e.g. 'kind == "dest-unreach" && !same_prefix64'`)
+		maxTgt   = flag.Uint64("max-targets", 0, "stop after this many probes (0 = all)")
+		quiet    = flag.Bool("quiet", false, "suppress the summary on stderr")
+		metaF    = flag.String("metadata", "", "write JSON scan metadata to this file ('-' for stderr)")
+	)
+	flag.Parse()
+
+	// IPv4 mode scans a small simulated NAT deployment instead of the
+	// Table I ISPs.
+	if *v4F != "" {
+		if *probeF == "icmp" {
+			*probeF = "icmp4"
+		}
+		return runV4(*v4F, *probeF, *seed, *shards, *shard, *rate, *maxTgt, *outputF, *filterF, *metaF, *quiet)
+	}
+
+	dep, err := topo.Build(topo.Config{
+		Seed: *seed, Scale: *scale, WindowWidth: *width, MaxDevicesPerISP: *maxDev,
+	})
+	if err != nil {
+		return err
+	}
+
+	var window ipv6.Window
+	if *windowF != "" {
+		window, err = ipv6.ParseWindow(*windowF)
+		if err != nil {
+			return err
+		}
+	} else {
+		found := false
+		for _, isp := range dep.ISPs {
+			if isp.Spec.Index == *ispIndex {
+				window, found = isp.Window, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown ISP index %d", *ispIndex)
+		}
+	}
+
+	probe, err := parseProbe(*probeF)
+	if err != nil {
+		return err
+	}
+
+	var out xmap.OutputModule
+	switch *outputF {
+	case "csv":
+		out, err = xmap.NewCSVOutput(os.Stdout)
+		if err != nil {
+			return err
+		}
+	case "json":
+		out = xmap.NewJSONOutput(os.Stdout)
+	default:
+		return fmt.Errorf("unknown output module %q", *outputF)
+	}
+	if *filterF != "" {
+		out, err = xmap.NewFilteredOutput(*filterF, out)
+		if err != nil {
+			return err
+		}
+	}
+
+	var blocklist []ipv6.Prefix
+	if *blockF != "" {
+		fh, err := os.Open(*blockF)
+		if err != nil {
+			return err
+		}
+		blocklist, err = xmap.ParseBlocklist(fh)
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	scanner, err := xmap.New(xmap.Config{
+		Window:          window,
+		Probe:           probe,
+		Seed:            []byte(fmt.Sprintf("xmap-cli-%d", *seed)),
+		Shards:          *shards,
+		ShardIndex:      *shard,
+		Rate:            *rate,
+		MaxTargets:      *maxTgt,
+		ProbesPerTarget: *probesN,
+		Blocklist:       blocklist,
+	}, xmap.NewSimDriver(dep.Engine, dep.Edge))
+	if err != nil {
+		return err
+	}
+
+	var writeErr error
+	stats, err := scanner.Run(context.Background(), func(r xmap.Response) {
+		if werr := out.Write(r); werr != nil && writeErr == nil {
+			writeErr = werr
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr,
+			"scanned %s: sent %d, received %d, unique responders %d, hit rate %.4f%%, elapsed %s\n",
+			window, stats.Sent, stats.Received, stats.Unique, 100*stats.HitRate(), stats.Elapsed)
+	}
+	if *metaF != "" {
+		md := scanner.BuildMetadata(stats, time.Now())
+		w := io.Writer(os.Stderr)
+		if *metaF != "-" {
+			fh, err := os.Create(*metaF)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := fh.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "xmap: closing metadata file:", cerr)
+				}
+			}()
+			w = fh
+		}
+		if err := md.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseProbe(s string) (xmap.ProbeModule, error) {
+	switch {
+	case s == "icmp":
+		return &xmap.ICMPEchoProbe{}, nil
+	case s == "icmp4":
+		return &xmap.ICMPEcho4Probe{}, nil
+	case s == "dns":
+		return xmap.NewDNSProbe("connectivity.xmap.example"), nil
+	case s == "ntp":
+		return xmap.NewNTPProbe(), nil
+	case strings.HasPrefix(s, "tcp:"):
+		port, err := strconv.ParseUint(strings.TrimPrefix(s, "tcp:"), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad tcp port in %q", s)
+		}
+		return &xmap.TCPSynProbe{Port: uint16(port)}, nil
+	}
+	return nil, fmt.Errorf("unknown probe module %q", s)
+}
+
+// runV4 builds a NAT'd IPv4 neighborhood inside the requested window and
+// scans it — the Section II contrast, driveable from the CLI.
+func runV4(windowSpec, probeF string, seed int64, shards, shard, rate int, maxTgt uint64, outputF, filterF, metaF string, quiet bool) error {
+	window, err := xmap.ParseV4Window(windowSpec)
+	if err != nil {
+		return err
+	}
+	probe, err := parseProbe(probeF)
+	if err != nil {
+		return err
+	}
+
+	eng := netsim.New(seed)
+	scanV4 := wire.IPv4AddrFrom(198, 51, 100, 7)
+	edge := netsim.NewEdge("scanner4", ipv6.V4Mapped(uint32(scanV4)))
+	isp := netsim.NewV4Router("isp4")
+	up := isp.AddIface4(wire.IPv4AddrFrom(198, 51, 100, 1), "isp:up")
+	eng.Connect(edge.Iface(), up, 0)
+	isp.AddRoute4(scanV4, 32, up)
+
+	// Populate ~1/16 of the window with NAT homes.
+	rng := rand.New(rand.NewSource(seed))
+	size, _ := window.Size()
+	homes := int(size.Lo / 16)
+	if homes < 1 {
+		homes = 1
+	}
+	base, _ := window.Base.Addr().AsV4()
+	hostBits := uint(128 - window.To) // bits below the iterated boundary
+	for i := 0; i < homes; i++ {
+		slot := uint32(rng.Intn(int(size.Lo)))
+		public := wire.IPv4Addr(base | slot<<hostBits | uint32(rng.Intn(1<<hostBits)))
+		nat := netsim.NewNATGateway(fmt.Sprintf("home-%d", i), public,
+			[]wire.IPv4Addr{wire.IPv4AddrFrom(192, 168, 1, 10)})
+		down := isp.AddIface4(wire.IPv4AddrFrom(10, 0, byte(i>>8), byte(i)), "isp:down")
+		eng.Connect(down, nat.WAN(), 0)
+		isp.AddRoute4(public, 32, down)
+	}
+
+	var out xmap.OutputModule
+	switch outputF {
+	case "csv":
+		out, err = xmap.NewCSVOutput(os.Stdout)
+		if err != nil {
+			return err
+		}
+	case "json":
+		out = xmap.NewJSONOutput(os.Stdout)
+	default:
+		return fmt.Errorf("unknown output module %q", outputF)
+	}
+	if filterF != "" {
+		out, err = xmap.NewFilteredOutput(filterF, out)
+		if err != nil {
+			return err
+		}
+	}
+
+	scanner, err := xmap.New(xmap.Config{
+		Window: window, Probe: probe,
+		Seed:   []byte(fmt.Sprintf("xmap-cli-v4-%d", seed)),
+		Shards: shards, ShardIndex: shard,
+		Rate: rate, MaxTargets: maxTgt,
+	}, xmap.NewSimDriver(eng, edge))
+	if err != nil {
+		return err
+	}
+	var writeErr error
+	stats, err := scanner.Run(context.Background(), func(r xmap.Response) {
+		if werr := out.Write(r); werr != nil && writeErr == nil {
+			writeErr = werr
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "scanned %s: sent %d, unique responders %d\n", windowSpec, stats.Sent, stats.Unique)
+	}
+	if metaF != "" {
+		md := scanner.BuildMetadata(stats, time.Now())
+		w := io.Writer(os.Stderr)
+		if metaF != "-" {
+			fh, err := os.Create(metaF)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := fh.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "xmap: closing metadata file:", cerr)
+				}
+			}()
+			w = fh
+		}
+		if err := md.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

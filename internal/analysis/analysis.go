@@ -1,0 +1,401 @@
+// Package analysis turns raw measurement output (scan responses, service
+// grabs, loop sweeps) into the aggregates behind each of the paper's
+// tables and figures. It consumes only measured evidence — addresses,
+// banners, embedded MACs — never simulator ground truth, so the pipeline
+// is the same one a real deployment would run.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/ipv6"
+	"repro/internal/registry"
+	"repro/internal/services"
+	"repro/internal/xmap"
+	"repro/internal/zgrab"
+)
+
+// PeripheryRecord is one discovered last hop enriched with everything the
+// pipeline could learn about it.
+type PeripheryRecord struct {
+	Addr     ipv6.Addr
+	ProbeDst ipv6.Addr
+	Same     bool // responder /64 == probe /64 (Table II same/diff)
+	Kind     xmap.ResponseKind
+	Class    ipv6.IIDClass
+	MAC      ipv6.MAC
+	HasMAC   bool
+	// VendorHW is the IEEE-OUI attribution from an EUI-64 address.
+	VendorHW string
+	// VendorApp is the application-level attribution from banners,
+	// login pages and certificates.
+	VendorApp string
+	// Grab holds the per-service probe results (nil until service
+	// probing ran).
+	Grab *zgrab.DeviceResult
+	// ISPIndex tags the record with its Table VII ISP number (0 for the
+	// BGP universe).
+	ISPIndex int
+	// IsUEVendor marks hardware attribution to a phone maker.
+	IsUEVendor bool
+}
+
+// Vendor returns the best attribution: hardware first, else application.
+func (r *PeripheryRecord) Vendor() string {
+	if r.VendorHW != "" {
+		return r.VendorHW
+	}
+	return r.VendorApp
+}
+
+// AliveServices lists the services that answered.
+func (r *PeripheryRecord) AliveServices() []services.ID {
+	if r.Grab == nil {
+		return nil
+	}
+	var out []services.ID
+	for _, svc := range services.All {
+		if res, ok := r.Grab.Results[svc]; ok && res.Alive {
+			out = append(out, svc)
+		}
+	}
+	return out
+}
+
+// Enrich builds a record from one scan response.
+func Enrich(resp xmap.Response, oui *registry.OUIDB, ispIndex int) *PeripheryRecord {
+	rec := &PeripheryRecord{
+		Addr:     resp.Responder,
+		ProbeDst: resp.ProbeDst,
+		Same:     resp.SamePrefix64(),
+		Kind:     resp.Kind,
+		Class:    ipv6.Classify(resp.Responder),
+		ISPIndex: ispIndex,
+	}
+	if rec.Class == ipv6.IIDEUI64 {
+		if mac, ok := ipv6.MACFromEUI64(resp.Responder.IID()); ok {
+			rec.MAC, rec.HasMAC = mac, true
+			if vendor, ok := oui.VendorOfMAC(mac); ok {
+				rec.VendorHW = vendor
+				for _, ue := range registry.UEVendors {
+					if vendor == ue {
+						rec.IsUEVendor = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return rec
+}
+
+// AttachGrab merges service-probe results into the record.
+func (r *PeripheryRecord) AttachGrab(g *zgrab.DeviceResult) {
+	r.Grab = g
+	if r.VendorApp == "" {
+		r.VendorApp = g.Vendor
+	}
+}
+
+// IIDDist is an interface-identifier class distribution (Tables III, V,
+// X).
+type IIDDist struct {
+	Counts map[ipv6.IIDClass]int
+	Total  int
+}
+
+// NewIIDDist tallies records.
+func NewIIDDist(recs []*PeripheryRecord) IIDDist {
+	d := IIDDist{Counts: make(map[ipv6.IIDClass]int)}
+	for _, r := range recs {
+		d.Counts[r.Class]++
+		d.Total++
+	}
+	return d
+}
+
+// Pct returns the class share in percent.
+func (d IIDDist) Pct(c ipv6.IIDClass) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	return 100 * float64(d.Counts[c]) / float64(d.Total)
+}
+
+// VendorCount ranks one vendor.
+type VendorCount struct {
+	Vendor string
+	Count  int
+}
+
+// rankMap sorts a vendor->count map descending (name ascending on ties).
+func rankMap(m map[string]int) []VendorCount {
+	out := make([]VendorCount, 0, len(m))
+	for v, n := range m {
+		out = append(out, VendorCount{Vendor: v, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Vendor < out[j].Vendor
+	})
+	return out
+}
+
+// TableIIRow is one ISP's discovery census (Table II).
+type TableIIRow struct {
+	ISPIndex   int
+	UniqueHops int
+	SamePct    float64
+	DiffPct    float64
+	Unique64   int
+	Pct64      float64 // unique /64s over unique hops
+	EUI64      int
+	EUI64Pct   float64
+	UniqueMAC  int
+	MACPct     float64 // unique MACs over EUI-64 addresses
+}
+
+// BuildTableII aggregates per-ISP discovery results.
+func BuildTableII(recs []*PeripheryRecord) []TableIIRow {
+	type acc struct {
+		hops int
+		same int
+		p64  map[ipv6.Addr]bool
+		eui  int
+		macs map[ipv6.MAC]int
+	}
+	byISP := map[int]*acc{}
+	for _, r := range recs {
+		a := byISP[r.ISPIndex]
+		if a == nil {
+			a = &acc{p64: map[ipv6.Addr]bool{}, macs: map[ipv6.MAC]int{}}
+			byISP[r.ISPIndex] = a
+		}
+		a.hops++
+		if r.Same {
+			a.same++
+		}
+		a.p64[r.Addr.Prefix64().Addr()] = true
+		if r.Class == ipv6.IIDEUI64 {
+			a.eui++
+			if r.HasMAC {
+				a.macs[r.MAC]++
+			}
+		}
+	}
+	var rows []TableIIRow
+	for isp, a := range byISP {
+		row := TableIIRow{
+			ISPIndex:   isp,
+			UniqueHops: a.hops,
+			Unique64:   len(a.p64),
+			EUI64:      a.eui,
+			UniqueMAC:  len(a.macs),
+		}
+		if a.hops > 0 {
+			row.SamePct = 100 * float64(a.same) / float64(a.hops)
+			row.DiffPct = 100 - row.SamePct
+			row.Pct64 = 100 * float64(len(a.p64)) / float64(a.hops)
+			row.EUI64Pct = 100 * float64(a.eui) / float64(a.hops)
+		}
+		if a.eui > 0 {
+			row.MACPct = 100 * float64(len(a.macs)) / float64(a.eui)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ISPIndex < rows[j].ISPIndex })
+	return rows
+}
+
+// BuildTableIII is the all-periphery IID mix.
+func BuildTableIII(recs []*PeripheryRecord) IIDDist { return NewIIDDist(recs) }
+
+// BuildTableIV ranks identified device vendors, split CPE/UE (Table IV).
+func BuildTableIV(recs []*PeripheryRecord) (cpe, ue []VendorCount) {
+	cpeCounts, ueCounts := map[string]int{}, map[string]int{}
+	for _, r := range recs {
+		v := r.Vendor()
+		if v == "" {
+			continue
+		}
+		if r.IsUEVendor {
+			ueCounts[v]++
+		} else {
+			cpeCounts[v]++
+		}
+	}
+	return rankMap(cpeCounts), rankMap(ueCounts)
+}
+
+// WithAliveServices filters records to those exposing at least one
+// service (the Table V / Section V population).
+func WithAliveServices(recs []*PeripheryRecord) []*PeripheryRecord {
+	var out []*PeripheryRecord
+	for _, r := range recs {
+		if len(r.AliveServices()) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BuildTableV is the IID mix of service-exposing peripheries.
+func BuildTableV(recs []*PeripheryRecord) IIDDist {
+	return NewIIDDist(WithAliveServices(recs))
+}
+
+// TableVIIRow is one ISP's per-service exposure (Table VII).
+type TableVIIRow struct {
+	ISPIndex int
+	// Alive[svc] counts devices with that service answering.
+	Alive map[services.ID]int
+	// Total counts devices with >=1 alive service.
+	Total int
+	// Discovered is the ISP's discovered periphery count (denominator).
+	Discovered int
+}
+
+// Pct returns the service share of discovered peripheries, in percent.
+func (r TableVIIRow) Pct(svc services.ID) float64 {
+	if r.Discovered == 0 {
+		return 0
+	}
+	return 100 * float64(r.Alive[svc]) / float64(r.Discovered)
+}
+
+// TotalPct is the >=1-service share.
+func (r TableVIIRow) TotalPct() float64 {
+	if r.Discovered == 0 {
+		return 0
+	}
+	return 100 * float64(r.Total) / float64(r.Discovered)
+}
+
+// BuildTableVII aggregates exposure per ISP.
+func BuildTableVII(recs []*PeripheryRecord) []TableVIIRow {
+	byISP := map[int]*TableVIIRow{}
+	for _, r := range recs {
+		row := byISP[r.ISPIndex]
+		if row == nil {
+			row = &TableVIIRow{ISPIndex: r.ISPIndex, Alive: map[services.ID]int{}}
+			byISP[r.ISPIndex] = row
+		}
+		row.Discovered++
+		alive := r.AliveServices()
+		if len(alive) > 0 {
+			row.Total++
+		}
+		for _, svc := range alive {
+			row.Alive[svc]++
+		}
+	}
+	var rows []TableVIIRow
+	for _, row := range byISP {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ISPIndex < rows[j].ISPIndex })
+	return rows
+}
+
+// SoftwareCount ranks one software string within a service.
+type SoftwareCount struct {
+	Software string
+	Count    int
+	CVEs     int
+}
+
+// BuildTableVIII ranks the software versions seen per service and
+// annotates CVE exposure (Table VIII).
+func BuildTableVIII(recs []*PeripheryRecord) map[services.ID][]SoftwareCount {
+	counts := map[services.ID]map[string]int{}
+	for _, r := range recs {
+		if r.Grab == nil {
+			continue
+		}
+		for svc, res := range r.Grab.Results {
+			if !res.Alive || res.Software == "" {
+				continue
+			}
+			if counts[svc] == nil {
+				counts[svc] = map[string]int{}
+			}
+			counts[svc][res.Software]++
+		}
+	}
+	out := map[services.ID][]SoftwareCount{}
+	for svc, m := range counts {
+		var list []SoftwareCount
+		for sw, n := range m {
+			list = append(list, SoftwareCount{Software: sw, Count: n, CVEs: registry.CVECount(sw)})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Count != list[j].Count {
+				return list[i].Count > list[j].Count
+			}
+			return list[i].Software < list[j].Software
+		})
+		out[svc] = list
+	}
+	return out
+}
+
+// VendorServiceMatrix counts alive services per vendor (Figures 2 and 3).
+type VendorServiceMatrix struct {
+	// Counts[vendor][svc] is the number of that vendor's devices with
+	// the service alive.
+	Counts map[string]map[services.ID]int
+	// Totals[vendor] is the vendor's devices with >=1 alive service.
+	Totals map[string]int
+}
+
+// BuildVendorServiceMatrix aggregates vendor exposure.
+func BuildVendorServiceMatrix(recs []*PeripheryRecord) VendorServiceMatrix {
+	m := VendorServiceMatrix{
+		Counts: map[string]map[services.ID]int{},
+		Totals: map[string]int{},
+	}
+	for _, r := range recs {
+		vendor := r.Vendor()
+		if vendor == "" {
+			continue
+		}
+		alive := r.AliveServices()
+		if len(alive) == 0 {
+			continue
+		}
+		m.Totals[vendor]++
+		if m.Counts[vendor] == nil {
+			m.Counts[vendor] = map[services.ID]int{}
+		}
+		for _, svc := range alive {
+			m.Counts[vendor][svc]++
+		}
+	}
+	return m
+}
+
+// TopVendors ranks vendors by exposed-device count (Figure 2's x axis).
+func (m VendorServiceMatrix) TopVendors(n int) []VendorCount {
+	ranked := rankMap(m.Totals)
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	return ranked
+}
+
+// TopVendorsWithin ranks vendors within one service (Figure 3's bars).
+func (m VendorServiceMatrix) TopVendorsWithin(svc services.ID, n int) []VendorCount {
+	counts := map[string]int{}
+	for vendor, per := range m.Counts {
+		if c := per[svc]; c > 0 {
+			counts[vendor] = c
+		}
+	}
+	ranked := rankMap(counts)
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	return ranked
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/registry"
+	"repro/internal/services"
+	"repro/internal/xmap"
+	"repro/internal/zgrab"
+)
+
+var oui = registry.NewOUIDB()
+
+// mkRec builds a record from raw parts.
+func mkRec(t *testing.T, responder, probeDst string, isp int) *PeripheryRecord {
+	t.Helper()
+	return Enrich(xmap.Response{
+		Responder: ipv6.MustParseAddr(responder),
+		ProbeDst:  ipv6.MustParseAddr(probeDst),
+		Kind:      xmap.KindDestUnreach,
+		Code:      3,
+	}, oui, isp)
+}
+
+// euiAddr fabricates an EUI-64 address for the given vendor.
+func euiAddr(t *testing.T, vendor string, nic uint32, prefix string) string {
+	t.Helper()
+	o := oui.OUIsOf(vendor)[0]
+	m := ipv6.MAC{byte(o >> 16), byte(o >> 8), byte(o), byte(nic >> 16), byte(nic >> 8), byte(nic)}
+	return ipv6.SLAAC(ipv6.MustParsePrefix(prefix), m.EUI64IID()).String()
+}
+
+func withGrab(rec *PeripheryRecord, alive map[services.ID]string, vendor string) *PeripheryRecord {
+	g := &zgrab.DeviceResult{Addr: rec.Addr, Results: map[services.ID]zgrab.ServiceResult{}, Vendor: vendor}
+	for svc, sw := range alive {
+		g.Results[svc] = zgrab.ServiceResult{Service: svc, Alive: true, Software: sw}
+	}
+	rec.AttachGrab(g)
+	return rec
+}
+
+func TestEnrichClassifiesAndAttributes(t *testing.T) {
+	addr := euiAddr(t, "ZTE", 0x010203, "2001:db8:1::/64")
+	rec := mkRec(t, addr, "2001:db8:2::5", 3)
+	if rec.Class != ipv6.IIDEUI64 || !rec.HasMAC {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.VendorHW != "ZTE" || rec.Vendor() != "ZTE" {
+		t.Errorf("vendor = %q/%q", rec.VendorHW, rec.Vendor())
+	}
+	if rec.Same {
+		t.Error("different /64 flagged same")
+	}
+	if rec.IsUEVendor {
+		t.Error("ZTE flagged as UE vendor")
+	}
+
+	ue := mkRec(t, euiAddr(t, "Apple", 1, "2001:db8:9::/64"), "2001:db8:9::1234", 3)
+	if !ue.IsUEVendor {
+		t.Error("Apple not flagged as UE vendor")
+	}
+	if !ue.Same {
+		t.Error("same /64 not flagged")
+	}
+}
+
+func TestVendorFallsBackToApp(t *testing.T) {
+	rec := mkRec(t, "2001:db8::9f3c:7a21:e0d4:5b16", "2001:db8::1", 1)
+	if rec.Vendor() != "" {
+		t.Fatalf("random IID attributed to %q", rec.Vendor())
+	}
+	withGrab(rec, map[services.ID]string{services.SvcHTTP80: "httpd"}, "TP-Link")
+	if rec.Vendor() != "TP-Link" {
+		t.Errorf("Vendor() = %q", rec.Vendor())
+	}
+}
+
+func TestBuildTableIIAggregation(t *testing.T) {
+	recs := []*PeripheryRecord{
+		mkRec(t, euiAddr(t, "ZTE", 1, "2001:db8:a::/64"), "2001:db8:a::1", 1), // same, EUI
+		mkRec(t, "2001:db8:b::1111:2222:3333:4444", "2001:db8:c::9", 1),       // diff
+		mkRec(t, euiAddr(t, "ZTE", 1, "2001:db8:d::/64"), "2001:db8:d::7", 1), // same MAC as first
+		mkRec(t, "2001:db8:f::aaaa:bbbb:cccc:dddd", "2001:db8:f::1", 2),       // other ISP
+	}
+	rows := BuildTableII(recs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r1 := rows[0]
+	if r1.ISPIndex != 1 || r1.UniqueHops != 3 {
+		t.Fatalf("row 1 = %+v", r1)
+	}
+	if r1.EUI64 != 2 || r1.UniqueMAC != 1 {
+		t.Errorf("EUI=%d uniqMAC=%d, want 2/1 (repeated MAC)", r1.EUI64, r1.UniqueMAC)
+	}
+	if r1.MACPct != 50 {
+		t.Errorf("MACPct = %v", r1.MACPct)
+	}
+	if r1.SamePct < 66 || r1.SamePct > 67 {
+		t.Errorf("SamePct = %v", r1.SamePct)
+	}
+	if r1.Unique64 != 3 || r1.Pct64 != 100 {
+		t.Errorf("/64s = %d (%.1f%%)", r1.Unique64, r1.Pct64)
+	}
+}
+
+func TestIIDDist(t *testing.T) {
+	recs := []*PeripheryRecord{
+		mkRec(t, "2001:db8::1", "2001:db8::2", 1),                   // low-byte
+		mkRec(t, "2001:db8::9f3c:7a21:e0d4:5b16", "2001:db8::3", 1), // randomized
+		mkRec(t, "2001:db8::9e2d:6b10:d0c3:4a05", "2001:db8::4", 1), // randomized
+	}
+	d := BuildTableIII(recs)
+	if d.Total != 3 {
+		t.Fatalf("total = %d", d.Total)
+	}
+	if d.Counts[ipv6.IIDLowByte] != 1 || d.Counts[ipv6.IIDRandomized] != 2 {
+		t.Errorf("counts = %+v", d.Counts)
+	}
+	if d.Pct(ipv6.IIDLowByte) < 33 || d.Pct(ipv6.IIDLowByte) > 34 {
+		t.Errorf("pct = %v", d.Pct(ipv6.IIDLowByte))
+	}
+	if (IIDDist{}).Pct(ipv6.IIDEUI64) != 0 {
+		t.Error("empty dist pct != 0")
+	}
+}
+
+func TestBuildTableIVSplitsUE(t *testing.T) {
+	recs := []*PeripheryRecord{
+		mkRec(t, euiAddr(t, "ZTE", 1, "2001:db8:1::/64"), "2001:db8:1::9", 1),
+		mkRec(t, euiAddr(t, "ZTE", 2, "2001:db8:2::/64"), "2001:db8:2::9", 1),
+		mkRec(t, euiAddr(t, "Samsung", 3, "2001:db8:3::/64"), "2001:db8:3::9", 1),
+		mkRec(t, "2001:db8:4::9f3c:7a21:e0d4:5b16", "2001:db8:4::9", 1), // unattributed
+	}
+	cpe, ue := BuildTableIV(recs)
+	if len(cpe) != 1 || cpe[0].Vendor != "ZTE" || cpe[0].Count != 2 {
+		t.Errorf("cpe = %+v", cpe)
+	}
+	if len(ue) != 1 || ue[0].Vendor != "Samsung" || ue[0].Count != 1 {
+		t.Errorf("ue = %+v", ue)
+	}
+}
+
+func TestTableVIIAndMatrix(t *testing.T) {
+	a := withGrab(mkRec(t, "2001:db8:1::aaaa:bbbb:cccc:dddd", "2001:db8:1::9", 1),
+		map[services.ID]string{services.SvcDNS: "dnsmasq-2.45", services.SvcHTTP80: "micro_httpd"}, "Youhua Tech")
+	b := withGrab(mkRec(t, "2001:db8:2::aaaa:bbbb:cccc:eeee", "2001:db8:2::9", 1),
+		map[services.ID]string{services.SvcHTTP8080: "Jetty 6.1.26"}, "China Mobile")
+	c := withGrab(mkRec(t, "2001:db8:3::aaaa:bbbb:cccc:ffff", "2001:db8:3::9", 1), nil, "")
+	recs := []*PeripheryRecord{a, b, c}
+
+	rows := BuildTableVII(recs)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	row := rows[0]
+	if row.Discovered != 3 || row.Total != 2 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Alive[services.SvcDNS] != 1 || row.Alive[services.SvcHTTP8080] != 1 {
+		t.Errorf("alive = %+v", row.Alive)
+	}
+	if row.Pct(services.SvcDNS) < 33 || row.Pct(services.SvcDNS) > 34 {
+		t.Errorf("pct = %v", row.Pct(services.SvcDNS))
+	}
+	if row.TotalPct() < 66 || row.TotalPct() > 67 {
+		t.Errorf("total pct = %v", row.TotalPct())
+	}
+
+	m := BuildVendorServiceMatrix(recs)
+	top := m.TopVendors(10)
+	if len(top) != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+	within := m.TopVendorsWithin(services.SvcDNS, 10)
+	if len(within) != 1 || within[0].Vendor != "Youhua Tech" {
+		t.Errorf("within DNS = %+v", within)
+	}
+
+	sw := BuildTableVIII(recs)
+	if len(sw[services.SvcDNS]) != 1 || sw[services.SvcDNS][0].CVEs != 16 {
+		t.Errorf("sw DNS = %+v", sw[services.SvcDNS])
+	}
+}
+
+func TestWithAliveServices(t *testing.T) {
+	a := withGrab(mkRec(t, "2001:db8:1::1234:5678:9abc:def0", "2001:db8:1::9", 1),
+		map[services.ID]string{services.SvcDNS: "x"}, "")
+	b := mkRec(t, "2001:db8:2::1234:5678:9abc:def1", "2001:db8:2::9", 1)
+	got := WithAliveServices([]*PeripheryRecord{a, b})
+	if len(got) != 1 || got[0] != a {
+		t.Errorf("got = %+v", got)
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/loopscan"
+	"repro/internal/registry"
+)
+
+func loopResult(hops ...*loopscan.HopInfo) *loopscan.ScanResult {
+	res := &loopscan.ScanResult{Hops: map[ipv6.Addr]*loopscan.HopInfo{}}
+	for _, h := range hops {
+		res.Hops[h.Addr] = h
+	}
+	return res
+}
+
+func hop(addr string, vuln bool, same, diff int) *loopscan.HopInfo {
+	return &loopscan.HopInfo{
+		Addr: ipv6.MustParseAddr(addr), Vulnerable: vuln,
+		SameCount: same, DiffCount: diff,
+	}
+}
+
+func testGeo() *registry.GeoDB {
+	g := registry.NewGeoDB()
+	g.Add(ipv6.MustParsePrefix("2400:1::/32"), registry.GeoEntry{ASN: 100, Country: "BR"})
+	g.Add(ipv6.MustParsePrefix("2400:2::/32"), registry.GeoEntry{ASN: 200, Country: "CN"})
+	g.Add(ipv6.MustParsePrefix("2400:3::/32"), registry.GeoEntry{ASN: 100, Country: "BR"})
+	return g
+}
+
+func TestBuildTableIX(t *testing.T) {
+	res := loopResult(
+		hop("2400:1::1", true, 0, 1),
+		hop("2400:1::2", false, 1, 0),
+		hop("2400:2::1", true, 0, 2),
+		hop("2400:3::1", false, 0, 1),
+	)
+	out := BuildTableIX(res, testGeo())
+	if out.TotalHops != 4 || out.LoopHops != 2 {
+		t.Errorf("out = %+v", out)
+	}
+	if out.TotalASNs != 2 || out.TotalCountry != 2 {
+		t.Errorf("totals = %+v", out)
+	}
+	if out.LoopASNs != 2 || out.LoopCountries != 2 {
+		t.Errorf("loops = %+v", out)
+	}
+}
+
+func TestBuildTableX(t *testing.T) {
+	res := loopResult(
+		hop("2400:1::1", true, 0, 1),                    // low-byte
+		hop("2400:1::9f3c:7a21:e0d4:5b16", true, 0, 1),  // randomized
+		hop("2400:1::aaaa:bbbb:cccc:dddd", false, 0, 1), // not vulnerable: excluded
+	)
+	d := BuildTableX(res)
+	if d.Total != 2 {
+		t.Fatalf("total = %d", d.Total)
+	}
+	if d.Counts[ipv6.IIDLowByte] != 1 || d.Counts[ipv6.IIDRandomized] != 1 {
+		t.Errorf("counts = %+v", d.Counts)
+	}
+}
+
+func TestBuildFigure5(t *testing.T) {
+	res := loopResult(
+		hop("2400:1::1", true, 0, 1),
+		hop("2400:1::2", true, 0, 1),
+		hop("2400:2::1", true, 0, 1),
+		hop("2400:9::1", true, 0, 1), // outside geo db
+	)
+	out := BuildFigure5(res, testGeo(), 10)
+	if len(out.TopASNs) != 2 || out.TopASNs[0].Label != "AS100" || out.TopASNs[0].Count != 2 {
+		t.Errorf("ASNs = %+v", out.TopASNs)
+	}
+	if len(out.TopCountries) != 2 || out.TopCountries[0].Label != "BR" {
+		t.Errorf("countries = %+v", out.TopCountries)
+	}
+	// Truncation.
+	out = BuildFigure5(res, testGeo(), 1)
+	if len(out.TopASNs) != 1 || len(out.TopCountries) != 1 {
+		t.Errorf("truncated = %+v", out)
+	}
+}
+
+func TestBuildTableXI(t *testing.T) {
+	loops := map[int]*loopscan.ScanResult{
+		12: loopResult(hop("2400:1::1", true, 1, 9), hop("2400:1::2", true, 0, 10), hop("2400:1::3", false, 5, 0)),
+		3:  loopResult(hop("2400:2::1", true, 4, 0)),
+	}
+	rows := BuildTableXI(loops)
+	if len(rows) != 2 || rows[0].ISPIndex != 3 || rows[1].ISPIndex != 12 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[1].Unique != 2 {
+		t.Errorf("unique = %d", rows[1].Unique)
+	}
+	if rows[1].SamePct != 5 || rows[1].DiffPct != 95 {
+		t.Errorf("same/diff = %v/%v", rows[1].SamePct, rows[1].DiffPct)
+	}
+	if rows[0].SamePct != 100 {
+		t.Errorf("ISP 3 same = %v", rows[0].SamePct)
+	}
+}
+
+func TestBuildFigure6(t *testing.T) {
+	devices := []LoopDeviceEvidence{
+		{Addr: ipv6.MustParseAddr("2400:1::1"), Vendor: "ZTE", ASN: 100},
+		{Addr: ipv6.MustParseAddr("2400:1::2"), Vendor: "ZTE", ASN: 100},
+		{Addr: ipv6.MustParseAddr("2400:1::3"), Vendor: "ZTE", ASN: 200},
+		{Addr: ipv6.MustParseAddr("2400:2::1"), Vendor: "Skyworth", ASN: 200},
+		{Addr: ipv6.MustParseAddr("2400:2::2"), Vendor: "", ASN: 200}, // unattributed
+	}
+	out := BuildFigure6(devices, 5, 5)
+	if len(out.Vendors) != 2 || out.Vendors[0] != "ZTE" {
+		t.Fatalf("vendors = %+v", out.Vendors)
+	}
+	if out.VendorTotals["ZTE"] != 3 {
+		t.Errorf("totals = %+v", out.VendorTotals)
+	}
+	if out.Counts["ZTE"]["AS100"] != 2 || out.Counts["ZTE"]["AS200"] != 1 {
+		t.Errorf("counts = %+v", out.Counts)
+	}
+	if out.Counts["Skyworth"]["AS200"] != 1 {
+		t.Errorf("skyworth = %+v", out.Counts["Skyworth"])
+	}
+	// Truncation to top-1 vendor drops Skyworth.
+	out = BuildFigure6(devices, 1, 1)
+	if len(out.Vendors) != 1 || out.Vendors[0] != "ZTE" {
+		t.Errorf("truncated vendors = %+v", out.Vendors)
+	}
+}

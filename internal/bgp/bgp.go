@@ -1,0 +1,128 @@
+// Package bgp synthesizes a global IPv6 BGP table — the stand-in for the
+// Routeviews dump the paper scans in Section VI-B to measure how widely
+// the routing-loop flaw is distributed across ASes and countries.
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ipv6"
+	"repro/internal/registry"
+	"repro/internal/uint128"
+)
+
+// Advert is one advertised prefix with its origin metadata.
+type Advert struct {
+	Prefix  ipv6.Prefix
+	ASN     int
+	Country string
+}
+
+// Table is a synthetic global routing table.
+type Table struct {
+	Adverts []Advert
+}
+
+// loopCountryWeights biases loop-vulnerable deployments toward the
+// countries of the paper's Figure 5 (BR, CN, EC, VN, US, MM, IN, GB, DE,
+// CH/CZ lead the distribution).
+var loopCountryWeights = []struct {
+	cc     string
+	weight int
+}{
+	{"BR", 28}, {"CN", 20}, {"EC", 12}, {"VN", 10}, {"US", 8},
+	{"MM", 6}, {"IN", 5}, {"GB", 4}, {"DE", 3}, {"CH", 2}, {"CZ", 2},
+}
+
+// fillerCountries pads the universe toward the paper's 170 countries.
+var fillerCountries = []string{
+	"JP", "KR", "FR", "IT", "ES", "NL", "SE", "NO", "FI", "DK", "PL",
+	"RU", "UA", "TR", "GR", "PT", "BE", "AT", "IE", "AU", "NZ", "CA",
+	"MX", "AR", "CL", "CO", "PE", "ZA", "EG", "NG", "KE", "MA", "SA",
+	"AE", "IL", "PK", "BD", "LK", "TH", "MY", "SG", "ID", "PH", "TW",
+	"HK", "RO", "BG", "HU", "SK", "SI", "HR", "RS", "LT", "LV", "EE",
+}
+
+// GenConfig parameterizes table generation.
+type GenConfig struct {
+	Seed        int64
+	NumASes     int // number of origin ASes
+	MaxPrefixes int // max adverts per AS (min 1)
+}
+
+// Generate builds a deterministic synthetic table. Prefixes are /32s
+// carved from 2400::/12.
+func Generate(cfg GenConfig) (*Table, error) {
+	if cfg.NumASes <= 0 {
+		return nil, fmt.Errorf("bgp: NumASes must be positive")
+	}
+	if cfg.MaxPrefixes <= 0 {
+		cfg.MaxPrefixes = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := ipv6.MustParsePrefix("2400::/12")
+
+	countries := make([]string, 0, len(loopCountryWeights)+len(fillerCountries))
+	for _, e := range loopCountryWeights {
+		for i := 0; i < e.weight; i++ {
+			countries = append(countries, e.cc)
+		}
+	}
+	countries = append(countries, fillerCountries...)
+
+	t := &Table{}
+	next := uint64(1)
+	for i := 0; i < cfg.NumASes; i++ {
+		asn := 10000 + rng.Intn(200000)
+		cc := countries[rng.Intn(len(countries))]
+		n := 1 + rng.Intn(cfg.MaxPrefixes)
+		for j := 0; j < n; j++ {
+			p, err := base.Sub(32, uint128.From64(next))
+			if err != nil {
+				return nil, fmt.Errorf("bgp: address space exhausted: %w", err)
+			}
+			next++
+			t.Adverts = append(t.Adverts, Advert{Prefix: p, ASN: asn, Country: cc})
+		}
+	}
+	return t, nil
+}
+
+// GeoDB builds the geolocation database corresponding to the table.
+func (t *Table) GeoDB() *registry.GeoDB {
+	g := registry.NewGeoDB()
+	for _, a := range t.Adverts {
+		g.Add(a.Prefix, registry.GeoEntry{ASN: a.ASN, Country: a.Country})
+	}
+	return g
+}
+
+// ASNs returns the distinct origin ASes.
+func (t *Table) ASNs() []int {
+	seen := map[int]bool{}
+	for _, a := range t.Adverts {
+		seen[a.ASN] = true
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Countries returns the distinct countries.
+func (t *Table) Countries() []string {
+	seen := map[string]bool{}
+	for _, a := range t.Adverts {
+		seen[a.Country] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package bgp
+
+import (
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	tbl, err := Generate(GenConfig{Seed: 1, NumASes: 500, MaxPrefixes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Adverts) < 500 {
+		t.Errorf("adverts = %d", len(tbl.Adverts))
+	}
+	asns := tbl.ASNs()
+	if len(asns) == 0 || len(asns) > 500 {
+		t.Errorf("ASNs = %d", len(asns))
+	}
+	countries := tbl.Countries()
+	if len(countries) < 20 {
+		t.Errorf("countries = %d", len(countries))
+	}
+	// Prefixes are unique /32s.
+	seen := map[string]bool{}
+	for _, a := range tbl.Adverts {
+		if a.Prefix.Bits() != 32 {
+			t.Fatalf("prefix %s not /32", a.Prefix)
+		}
+		if seen[a.Prefix.String()] {
+			t.Fatalf("duplicate prefix %s", a.Prefix)
+		}
+		seen[a.Prefix.String()] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 7, NumASes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Seed: 7, NumASes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Adverts) != len(b.Adverts) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Adverts {
+		if a.Adverts[i] != b.Adverts[i] {
+			t.Fatalf("advert %d differs", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Seed: 1, NumASes: 0}); err == nil {
+		t.Error("zero ASes accepted")
+	}
+}
+
+func TestGeoDBMatchesTable(t *testing.T) {
+	tbl, err := Generate(GenConfig{Seed: 3, NumASes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tbl.GeoDB()
+	for _, a := range tbl.Adverts {
+		e, ok := g.Lookup(a.Prefix.Addr().Next())
+		if !ok || e.ASN != a.ASN || e.Country != a.Country {
+			t.Fatalf("geo lookup for %s = %+v,%v", a.Prefix, e, ok)
+		}
+	}
+}

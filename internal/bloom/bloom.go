@@ -1,0 +1,114 @@
+// Package bloom implements a Bloom filter sized for response
+// deduplication at scan scale, as ZMap-family scanners use to suppress
+// duplicate replies without storing every responder address.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/maphash"
+	"math"
+)
+
+// Filter is a Bloom filter over 16-byte keys (IPv6 addresses). Not safe
+// for concurrent use; the scanner owns one per receive loop.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	seed1 maphash.Seed
+	seed2 maphash.Seed
+	count uint64 // inserted keys (approximate population)
+}
+
+// New creates a filter dimensioned for n expected insertions at the given
+// false-positive rate p (0 < p < 1).
+func New(n uint64, p float64) (*Filter, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("bloom: zero capacity")
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("bloom: false-positive rate %v out of (0,1)", p)
+	}
+	// Optimal parameters: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{
+		bits:  make([]uint64, (m+63)/64),
+		nbits: (m + 63) / 64 * 64,
+		k:     k,
+		seed1: maphash.MakeSeed(),
+		seed2: maphash.MakeSeed(),
+	}, nil
+}
+
+// hashes derives k bit positions by double hashing (Kirsch-Mitzenmacher).
+func (f *Filter) hashes(key []byte) (h1, h2 uint64) {
+	var mh maphash.Hash
+	mh.SetSeed(f.seed1)
+	mh.Write(key)
+	h1 = mh.Sum64()
+	mh.SetSeed(f.seed2)
+	mh.Write(key)
+	h2 = mh.Sum64() | 1 // odd stride
+	return h1, h2
+}
+
+// Add inserts key.
+func (f *Filter) Add(key []byte) {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether key may have been inserted (false positives
+// possible at the configured rate; false negatives never).
+func (f *Filter) Contains(key []byte) bool {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddUint64Pair is a convenience for 128-bit keys held as two words.
+func (f *Filter) AddUint64Pair(hi, lo uint64) {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], hi)
+	binary.BigEndian.PutUint64(b[8:], lo)
+	f.Add(b[:])
+}
+
+// ContainsUint64Pair is the query counterpart of AddUint64Pair.
+func (f *Filter) ContainsUint64Pair(hi, lo uint64) bool {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], hi)
+	binary.BigEndian.PutUint64(b[8:], lo)
+	return f.Contains(b[:])
+}
+
+// Count returns the number of Add calls (not distinct keys).
+func (f *Filter) Count() uint64 { return f.count }
+
+// FillRatio returns the fraction of set bits, a saturation diagnostic.
+func (f *Filter) FillRatio() float64 {
+	var ones int
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(f.nbits)
+}

@@ -1,0 +1,288 @@
+// Package dnswire implements the DNS wire format (RFC 1035) to the extent
+// the measurement needs: the scanner's probe module sends A and
+// version.bind/CH/TXT queries, and the simulated periphery DNS forwarders
+// answer them. Parsing follows compression pointers; encoding emits
+// uncompressed names.
+package dnswire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Common type and class codes.
+const (
+	TypeA    = 1
+	TypePTR  = 12
+	TypeTXT  = 16
+	TypeAAAA = 28
+	TypeANY  = 255
+	ClassIN  = 1
+	ClassCH  = 3 // CHAOS, used for version.bind
+)
+
+// Response codes.
+const (
+	RcodeNoError  = 0
+	RcodeFormErr  = 1
+	RcodeServFail = 2
+	RcodeNXDomain = 3
+	RcodeNotImp   = 4
+	RcodeRefused  = 5
+)
+
+// Header flag bits (within the 16-bit flags field).
+const (
+	FlagQR = 1 << 15 // response
+	FlagAA = 1 << 10 // authoritative answer
+	FlagTC = 1 << 9  // truncated
+	FlagRD = 1 << 8  // recursion desired
+	FlagRA = 1 << 7  // recursion available
+)
+
+// Question is one query entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	Data  []byte
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID        uint16
+	Flags     uint16
+	Questions []Question
+	Answers   []RR
+	Authority []RR
+	Extra     []RR
+}
+
+// Rcode extracts the response code from the flags.
+func (m *Message) Rcode() int { return int(m.Flags & 0xf) }
+
+// appendName encodes a domain name in uncompressed wire form.
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 {
+				return nil, fmt.Errorf("dnswire: empty label in %q", name)
+			}
+			if len(label) > 63 {
+				return nil, fmt.Errorf("dnswire: label %q too long", label)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// parseName decodes a possibly compressed name starting at off, returning
+// the name and the offset just past it in the uncompressed stream.
+func parseName(msg []byte, off int) (string, int, error) {
+	var (
+		sb     strings.Builder
+		jumped bool
+		retOff = off
+		hops   int
+	)
+	for {
+		if off >= len(msg) {
+			return "", 0, fmt.Errorf("dnswire: name runs past message end")
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				retOff = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			return name, retOff, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, fmt.Errorf("dnswire: truncated compression pointer")
+			}
+			ptr := (l&0x3f)<<8 | int(msg[off+1])
+			if !jumped {
+				retOff = off + 2
+				jumped = true
+			}
+			if hops++; hops > 32 {
+				return "", 0, fmt.Errorf("dnswire: compression pointer loop")
+			}
+			if ptr >= off && !jumped {
+				return "", 0, fmt.Errorf("dnswire: forward compression pointer")
+			}
+			off = ptr
+		case l&0xc0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", l&0xc0)
+		default:
+			if off+1+l > len(msg) {
+				return "", 0, fmt.Errorf("dnswire: label runs past message end")
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			off += 1 + l
+		}
+	}
+}
+
+func put16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func put32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Marshal serializes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	b := make([]byte, 0, 128)
+	b = put16(b, m.ID)
+	b = put16(b, m.Flags)
+	b = put16(b, uint16(len(m.Questions)))
+	b = put16(b, uint16(len(m.Answers)))
+	b = put16(b, uint16(len(m.Authority)))
+	b = put16(b, uint16(len(m.Extra)))
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendName(b, q.Name); err != nil {
+			return nil, err
+		}
+		b = put16(b, q.Type)
+		b = put16(b, q.Class)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Extra} {
+		for _, rr := range sec {
+			if b, err = appendName(b, rr.Name); err != nil {
+				return nil, err
+			}
+			b = put16(b, rr.Type)
+			b = put16(b, rr.Class)
+			b = put32(b, rr.TTL)
+			if len(rr.Data) > 0xffff {
+				return nil, fmt.Errorf("dnswire: rdata too long")
+			}
+			b = put16(b, uint16(len(rr.Data)))
+			b = append(b, rr.Data...)
+		}
+	}
+	return b, nil
+}
+
+// Parse decodes a DNS message.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("dnswire: message too short: %d bytes", len(b))
+	}
+	rd16 := func(off int) uint16 { return uint16(b[off])<<8 | uint16(b[off+1]) }
+	m := &Message{ID: rd16(0), Flags: rd16(2)}
+	qd, an, ns, ar := int(rd16(4)), int(rd16(6)), int(rd16(8)), int(rd16(10))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("dnswire: truncated question")
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: rd16(off), Class: rd16(off + 2)})
+		off += 4
+	}
+	parseRRs := func(count int) ([]RR, error) {
+		var rrs []RR
+		for i := 0; i < count; i++ {
+			name, n, err := parseName(b, off)
+			if err != nil {
+				return nil, err
+			}
+			off = n
+			if off+10 > len(b) {
+				return nil, fmt.Errorf("dnswire: truncated resource record")
+			}
+			rr := RR{
+				Name:  name,
+				Type:  rd16(off),
+				Class: rd16(off + 2),
+				TTL:   uint32(rd16(off+4))<<16 | uint32(rd16(off+6)),
+			}
+			rdlen := int(rd16(off + 8))
+			off += 10
+			if off+rdlen > len(b) {
+				return nil, fmt.Errorf("dnswire: rdata runs past message end")
+			}
+			rr.Data = b[off : off+rdlen]
+			off += rdlen
+			rrs = append(rrs, rr)
+		}
+		return rrs, nil
+	}
+	var err error
+	if m.Answers, err = parseRRs(an); err != nil {
+		return nil, err
+	}
+	if m.Authority, err = parseRRs(ns); err != nil {
+		return nil, err
+	}
+	if m.Extra, err = parseRRs(ar); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewQuery builds a standard recursive query for (name, type, class).
+func NewQuery(id uint16, name string, qtype, qclass uint16) *Message {
+	return &Message{
+		ID:        id,
+		Flags:     FlagRD,
+		Questions: []Question{{Name: name, Type: qtype, Class: qclass}},
+	}
+}
+
+// NewVersionBindQuery builds the classic software-version fingerprint
+// query: version.bind. CH TXT.
+func NewVersionBindQuery(id uint16) *Message {
+	return NewQuery(id, "version.bind", TypeTXT, ClassCH)
+}
+
+// TXTData encodes strings as TXT rdata (length-prefixed character
+// strings).
+func TXTData(strs ...string) ([]byte, error) {
+	var b []byte
+	for _, s := range strs {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnswire: TXT string too long")
+		}
+		b = append(b, byte(len(s)))
+		b = append(b, s...)
+	}
+	return b, nil
+}
+
+// ParseTXTData decodes TXT rdata into its strings.
+func ParseTXTData(b []byte) ([]string, error) {
+	var out []string
+	for len(b) > 0 {
+		l := int(b[0])
+		if 1+l > len(b) {
+			return nil, fmt.Errorf("dnswire: truncated TXT string")
+		}
+		out = append(out, string(b[1:1+l]))
+		b = b[1+l:]
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package dnswire
+
+import "testing"
+
+// FuzzParse exercises the message decoder, including compression-pointer
+// handling, on arbitrary bytes.
+func FuzzParse(f *testing.F) {
+	q, err := NewQuery(1, "www.example.com", TypeA, ClassIN).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(q)
+	resp := &Message{
+		ID: 2, Flags: FlagQR,
+		Questions: []Question{{Name: "x.y", Type: TypeAAAA, Class: ClassIN}},
+		Answers:   []RR{{Name: "x.y", Type: TypeAAAA, Class: ClassIN, TTL: 1, Data: make([]byte, 16)}},
+	}
+	rb, err := resp.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rb)
+	// A compression pointer chain.
+	f.Add([]byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 12, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-marshal without panicking
+		// (round-trip equality is not required: compression is lost).
+		_, _ = m.Marshal()
+	})
+}
+
+// FuzzParseTXTData covers the TXT rdata decoder.
+func FuzzParseTXTData(f *testing.F) {
+	d, err := TXTData("dnsmasq-2.45")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(d)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseTXTData(data)
+	})
+}

@@ -1,0 +1,173 @@
+package edgy
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/topo"
+	"repro/internal/uint128"
+	"repro/internal/wire"
+	"repro/internal/xmap"
+)
+
+func fixture(t *testing.T) (*topo.Deployment, *Tracer) {
+	t.Helper()
+	dep, err := topo.Build(topo.Config{
+		Seed: 51, Scale: 0.0001, WindowWidth: 10,
+		MaxDevicesPerISP: 60, OnlyISPs: []int{13},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, NewTracer(xmap.NewSimDriver(dep.Engine, dep.Edge))
+}
+
+func TestTraceReachesCPE(t *testing.T) {
+	dep, tr := fixture(t)
+	dev := dep.ISPs[0].Devices[0]
+	// Target a nonexistent address inside the device's delegation.
+	deleg := dev.CPE.Delegated()
+	n, _ := deleg.NumSub(64)
+	sub, err := deleg.Sub(64, n.Sub64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := ipv6.SLAAC(sub, 0x4242)
+
+	path, probes, err := tr.Trace(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 {
+		t.Fatal("empty path")
+	}
+	last := path[len(path)-1]
+	if !last.Terminal {
+		t.Errorf("path did not terminate: %+v", path)
+	}
+	if last.Addr != dev.WANAddr {
+		t.Errorf("last hop = %s, want CPE %s", last.Addr, dev.WANAddr)
+	}
+	// Path: core, border, ISP, CPE -> at least 4 hops, >= 4 probes.
+	if len(path) < 4 || probes < len(path) {
+		t.Errorf("path %d hops, %d probes", len(path), probes)
+	}
+	// Hop distances ascend.
+	for i := 1; i < len(path); i++ {
+		if path[i].Distance <= path[i-1].Distance {
+			t.Errorf("distances not ascending: %+v", path)
+		}
+	}
+	// Intermediate hops are Time Exceeded.
+	for _, hop := range path[:len(path)-1] {
+		if hop.Kind != wire.ICMPTimeExceeded || hop.Terminal {
+			t.Errorf("intermediate hop %+v", hop)
+		}
+	}
+}
+
+func TestTraceToSilentSpace(t *testing.T) {
+	_, tr := fixture(t)
+	// Unrouted space: hop limit 1 dies at the core (Time Exceeded);
+	// hop limit 2 gets routed and draws the core's no-route unreachable.
+	// The walk terminates at depth 2.
+	path, probes, err := tr.Trace(ipv6.MustParseAddr("3fff::1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || !path[1].Terminal || path[0].Terminal {
+		t.Errorf("path = %+v", path)
+	}
+	if probes != 2 {
+		t.Errorf("probes = %d", probes)
+	}
+}
+
+func TestTraceEchoTerminal(t *testing.T) {
+	dep, tr := fixture(t)
+	dev := dep.ISPs[0].Devices[0]
+	path, _, err := tr.Trace(dev.WANAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := path[len(path)-1]
+	if last.Addr != dev.WANAddr || last.Kind != wire.ICMPEchoReply {
+		t.Errorf("last = %+v", last)
+	}
+}
+
+// TestBaselineVsXMapEfficiency reproduces the paper's Section III claim:
+// per discovered periphery, the traceroute baseline spends several times
+// the probes the unreachable-message technique needs, and buries the
+// result in transit-interface noise.
+func TestBaselineVsXMapEfficiency(t *testing.T) {
+	dep, tr := fixture(t)
+	isp := dep.ISPs[0]
+
+	// Baseline: trace toward one random address per sub-prefix.
+	var targets []ipv6.Addr
+	size, _ := isp.Window.Size()
+	for i := uint64(0); i < size.Lo; i++ {
+		sub, err := isp.Window.Sub(uint128.From64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, ipv6.SLAAC(sub, 0x7777_0000|i))
+	}
+	census, err := tr.Discover(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// XMap on the identical window.
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	scanner, err := xmap.New(xmap.Config{Window: isp.Window, Seed: []byte("cmp")}, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	stats, err := scanner.Run(context.Background(), func(r xmap.Response) {
+		if _, ok := dep.DeviceByWAN(r.Responder); ok {
+			found++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if found == 0 {
+		t.Fatal("xmap found nothing")
+	}
+	// Same peripheries discovered by both...
+	peris := 0
+	for addr := range census.LastHops {
+		if _, ok := dep.DeviceByWAN(addr); ok {
+			peris++
+		}
+	}
+	if peris < found*9/10 {
+		t.Errorf("baseline found %d peripheries, xmap %d", peris, found)
+	}
+	// ...but the baseline pays several probes per target.
+	if census.Probes < 2*int(stats.Sent) {
+		t.Errorf("baseline probes %d not substantially above xmap %d", census.Probes, stats.Sent)
+	}
+	// And collects transit interfaces as noise.
+	if len(census.Interfaces) <= len(census.LastHops) {
+		t.Errorf("interfaces %d, last hops %d", len(census.Interfaces), len(census.LastHops))
+	}
+}
+
+func TestProbesPerLastHop(t *testing.T) {
+	c := &Census{Probes: 100, LastHops: map[ipv6.Addr]int{
+		ipv6.MustParseAddr("::1"): 1,
+		ipv6.MustParseAddr("::2"): 1,
+	}}
+	if got := c.ProbesPerLastHop(); got != 50 {
+		t.Errorf("ProbesPerLastHop = %v", got)
+	}
+	if (&Census{}).ProbesPerLastHop() != 0 {
+		t.Error("empty census not 0")
+	}
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/services"
+)
+
+// suite is shared across tests (the measurement stages are cached inside
+// it), so the package test binary runs the pipeline once.
+var testSuite = New(Quick())
+
+func TestTableIIShape(t *testing.T) {
+	text, rows, err := testSuite.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("Table II has %d ISPs, want 15", len(rows))
+	}
+	byISP := map[int]int{}
+	for _, r := range rows {
+		byISP[r.ISPIndex] = r.UniqueHops
+	}
+	// Shape: the mobile /64-boundary ISPs report overwhelmingly "same",
+	// the US broadband ISPs overwhelmingly "diff" (paper Table II).
+	for _, r := range rows {
+		switch r.ISPIndex {
+		case 1, 3, 4, 14, 15: // /64-boundary with shared WAN prefix
+			if r.SamePct < 90 {
+				t.Errorf("ISP %d same%% = %.1f, want >90", r.ISPIndex, r.SamePct)
+			}
+		case 5, 6, 7, 8, 10: // US broadband/enterprise
+			if r.DiffPct < 90 {
+				t.Errorf("ISP %d diff%% = %.1f, want >90", r.ISPIndex, r.DiffPct)
+			}
+		case 11, 12, 13: // CN broadband: WAN inside delegation, ~1/16 same
+			if r.SamePct > 25 {
+				t.Errorf("ISP %d same%% = %.1f, want small", r.ISPIndex, r.SamePct)
+			}
+		}
+	}
+	// Comcast is the EUI-64-heavy ISP (95% in the paper).
+	for _, r := range rows {
+		if r.ISPIndex == 5 && r.EUI64Pct < 70 {
+			t.Errorf("Comcast EUI-64%% = %.1f, want high", r.EUI64Pct)
+		}
+	}
+	if !strings.Contains(text, "Table II") {
+		t.Error("missing title")
+	}
+}
+
+func TestTableIIIRandomizedDominates(t *testing.T) {
+	_, dist, err := testSuite.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Total == 0 {
+		t.Fatal("empty distribution")
+	}
+	// Paper Table III: randomized 75.5%, byte-pattern 10.4%, EUI-64 7.6%.
+	if dist.Pct(ipv6.IIDRandomized) < 50 {
+		t.Errorf("randomized = %.1f%%, want dominant", dist.Pct(ipv6.IIDRandomized))
+	}
+	if dist.Pct(ipv6.IIDEUI64) > 30 {
+		t.Errorf("EUI-64 = %.1f%%, want minority", dist.Pct(ipv6.IIDEUI64))
+	}
+}
+
+func TestTableVServiceExposedMix(t *testing.T) {
+	_, dist, err := testSuite.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Total == 0 {
+		t.Fatal("no service-exposing peripheries found")
+	}
+	all, err := testSuite.Peripheries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Total >= len(all) {
+		t.Errorf("exposed (%d) not a strict subset of discovered (%d)", dist.Total, len(all))
+	}
+}
+
+func TestTableVIAllConform(t *testing.T) {
+	text, err := testSuite.TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "no") && !strings.Contains(text, "yes") {
+		t.Fatalf("no service conformed:\n%s", text)
+	}
+	if strings.Count(text, "yes") != len(services.All) {
+		t.Errorf("not all services conform:\n%s", text)
+	}
+}
+
+func TestTableVIIChinaDominatesExposure(t *testing.T) {
+	_, rows, err := testSuite.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[int]float64{}
+	for _, r := range rows {
+		totals[r.ISPIndex] = r.TotalPct()
+	}
+	// Paper: China Mobile broadband (13) leads at 57.5%, Unicom (12) at
+	// 24.6%; the Indian mobile ISPs are near zero.
+	if totals[13] < totals[3] || totals[13] < totals[1] {
+		t.Errorf("ISP 13 exposure %.1f%% should dominate IN ISPs (%v)", totals[13], totals)
+	}
+	if totals[13] < 20 {
+		t.Errorf("ISP 13 exposure = %.1f%%, want large", totals[13])
+	}
+}
+
+func TestTableIXLoopSubset(t *testing.T) {
+	_, res, err := testSuite.TableIX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalHops == 0 || res.LoopHops == 0 {
+		t.Fatalf("degenerate Table IX: %+v", res)
+	}
+	if res.LoopHops > res.TotalHops || res.LoopASNs > res.TotalASNs || res.LoopCountries > res.TotalCountry {
+		t.Errorf("loop population exceeds total: %+v", res)
+	}
+	if res.TotalASNs < 10 || res.TotalCountry < 5 {
+		t.Errorf("universe too small: %+v", res)
+	}
+}
+
+func TestTableXLowByteHeavierThanISPMix(t *testing.T) {
+	_, bgpDist, err := testSuite.TableX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ispDist, err := testSuite.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bgpDist.Total == 0 {
+		t.Fatal("no loop devices in BGP sweep")
+	}
+	// Paper: the BGP universe shows far more low-byte (manually
+	// configured) addresses than the residential ISP windows.
+	if bgpDist.Pct(ipv6.IIDLowByte) <= ispDist.Pct(ipv6.IIDLowByte) {
+		t.Errorf("BGP low-byte %.1f%% not above ISP low-byte %.1f%%",
+			bgpDist.Pct(ipv6.IIDLowByte), ispDist.Pct(ipv6.IIDLowByte))
+	}
+}
+
+func TestTableXIChinaBroadbandLeads(t *testing.T) {
+	_, rows, err := testSuite.TableXI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, r := range rows {
+		counts[r.ISPIndex] = r.Unique
+	}
+	cn := counts[11] + counts[12] + counts[13]
+	other := 0
+	for isp, n := range counts {
+		if isp != 11 && isp != 12 && isp != 13 {
+			other += n
+		}
+	}
+	if cn <= other {
+		t.Errorf("CN broadband loops (%d) should dominate others (%d)", cn, other)
+	}
+	// CN broadband loop replies are mostly "diff" (Table XI: ~95%).
+	for _, r := range rows {
+		if (r.ISPIndex == 12 || r.ISPIndex == 13) && r.Unique > 5 && r.DiffPct < 70 {
+			t.Errorf("ISP %d loop diff%% = %.1f, want high", r.ISPIndex, r.DiffPct)
+		}
+	}
+}
+
+func TestTableXIIAllRoutersVulnerable(t *testing.T) {
+	_, outcomes, err := testSuite.TableXII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 99 {
+		t.Fatalf("lab outcomes = %d", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.VulnWAN {
+			t.Errorf("%s %s measured WAN-immune; Table XII says all vulnerable", o.Router.Brand, o.Router.Model)
+		}
+		if o.VulnWAN != o.Router.VulnWAN || o.VulnLAN != o.Router.VulnLAN {
+			t.Errorf("%s %s measured WAN=%v LAN=%v, ground truth WAN=%v LAN=%v",
+				o.Router.Brand, o.Router.Model, o.VulnWAN, o.VulnLAN, o.Router.VulnWAN, o.Router.VulnLAN)
+		}
+		if o.Router.LoopCap > 0 {
+			if o.LoopTimes < 10 || o.LoopTimes > 60 {
+				t.Errorf("%s %s loop times = %d, want bounded >10", o.Router.Brand, o.Router.Model, o.LoopTimes)
+			}
+		} else if o.LoopTimes < 200 {
+			t.Errorf("%s %s loop times = %d, want (255-n)-ish", o.Router.Brand, o.Router.Model, o.LoopTimes)
+		}
+	}
+}
+
+func TestFigure5TopCountriesShape(t *testing.T) {
+	text, err := testSuite.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibration concentrates loops in the paper's Figure 5
+	// countries; at least one of the top two should appear.
+	if !strings.Contains(text, "BR") && !strings.Contains(text, "CN") {
+		t.Errorf("Figure 5 lacks BR/CN:\n%s", text)
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	for name, fn := range map[string]func() (string, error){
+		"Figure2":   testSuite.Figure2,
+		"Figure3":   testSuite.Figure3,
+		"Figure6":   testSuite.Figure6,
+		"TableIV":   testSuite.TableIV,
+		"TableVIII": testSuite.TableVIII,
+	} {
+		text, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(text) == 0 {
+			t.Errorf("%s rendered empty", name)
+		}
+	}
+}
+
+func TestTableIInference(t *testing.T) {
+	text, err := testSuite.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row where inference succeeded must match the paper column;
+	// count successes.
+	lines := strings.Split(text, "\n")
+	okRows := 0
+	for _, line := range lines {
+		if !strings.Contains(line, "/") || strings.HasPrefix(line, "Table") || strings.Contains(line, "Inferred") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		inferred, paper := fields[len(fields)-2], fields[len(fields)-1]
+		if inferred == "?" {
+			continue
+		}
+		if inferred != paper {
+			t.Errorf("inference mismatch: %q", line)
+		}
+		okRows++
+	}
+	if okRows < 10 {
+		t.Errorf("only %d of 15 inferences succeeded:\n%s", okRows, text)
+	}
+}
+
+func TestMitigationReport(t *testing.T) {
+	text, err := testSuite.Mitigation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The RFC 7084 patch must eliminate every loop.
+	if !strings.Contains(text, "RFC 7084 unreachable route  0 ") &&
+		!strings.Contains(text, "RFC 7084 unreachable route            0") {
+		// Parse defensively: find the patched row and check its count.
+		found := false
+		for _, line := range strings.Split(text, "\n") {
+			if strings.Contains(line, "RFC 7084") {
+				found = true
+				fields := strings.Fields(line)
+				if len(fields) < 2 || !strings.Contains(line, " 0 ") {
+					t.Errorf("patched deployment still has loops: %q", line)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no RFC 7084 row in:\n%s", text)
+		}
+	}
+	// Ping filtering must defeat discovery.
+	if !strings.Contains(text, "peripheries discoverable: 0 of") {
+		t.Errorf("ICMP filtering did not defeat discovery:\n%s", text)
+	}
+	// Spoofed-source doubling appears with a large factor.
+	if !strings.Contains(text, "spoofed-source attack") {
+		t.Errorf("missing spoofed-source demonstration:\n%s", text)
+	}
+}
+
+func TestFeasibilityArtifact(t *testing.T) {
+	text, err := testSuite.Feasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's arithmetic: 32-bit window at the 25 kpps vantage takes
+	// ~48 hours; the /60 sweep of a /24 at 1 Gbps ~14 hours.
+	if !strings.Contains(text, "48h") {
+		t.Errorf("missing 48h figure:\n%s", text)
+	}
+	if !strings.Contains(text, "13h38m") && !strings.Contains(text, "14h") {
+		t.Errorf("missing ~14h figure:\n%s", text)
+	}
+	// XMap must be the most probe-efficient method in the table.
+	if !strings.Contains(text, "XMap periphery scan") ||
+		!strings.Contains(text, "traceroute last-hop") ||
+		!strings.Contains(text, "TGA") {
+		t.Errorf("missing methods:\n%s", text)
+	}
+}

@@ -1,0 +1,484 @@
+// Package filter implements XMap's output-filter expression language —
+// the "expression structure to filter specific fields" of Section IV-B.
+// Scan operators write e.g.
+//
+//	kind == "dest-unreach" && code == 3 && !same_prefix64
+//
+// and only matching responses reach the output module.
+//
+// Grammar (precedence low to high):
+//
+//	expr    := or
+//	or      := and { "||" and }
+//	and     := unary { "&&" unary }
+//	unary   := "!" unary | "(" expr ")" | comparison | field
+//	compare := field op literal
+//	op      := == != < <= > >= contains
+//
+// Fields are resolved against a Record; literals are integers, quoted
+// strings, or true/false. A bare boolean field is a valid expression.
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Value is a field or literal value: int64, string, or bool.
+type Value interface{}
+
+// Record resolves field names during evaluation.
+type Record interface {
+	// Field returns the value of name, ok=false if the field does not
+	// exist.
+	Field(name string) (Value, bool)
+}
+
+// MapRecord adapts a plain map.
+type MapRecord map[string]Value
+
+// Field implements Record.
+func (m MapRecord) Field(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Expr is a compiled filter.
+type Expr struct {
+	root node
+	src  string
+}
+
+// String returns the original source.
+func (e *Expr) String() string { return e.src }
+
+// Eval evaluates the filter against r. Evaluation errors (missing field,
+// type mismatch) are returned rather than silently treated as false.
+func (e *Expr) Eval(r Record) (bool, error) {
+	v, err := e.root.eval(r)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("filter: expression is not boolean (got %T)", v)
+	}
+	return b, nil
+}
+
+// node is an AST node.
+type node interface {
+	eval(Record) (Value, error)
+}
+
+type litNode struct{ v Value }
+
+func (n litNode) eval(Record) (Value, error) { return n.v, nil }
+
+type fieldNode struct{ name string }
+
+func (n fieldNode) eval(r Record) (Value, error) {
+	v, ok := r.Field(n.name)
+	if !ok {
+		return nil, fmt.Errorf("filter: unknown field %q", n.name)
+	}
+	return v, nil
+}
+
+type notNode struct{ sub node }
+
+func (n notNode) eval(r Record) (Value, error) {
+	v, err := n.sub.eval(r)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return nil, fmt.Errorf("filter: ! applied to non-boolean %T", v)
+	}
+	return !b, nil
+}
+
+type boolNode struct {
+	op   string // "&&" or "||"
+	l, r node
+}
+
+func (n boolNode) eval(r Record) (Value, error) {
+	lv, err := n.l.eval(r)
+	if err != nil {
+		return nil, err
+	}
+	lb, ok := lv.(bool)
+	if !ok {
+		return nil, fmt.Errorf("filter: %s applied to non-boolean %T", n.op, lv)
+	}
+	// Short circuit.
+	if n.op == "&&" && !lb {
+		return false, nil
+	}
+	if n.op == "||" && lb {
+		return true, nil
+	}
+	rv, err := n.r.eval(r)
+	if err != nil {
+		return nil, err
+	}
+	rb, ok := rv.(bool)
+	if !ok {
+		return nil, fmt.Errorf("filter: %s applied to non-boolean %T", n.op, rv)
+	}
+	return rb, nil
+}
+
+type cmpNode struct {
+	op   string
+	l, r node
+}
+
+func (n cmpNode) eval(r Record) (Value, error) {
+	lv, err := n.l.eval(r)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := n.r.eval(r)
+	if err != nil {
+		return nil, err
+	}
+	return compare(n.op, lv, rv)
+}
+
+func compare(op string, l, r Value) (Value, error) {
+	if li, ok := l.(int); ok {
+		l = int64(li)
+	}
+	switch lv := l.(type) {
+	case int64:
+		rvI, ok := toInt(r)
+		if !ok {
+			return nil, fmt.Errorf("filter: comparing int with %T", r)
+		}
+		switch op {
+		case "==":
+			return lv == rvI, nil
+		case "!=":
+			return lv != rvI, nil
+		case "<":
+			return lv < rvI, nil
+		case "<=":
+			return lv <= rvI, nil
+		case ">":
+			return lv > rvI, nil
+		case ">=":
+			return lv >= rvI, nil
+		}
+		return nil, fmt.Errorf("filter: operator %q not valid for int", op)
+	case string:
+		rvS, ok := r.(string)
+		if !ok {
+			return nil, fmt.Errorf("filter: comparing string with %T", r)
+		}
+		switch op {
+		case "==":
+			return lv == rvS, nil
+		case "!=":
+			return lv != rvS, nil
+		case "contains":
+			return strings.Contains(lv, rvS), nil
+		case "<":
+			return lv < rvS, nil
+		case ">":
+			return lv > rvS, nil
+		}
+		return nil, fmt.Errorf("filter: operator %q not valid for string", op)
+	case bool:
+		rvB, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("filter: comparing bool with %T", r)
+		}
+		switch op {
+		case "==":
+			return lv == rvB, nil
+		case "!=":
+			return lv != rvB, nil
+		}
+		return nil, fmt.Errorf("filter: operator %q not valid for bool", op)
+	}
+	return nil, fmt.Errorf("filter: unsupported value type %T", l)
+}
+
+func toInt(v Value) (int64, bool) {
+	switch t := v.(type) {
+	case int64:
+		return t, true
+	case int:
+		return int64(t), true
+	}
+	return 0, false
+}
+
+// --- lexer ---
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokOp // == != < <= > >= && || !
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("=!<>&|", rune(c)):
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexInt()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("filter: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+	l.pos += len(text)
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("filter: unterminated string at %d", start)
+}
+
+func (l *lexer) lexOp() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=", "&&", "||":
+		l.emit(tokOp, two)
+		return nil
+	}
+	switch l.src[l.pos] {
+	case '<', '>', '!':
+		l.emit(tokOp, string(l.src[l.pos]))
+		return nil
+	}
+	return fmt.Errorf("filter: bad operator at %d", l.pos)
+}
+
+func (l *lexer) lexInt() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokInt, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) &&
+		(unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// Parse compiles a filter expression.
+func Parse(src string) (*Expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("filter: empty expression")
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("filter: trailing input %q at %d", t.text, t.pos)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustParse is Parse, panicking on error (for constants in tests).
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) parseOr() (node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = boolNode{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "&&" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = boolNode{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokOp && t.text == "!":
+		p.next()
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{sub: sub}, nil
+	case t.kind == tokLParen:
+		p.next()
+		sub, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("filter: missing ')' at %d", p.peek().pos)
+		}
+		p.next()
+		return sub, nil
+	}
+	return p.parseComparison()
+}
+
+// comparisonOps are the binary comparison operators.
+var comparisonOps = map[string]bool{
+	"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+func (p *parser) parseComparison() (node, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	isCmp := (t.kind == tokOp && comparisonOps[t.text]) ||
+		(t.kind == tokIdent && t.text == "contains")
+	if !isCmp {
+		return left, nil // bare boolean field
+	}
+	p.next()
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return cmpNode{op: t.text, l: left, r: right}, nil
+}
+
+func (p *parser) parseOperand() (node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("filter: bad integer %q at %d", t.text, t.pos)
+		}
+		return litNode{v: v}, nil
+	case tokString:
+		return litNode{v: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return litNode{v: true}, nil
+		case "false":
+			return litNode{v: false}, nil
+		}
+		return fieldNode{name: t.text}, nil
+	}
+	return nil, fmt.Errorf("filter: unexpected token %q at %d", t.text, t.pos)
+}

@@ -1,0 +1,19 @@
+package filter
+
+import "testing"
+
+// FuzzParse must reject or compile arbitrary expression text without
+// panicking, and compiled expressions must evaluate without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(`kind == "dest-unreach" && code == 3`)
+	f.Add(`!(a || b) && c != -42`)
+	f.Add(`s contains "x"`)
+	f.Add(`((((`)
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = e.Eval(MapRecord{"a": true, "b": false, "c": int64(1), "s": "xy", "kind": "k", "code": int64(3)})
+	})
+}

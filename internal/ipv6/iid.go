@@ -1,0 +1,283 @@
+package ipv6
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// MAC is a 48-bit IEEE 802 hardware address.
+type MAC [6]byte
+
+// String renders m in canonical colon-separated lower-case hex form.
+func (m MAC) String() string {
+	var b strings.Builder
+	b.Grow(17)
+	for i, o := range m {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		if o < 0x10 {
+			b.WriteByte('0')
+		}
+		b.WriteString(strconv.FormatUint(uint64(o), 16))
+	}
+	return b.String()
+}
+
+// ParseMAC parses a colon-separated 48-bit hardware address.
+func ParseMAC(s string) (MAC, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return MAC{}, fmt.Errorf("ipv6: MAC %q must have 6 octets", s)
+	}
+	var m MAC
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return MAC{}, fmt.Errorf("ipv6: bad MAC octet %q in %q", p, s)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// OUI returns the 24-bit organizationally unique identifier of m.
+func (m MAC) OUI() uint32 {
+	return uint32(m[0])<<16 | uint32(m[1])<<8 | uint32(m[2])
+}
+
+// EUI64IID converts m to the modified EUI-64 interface identifier used by
+// SLAAC (RFC 4291 appendix A): insert fffe between the OUI and the NIC
+// portion and flip the universal/local bit.
+func (m MAC) EUI64IID() uint64 {
+	return uint64(m[0]^0x02)<<56 | uint64(m[1])<<48 | uint64(m[2])<<40 |
+		0xff<<32 | 0xfe<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+// MACFromEUI64 recovers the embedded MAC address from an EUI-64 IID.
+// ok is false if the IID does not contain the fffe marker.
+func MACFromEUI64(iid uint64) (MAC, bool) {
+	if (iid>>24)&0xffff != 0xfffe {
+		return MAC{}, false
+	}
+	return MAC{
+		byte(iid>>56) ^ 0x02,
+		byte(iid >> 48),
+		byte(iid >> 40),
+		byte(iid >> 16),
+		byte(iid >> 8),
+		byte(iid),
+	}, true
+}
+
+// SLAAC composes the address prefix64 | iid, the stateless
+// autoconfiguration step (RFC 4862). prefix64 must be a /64 or shorter;
+// only its top 64 bits are used.
+func SLAAC(prefix64 Prefix, iid uint64) Addr {
+	return AddrFrom128(prefix64.Addr().u).WithIID(iid)
+}
+
+// IIDClass is the interface-identifier category assigned by Classify,
+// matching the taxonomy of the SI6 addr6 tool used in the paper's
+// Tables III, V and X.
+type IIDClass int
+
+// IID classes, in the order the paper's tables list them.
+const (
+	IIDEUI64       IIDClass = iota + 1 // embedded ff:fe EUI-64, MAC recoverable
+	IIDLowByte                         // run of zeros then a small trailing value
+	IIDEmbedIPv4                       // an IPv4 address embedded in the IID
+	IIDBytePattern                     // discernible repeating byte pattern
+	IIDRandomized                      // none of the above (privacy/opaque IIDs)
+)
+
+// String returns the table label for the class.
+func (c IIDClass) String() string {
+	switch c {
+	case IIDEUI64:
+		return "EUI-64"
+	case IIDLowByte:
+		return "Low-byte"
+	case IIDEmbedIPv4:
+		return "Embed-IPv4"
+	case IIDBytePattern:
+		return "Byte-pattern"
+	case IIDRandomized:
+		return "Randomized"
+	default:
+		return "Unknown"
+	}
+}
+
+// Classify assigns a to one IID class using addr6-like heuristics over the
+// low 64 bits. Order matters: EUI-64 is checked first (the marker is
+// unambiguous), then low-byte, embedded IPv4, byte patterns, and finally
+// the randomized catch-all.
+func Classify(a Addr) IIDClass {
+	iid := a.IID()
+	if _, ok := MACFromEUI64(iid); ok {
+		return IIDEUI64
+	}
+	if isLowByte(iid) {
+		return IIDLowByte
+	}
+	if isEmbedIPv4(iid) {
+		return IIDEmbedIPv4
+	}
+	if isBytePattern(iid) {
+		return IIDBytePattern
+	}
+	return IIDRandomized
+}
+
+// isLowByte: the IID is a run of zeroes followed only by a low number —
+// addr6 accepts up to the low two bytes being non-zero with the rest zero.
+func isLowByte(iid uint64) bool {
+	return iid != 0 && iid <= 0xffff
+}
+
+// isEmbedIPv4: the IID encodes an IPv4 dotted quad either in the low 32
+// bits with the high 32 zero (e.g. ::c0a8:0101) or one octet per 16-bit
+// segment (e.g. ::192:168:1:1 where each group <= 255).
+func isEmbedIPv4(iid uint64) bool {
+	if iid == 0 {
+		return false
+	}
+	if iid>>32 == 0 {
+		// Low 32 bits look like a public-ish dotted quad: require each
+		// octet pattern to be plausible (first octet non-zero).
+		if byte(iid>>24) != 0 && iid > 0xffff {
+			return true
+		}
+		return false
+	}
+	// One IPv4 octet per 16-bit group, written so the hex digits read as
+	// the decimal octet (e.g. "::192:168:1:1" has hex group 0x192).
+	for shift := 0; shift < 64; shift += 16 {
+		if _, ok := hexAsDecimalOctet(uint16(iid >> shift)); !ok {
+			return false
+		}
+	}
+	first, _ := hexAsDecimalOctet(uint16(iid >> 48))
+	return first != 0
+}
+
+// hexAsDecimalOctet interprets the hex digits of g as a decimal number and
+// reports whether they form a valid IPv4 octet (0-255).
+func hexAsDecimalOctet(g uint16) (int, bool) {
+	if g > 0x999 {
+		return 0, false
+	}
+	d2, d1, d0 := int(g>>8)&0xf, int(g>>4)&0xf, int(g)&0xf
+	if d2 > 9 || d1 > 9 || d0 > 9 {
+		return 0, false
+	}
+	v := d2*100 + d1*10 + d0
+	return v, v <= 255
+}
+
+// isBytePattern: some byte repeats across at least half of the IID bytes,
+// or the IID consists of a repeated 16-bit group — a discernible pattern.
+func isBytePattern(iid uint64) bool {
+	var bs [8]byte
+	for i := 0; i < 8; i++ {
+		bs[7-i] = byte(iid >> (8 * i))
+	}
+	var counts [256]int
+	for _, b := range bs {
+		counts[b]++
+	}
+	for v, n := range counts {
+		if v == 0 {
+			continue // zeros alone don't make a pattern (that's low-byte territory)
+		}
+		if n >= 4 {
+			return true
+		}
+	}
+	// Repeated 16-bit group, e.g. abcd:abcd:abcd:abcd.
+	g0 := iid >> 48
+	if g0 != 0 &&
+		(iid>>32)&0xffff == g0 && (iid>>16)&0xffff == g0 && iid&0xffff == g0 {
+		return true
+	}
+	return false
+}
+
+// IIDGenerator produces interface identifiers in a chosen style; the
+// topology generator uses it to populate simulated peripheries with the
+// IID mix the paper observes.
+type IIDGenerator struct {
+	rng *rand.Rand
+}
+
+// NewIIDGenerator returns a generator seeded deterministically.
+func NewIIDGenerator(seed int64) *IIDGenerator {
+	return &IIDGenerator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// EUI64 returns an EUI-64 IID embedding a MAC with the given OUI.
+func (g *IIDGenerator) EUI64(oui uint32) (uint64, MAC) {
+	m := MAC{byte(oui >> 16), byte(oui >> 8), byte(oui)}
+	m[3] = byte(g.rng.Intn(256))
+	m[4] = byte(g.rng.Intn(256))
+	m[5] = byte(g.rng.Intn(256))
+	return m.EUI64IID(), m
+}
+
+// LowByte returns a low-byte IID in [1, 0xffff].
+func (g *IIDGenerator) LowByte() uint64 {
+	return uint64(1 + g.rng.Intn(0xffff))
+}
+
+// EmbedIPv4 returns an IID embedding a synthetic IPv4 address in the low
+// 32 bits.
+func (g *IIDGenerator) EmbedIPv4() uint64 {
+	o1 := 1 + g.rng.Intn(223)
+	v4 := uint64(o1)<<24 | uint64(g.rng.Intn(1<<24))
+	if v4 <= 0xffff { // avoid colliding with the low-byte class
+		v4 |= 0x01000000
+	}
+	return v4
+}
+
+// BytePattern returns an IID with one byte repeated across at least half
+// the positions.
+func (g *IIDGenerator) BytePattern() uint64 {
+	b := uint64(1 + g.rng.Intn(255))
+	iid := b<<56 | b<<40 | b<<24 | b<<8
+	iid |= uint64(g.rng.Intn(256))<<48 | uint64(g.rng.Intn(256))<<16
+	return iid
+}
+
+// Randomized returns an opaque random IID that does not fall into the
+// other classes (regenerating on the rare collision).
+func (g *IIDGenerator) Randomized() uint64 {
+	for {
+		iid := g.rng.Uint64()
+		a := AddrFrom128(Addr{}.u).WithIID(iid)
+		if Classify(a) == IIDRandomized {
+			return iid
+		}
+	}
+}
+
+// Generate returns an IID of the requested class and, for EUI-64, the
+// embedded MAC (zero otherwise). oui is only used for IIDEUI64.
+func (g *IIDGenerator) Generate(class IIDClass, oui uint32) (uint64, MAC) {
+	switch class {
+	case IIDEUI64:
+		return g.EUI64(oui)
+	case IIDLowByte:
+		return g.LowByte(), MAC{}
+	case IIDEmbedIPv4:
+		return g.EmbedIPv4(), MAC{}
+	case IIDBytePattern:
+		return g.BytePattern(), MAC{}
+	default:
+		return g.Randomized(), MAC{}
+	}
+}

@@ -1,0 +1,136 @@
+package ipv6
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMACStringParse(t *testing.T) {
+	m := MAC{0x00, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e}
+	s := m.String()
+	if s != "00:1a:2b:3c:4d:5e" {
+		t.Errorf("String = %q", s)
+	}
+	p, err := ParseMAC(s)
+	if err != nil || p != m {
+		t.Errorf("ParseMAC(%q) = %v, %v", s, p, err)
+	}
+	for _, bad := range []string{"", "00:11:22:33:44", "00:11:22:33:44:55:66", "zz:11:22:33:44:55"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestEUI64RoundTrip(t *testing.T) {
+	f := func(b [6]byte) bool {
+		m := MAC(b)
+		iid := m.EUI64IID()
+		got, ok := MACFromEUI64(iid)
+		return ok && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEUI64KnownVector(t *testing.T) {
+	// RFC 4291 appendix A example: 34-56-78-9A-BC-DE ->
+	// 3656:78ff:fe9a:bcde (u/l bit flipped: 34^02=36).
+	m := MAC{0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde}
+	iid := m.EUI64IID()
+	want := uint64(0x365678fffe9abcde)
+	if iid != want {
+		t.Errorf("EUI64IID = %016x, want %016x", iid, want)
+	}
+}
+
+func TestMACFromEUI64RejectsNonEUI(t *testing.T) {
+	if _, ok := MACFromEUI64(0x1234567812345678); ok {
+		t.Error("accepted IID without fffe marker")
+	}
+}
+
+func TestOUI(t *testing.T) {
+	m := MAC{0xaa, 0xbb, 0xcc, 0x01, 0x02, 0x03}
+	if m.OUI() != 0xaabbcc {
+		t.Errorf("OUI = %06x", m.OUI())
+	}
+}
+
+func TestSLAAC(t *testing.T) {
+	p := MustParsePrefix("2001:db8:1234:5678::/64")
+	a := SLAAC(p, 0x0011223344556677)
+	if a.String() != "2001:db8:1234:5678:11:2233:4455:6677" {
+		t.Errorf("SLAAC = %s", a)
+	}
+}
+
+func TestClassifyKnownAddresses(t *testing.T) {
+	cases := []struct {
+		addr string
+		want IIDClass
+	}{
+		{"2001:db8::211:22ff:fe33:4455", IIDEUI64},
+		{"2001:db8::1", IIDLowByte},
+		{"2001:db8::25", IIDLowByte},
+		{"2001:db8::ffff", IIDLowByte},
+		{"2001:db8::c0a8:101", IIDEmbedIPv4},    // 192.168.1.1 in low 32 bits
+		{"2001:db8::192:168:1:1", IIDEmbedIPv4}, // octet-per-group
+		{"2001:db8::abab:abab:ab12:ab34", IIDBytePattern},
+		{"2001:db8::abcd:abcd:abcd:abcd", IIDBytePattern},
+		{"2001:db8::9f3c:7a21:e0d4:5b16", IIDRandomized},
+	}
+	for _, c := range cases {
+		a := MustParseAddr(c.addr)
+		if got := Classify(a); got != c.want {
+			t.Errorf("Classify(%s) = %s, want %s", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestClassifyZeroIID(t *testing.T) {
+	// An all-zero IID (the subnet-router anycast address) is neither
+	// low-byte nor embedded IPv4; it lands in byte-pattern or randomized.
+	a := MustParseAddr("2001:db8::")
+	got := Classify(a)
+	if got == IIDLowByte || got == IIDEmbedIPv4 || got == IIDEUI64 {
+		t.Errorf("Classify(zero IID) = %s", got)
+	}
+}
+
+func TestGeneratorProducesDeclaredClass(t *testing.T) {
+	g := NewIIDGenerator(42)
+	base := MustParsePrefix("2001:db8:1:2::/64")
+	classes := []IIDClass{IIDEUI64, IIDLowByte, IIDEmbedIPv4, IIDBytePattern, IIDRandomized}
+	for _, class := range classes {
+		for i := 0; i < 200; i++ {
+			iid, mac := g.Generate(class, 0x001a2b)
+			a := SLAAC(base, iid)
+			if got := Classify(a); got != class {
+				t.Fatalf("Generate(%s) produced %016x classified as %s", class, iid, got)
+			}
+			if class == IIDEUI64 {
+				if mac.OUI() != 0x001a2b {
+					t.Fatalf("EUI-64 MAC OUI = %06x", mac.OUI())
+				}
+				rec, ok := MACFromEUI64(iid)
+				if !ok || rec != mac {
+					t.Fatalf("MAC round trip failed: %v %v", rec, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestIIDClassString(t *testing.T) {
+	for c, want := range map[IIDClass]string{
+		IIDEUI64: "EUI-64", IIDLowByte: "Low-byte", IIDEmbedIPv4: "Embed-IPv4",
+		IIDBytePattern: "Byte-pattern", IIDRandomized: "Randomized",
+		IIDClass(0): "Unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", c, c.String(), want)
+		}
+	}
+}

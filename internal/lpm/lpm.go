@@ -1,0 +1,185 @@
+// Package lpm implements a longest-prefix-match table over IPv6 prefixes
+// as a binary (bit-at-a-time) trie. Every router in the network simulator
+// holds one as its forwarding table; the analysis code uses it for
+// prefix-to-metadata lookups (GeoIP, BGP origin).
+package lpm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ipv6"
+)
+
+// Table is a longest-prefix-match table mapping prefixes to values of
+// type V. The zero value is not usable; call New.
+type Table[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// New returns an empty table.
+func New[V any]() *Table[V] {
+	return &Table[V]{root: &node[V]{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table[V]) Len() int { return t.size }
+
+// Insert installs or replaces the value for p.
+func (t *Table[V]) Insert(p ipv6.Prefix, v V) {
+	n := t.root
+	u := p.Addr().Uint128()
+	for i := 0; i < p.Bits(); i++ {
+		b := u.Bit(uint(127 - i))
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Remove deletes the exact prefix p, reporting whether it was present.
+// Trie nodes are not compacted; tables in this repository only grow.
+func (t *Table[V]) Remove(p ipv6.Prefix) bool {
+	n := t.root
+	u := p.Addr().Uint128()
+	for i := 0; i < p.Bits(); i++ {
+		b := u.Bit(uint(127 - i))
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Lookup returns the value of the longest installed prefix containing a,
+// and ok=false if no prefix matches.
+func (t *Table[V]) Lookup(a ipv6.Addr) (V, bool) {
+	var (
+		best  V
+		found bool
+	)
+	n := t.root
+	u := a.Uint128()
+	for i := 0; ; i++ {
+		if n.set {
+			best, found = n.val, true
+		}
+		if i == 128 {
+			break
+		}
+		b := u.Bit(uint(127 - i))
+		if n.child[b] == nil {
+			break
+		}
+		n = n.child[b]
+	}
+	return best, found
+}
+
+// LookupPrefix returns the value and the matched prefix itself.
+func (t *Table[V]) LookupPrefix(a ipv6.Addr) (ipv6.Prefix, V, bool) {
+	var (
+		best     V
+		bestBits = -1
+	)
+	n := t.root
+	u := a.Uint128()
+	for i := 0; ; i++ {
+		if n.set {
+			best, bestBits = n.val, i
+		}
+		if i == 128 {
+			break
+		}
+		b := u.Bit(uint(127 - i))
+		if n.child[b] == nil {
+			break
+		}
+		n = n.child[b]
+	}
+	if bestBits < 0 {
+		var zero V
+		return ipv6.Prefix{}, zero, false
+	}
+	p, err := ipv6.NewPrefix(a, bestBits)
+	if err != nil {
+		panic(fmt.Sprintf("lpm: internal prefix error: %v", err))
+	}
+	return p, best, true
+}
+
+// Exact returns the value installed for exactly p.
+func (t *Table[V]) Exact(p ipv6.Prefix) (V, bool) {
+	n := t.root
+	u := p.Addr().Uint128()
+	for i := 0; i < p.Bits(); i++ {
+		b := u.Bit(uint(127 - i))
+		if n.child[b] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Walk visits every installed prefix in lexicographic bit order.
+func (t *Table[V]) Walk(fn func(ipv6.Prefix, V) bool) {
+	var rec func(n *node[V], addr ipv6.Addr, depth int) bool
+	rec = func(n *node[V], addr ipv6.Addr, depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			p, err := ipv6.NewPrefix(addr, depth)
+			if err != nil {
+				panic(fmt.Sprintf("lpm: internal prefix error: %v", err))
+			}
+			if !fn(p, n.val) {
+				return false
+			}
+		}
+		if depth == 128 {
+			return true
+		}
+		if !rec(n.child[0], addr, depth+1) {
+			return false
+		}
+		one := ipv6.AddrFrom128(addr.Uint128().SetBit(uint(127-depth), 1))
+		return rec(n.child[1], one, depth+1)
+	}
+	rec(t.root, ipv6.Addr{}, 0)
+}
+
+// String renders the table for debugging.
+func (t *Table[V]) String() string {
+	var b strings.Builder
+	t.Walk(func(p ipv6.Prefix, v V) bool {
+		fmt.Fprintf(&b, "%s -> %v\n", p, v)
+		return true
+	})
+	return b.String()
+}

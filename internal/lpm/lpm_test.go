@@ -1,0 +1,219 @@
+package lpm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/uint128"
+)
+
+func TestLookupLongestWins(t *testing.T) {
+	tbl := New[string]()
+	tbl.Insert(ipv6.MustParsePrefix("::/0"), "default")
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8::/32"), "isp")
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8:1234::/48"), "region")
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8:1234:5678::/64"), "wan")
+
+	cases := []struct{ addr, want string }{
+		{"2001:db8:1234:5678::1", "wan"},
+		{"2001:db8:1234:9999::1", "region"},
+		{"2001:db8:ffff::1", "isp"},
+		{"2001:db9::1", "default"},
+		{"::1", "default"},
+	}
+	for _, c := range cases {
+		v, ok := tbl.Lookup(ipv6.MustParseAddr(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %q,%v; want %q", c.addr, v, ok, c.want)
+		}
+	}
+}
+
+func TestLookupNoMatch(t *testing.T) {
+	tbl := New[int]()
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8::/32"), 1)
+	if _, ok := tbl.Lookup(ipv6.MustParseAddr("fe80::1")); ok {
+		t.Error("matched outside installed prefixes")
+	}
+}
+
+func TestLookupPrefixReturnsMatch(t *testing.T) {
+	tbl := New[int]()
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8::/32"), 1)
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8:aaaa::/48"), 2)
+	p, v, ok := tbl.LookupPrefix(ipv6.MustParseAddr("2001:db8:aaaa:1::5"))
+	if !ok || v != 2 || p.String() != "2001:db8:aaaa::/48" {
+		t.Errorf("LookupPrefix = %s, %d, %v", p, v, ok)
+	}
+	if _, _, ok := tbl.LookupPrefix(ipv6.MustParseAddr("fe80::1")); ok {
+		t.Error("LookupPrefix matched nothing installed")
+	}
+}
+
+func TestInsertReplaceAndRemove(t *testing.T) {
+	tbl := New[int]()
+	p := ipv6.MustParsePrefix("2001:db8::/32")
+	tbl.Insert(p, 1)
+	tbl.Insert(p, 2)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d after replace", tbl.Len())
+	}
+	if v, _ := tbl.Exact(p); v != 2 {
+		t.Errorf("Exact = %d", v)
+	}
+	if !tbl.Remove(p) {
+		t.Error("Remove returned false")
+	}
+	if tbl.Remove(p) {
+		t.Error("double Remove returned true")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("Len = %d after remove", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(ipv6.MustParseAddr("2001:db8::1")); ok {
+		t.Error("removed prefix still matches")
+	}
+}
+
+func TestExactVsLookup(t *testing.T) {
+	tbl := New[int]()
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8::/32"), 1)
+	if _, ok := tbl.Exact(ipv6.MustParsePrefix("2001:db8::/48")); ok {
+		t.Error("Exact matched a non-installed longer prefix")
+	}
+	if _, ok := tbl.Exact(ipv6.MustParsePrefix("2001:db8::/16")); ok {
+		t.Error("Exact matched a non-installed shorter prefix")
+	}
+}
+
+func TestHostRoutes(t *testing.T) {
+	tbl := New[string]()
+	a := ipv6.MustParseAddr("2001:db8::42")
+	tbl.Insert(ipv6.MustPrefix(a, 128), "host")
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8::/32"), "net")
+	if v, _ := tbl.Lookup(a); v != "host" {
+		t.Errorf("host route lost: %q", v)
+	}
+	if v, _ := tbl.Lookup(a.Next()); v != "net" {
+		t.Errorf("neighbor matched host route: %q", v)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	tbl := New[int]()
+	want := map[string]int{
+		"::/0":               0,
+		"2001:db8::/32":      1,
+		"2001:db8:1::/48":    2,
+		"2001:db8:1:2::/64":  3,
+		"fe80::/10":          4,
+		"2001:db8::dead/128": 5,
+	}
+	for s, v := range want {
+		tbl.Insert(ipv6.MustParsePrefix(s), v)
+	}
+	got := map[string]int{}
+	tbl.Walk(func(p ipv6.Prefix, v int) bool {
+		got[p.String()] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %d prefixes, want %d: %v", len(got), len(want), got)
+	}
+	for s, v := range want {
+		if got[s] != v {
+			t.Errorf("Walk[%s] = %d, want %d", s, got[s], v)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tbl := New[int]()
+	tbl.Insert(ipv6.MustParsePrefix("::/0"), 0)
+	tbl.Insert(ipv6.MustParsePrefix("2001:db8::/32"), 1)
+	n := 0
+	tbl.Walk(func(ipv6.Prefix, int) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("Walk visited %d after stop", n)
+	}
+}
+
+// TestAgainstLinearReference cross-checks random lookups against a naive
+// linear scan over installed prefixes.
+func TestAgainstLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl := New[int]()
+	type entry struct {
+		p ipv6.Prefix
+		v int
+	}
+	var entries []entry
+	for i := 0; i < 300; i++ {
+		bits := rng.Intn(129)
+		addr := ipv6.AddrFrom128(uint128.New(rng.Uint64(), rng.Uint64()))
+		p := ipv6.MustPrefix(addr, bits)
+		// Skip duplicates so values stay unambiguous.
+		dup := false
+		for _, e := range entries {
+			if e.p == p {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		entries = append(entries, entry{p, i})
+		tbl.Insert(p, i)
+	}
+	linear := func(a ipv6.Addr) (int, bool) {
+		best, bits, found := 0, -1, false
+		for _, e := range entries {
+			if e.p.Contains(a) && e.p.Bits() > bits {
+				best, bits, found = e.v, e.p.Bits(), true
+			}
+		}
+		return best, found
+	}
+	for i := 0; i < 2000; i++ {
+		var a ipv6.Addr
+		if i%2 == 0 && len(entries) > 0 {
+			// Bias half the probes into installed prefixes.
+			e := entries[rng.Intn(len(entries))]
+			off := uint128.New(rng.Uint64(), rng.Uint64())
+			host := 128 - e.p.Bits()
+			if host < 128 {
+				off = off.And(uint128.Max.Rsh(uint(128 - host)))
+			}
+			a = ipv6.AddrFrom128(e.p.Addr().Uint128().Or(off))
+		} else {
+			a = ipv6.AddrFrom128(uint128.New(rng.Uint64(), rng.Uint64()))
+		}
+		wantV, wantOK := linear(a)
+		gotV, gotOK := tbl.Lookup(a)
+		if wantOK != gotOK || (wantOK && wantV != gotV) {
+			t.Fatalf("Lookup(%s) = %d,%v; linear says %d,%v", a, gotV, gotOK, wantV, wantOK)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := New[int]()
+	for i := 0; i < 10000; i++ {
+		addr := ipv6.AddrFrom128(uint128.New(rng.Uint64(), 0))
+		tbl.Insert(ipv6.MustPrefix(addr, 32+rng.Intn(33)), i)
+	}
+	addrs := make([]ipv6.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = ipv6.AddrFrom128(uint128.New(rng.Uint64(), rng.Uint64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,277 @@
+// Package minitcp implements the minimal TCP machinery the measurement
+// needs: a stateless banner/request-response server embedded in simulated
+// periphery devices, and a lock-step client used by the application-layer
+// prober. It is deliberately not a full TCP: no retransmission, no
+// windows, no reassembly — one request segment, one response segment —
+// which matches what a banner-grab scanner actually exercises.
+//
+// The server holds no per-connection state. Its initial sequence number
+// is a keyed hash of the 4-tuple (a SYN-cookie), so any segment can be
+// validated against the tuple alone. This mirrors how ZMap-family tools
+// scan statelessly.
+package minitcp
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// Service is one TCP service on a device.
+type Service interface {
+	// Banner is sent unprompted when the connection is established
+	// (FTP/SSH/TELNET-style greetings); nil for request-first protocols.
+	Banner() []byte
+	// Respond handles one client request and returns the response (nil
+	// closes without data).
+	Respond(req []byte) []byte
+}
+
+// Server dispatches segments for one device to its per-port services.
+type Server struct {
+	key      []byte
+	services map[uint16]Service
+}
+
+// NewServer creates a server whose SYN-cookie key is derived from seed.
+func NewServer(seed []byte) *Server {
+	return &Server{key: append([]byte(nil), seed...), services: make(map[uint16]Service)}
+}
+
+// Register binds svc to port, replacing any previous binding.
+func (s *Server) Register(port uint16, svc Service) { s.services[port] = svc }
+
+// Ports returns the open ports (order unspecified).
+func (s *Server) Ports() []uint16 {
+	out := make([]uint16, 0, len(s.services))
+	for p := range s.services {
+		out = append(out, p)
+	}
+	return out
+}
+
+// isn computes the SYN-cookie initial sequence number for a 4-tuple.
+func (s *Server) isn(self, peer ipv6.Addr, selfPort, peerPort uint16) uint32 {
+	mac := hmac.New(sha256.New, s.key)
+	a, b := self.Bytes(), peer.Bytes()
+	mac.Write(a[:])
+	mac.Write(b[:])
+	var pb [4]byte
+	binary.BigEndian.PutUint16(pb[:2], selfPort)
+	binary.BigEndian.PutUint16(pb[2:], peerPort)
+	mac.Write(pb[:])
+	return binary.BigEndian.Uint32(mac.Sum(nil)[:4])
+}
+
+// HandleSegment processes one TCP segment addressed to self and returns
+// raw reply packets. hopLimit is used for replies.
+func (s *Server) HandleSegment(self, peer ipv6.Addr, seg wire.TCPHeader, payload []byte) [][]byte {
+	svc, open := s.services[seg.DstPort]
+	reply := func(t wire.TCPHeader, data []byte) [][]byte {
+		pkt, err := wire.BuildTCP(self, peer, 64, t, data)
+		if err != nil {
+			return nil
+		}
+		return [][]byte{pkt}
+	}
+
+	if seg.Flags&wire.TCPRst != 0 {
+		return nil // never answer a reset
+	}
+
+	if !open {
+		// Closed port: RST per RFC 9293.
+		rst := wire.TCPHeader{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: 0, Ack: seg.Seq + segLen(seg, payload),
+			Flags: wire.TCPRst | wire.TCPAck,
+		}
+		return reply(rst, nil)
+	}
+
+	isn := s.isn(self, peer, seg.DstPort, seg.SrcPort)
+
+	switch {
+	case seg.Flags&wire.TCPSyn != 0 && seg.Flags&wire.TCPAck == 0:
+		// SYN -> SYN/ACK with cookie ISN.
+		return reply(wire.TCPHeader{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: isn, Ack: seg.Seq + 1,
+			Flags:  wire.TCPSyn | wire.TCPAck,
+			Window: 65535,
+		}, nil)
+
+	case seg.Flags&wire.TCPAck != 0 && len(payload) == 0 && seg.Ack == isn+1:
+		// Final ACK of the handshake: emit the banner, if any.
+		banner := svc.Banner()
+		if banner == nil {
+			return nil
+		}
+		return reply(wire.TCPHeader{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: isn + 1, Ack: seg.Seq,
+			Flags:  wire.TCPPsh | wire.TCPAck,
+			Window: 65535,
+		}, banner)
+
+	case seg.Flags&wire.TCPAck != 0 && len(payload) > 0:
+		// A request segment. Valid acks: ISN+1 (no banner consumed) or
+		// ISN+1+len(banner).
+		bannerLen := uint32(0)
+		if b := svc.Banner(); b != nil {
+			bannerLen = uint32(len(b))
+		}
+		if seg.Ack != isn+1 && seg.Ack != isn+1+bannerLen {
+			return nil // not our connection
+		}
+		resp := svc.Respond(payload)
+		t := wire.TCPHeader{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: seg.Ack, Ack: seg.Seq + uint32(len(payload)),
+			Flags:  wire.TCPPsh | wire.TCPAck | wire.TCPFin,
+			Window: 65535,
+		}
+		if resp == nil {
+			t.Flags = wire.TCPFin | wire.TCPAck
+		}
+		return reply(t, resp)
+
+	case seg.Flags&wire.TCPFin != 0:
+		// Client close: ack it.
+		return reply(wire.TCPHeader{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: seg.Ack, Ack: seg.Seq + 1,
+			Flags: wire.TCPAck,
+		}, nil)
+	}
+	return nil
+}
+
+// segLen is the sequence space consumed by a segment.
+func segLen(seg wire.TCPHeader, payload []byte) uint32 {
+	n := uint32(len(payload))
+	if seg.Flags&wire.TCPSyn != 0 {
+		n++
+	}
+	if seg.Flags&wire.TCPFin != 0 {
+		n++
+	}
+	return n
+}
+
+// Conn abstracts the transport under the client: send one packet, then
+// collect whatever packets have arrived. The network simulator satisfies
+// this with lock-step semantics.
+type Conn interface {
+	Send(pkt []byte) error
+	Recv() [][]byte
+}
+
+// Result is the outcome of a client exchange.
+type Result struct {
+	Open   bool   // port answered SYN with SYN/ACK
+	Banner []byte // unprompted server data after the handshake
+	Data   []byte // response to the request
+}
+
+// Exchange performs a banner-grab conversation: handshake, optional
+// banner read, optional request/response. A RST or silence at the SYN
+// step reports Open=false. maxRounds bounds the Send/Recv iterations.
+func Exchange(c Conn, src, dst ipv6.Addr, srcPort, dstPort uint16, req []byte, maxRounds int) (Result, error) {
+	var res Result
+	const clientISN = 0x01000000
+
+	send := func(t wire.TCPHeader, data []byte) error {
+		pkt, err := wire.BuildTCP(src, dst, 64, t, data)
+		if err != nil {
+			return err
+		}
+		return c.Send(pkt)
+	}
+	// collect reads arrived packets, returning decoded TCP segments from
+	// dst for this flow.
+	collect := func() []segment {
+		var segs []segment
+		for _, raw := range c.Recv() {
+			s, err := wire.ParsePacket(raw)
+			if err != nil || s.TCP == nil {
+				continue
+			}
+			if s.IP.Src != dst || s.TCP.SrcPort != dstPort || s.TCP.DstPort != srcPort {
+				continue
+			}
+			segs = append(segs, segment{h: *s.TCP, data: s.Payload})
+		}
+		return segs
+	}
+
+	if err := send(wire.TCPHeader{SrcPort: srcPort, DstPort: dstPort, Seq: clientISN, Flags: wire.TCPSyn, Window: 65535}, nil); err != nil {
+		return res, fmt.Errorf("minitcp: send SYN: %w", err)
+	}
+
+	var serverISN uint32
+	established := false
+	for round := 0; round < maxRounds && !established; round++ {
+		for _, seg := range collect() {
+			switch {
+			case seg.h.Flags&wire.TCPRst != 0:
+				return res, nil // closed
+			case seg.h.Flags&(wire.TCPSyn|wire.TCPAck) == wire.TCPSyn|wire.TCPAck && seg.h.Ack == clientISN+1:
+				serverISN = seg.h.Seq
+				established = true
+			}
+		}
+		if !established && round == maxRounds-1 {
+			return res, nil // filtered/silent
+		}
+	}
+	res.Open = true
+
+	// Complete the handshake; a banner may come back immediately.
+	if err := send(wire.TCPHeader{SrcPort: srcPort, DstPort: dstPort, Seq: clientISN + 1, Ack: serverISN + 1, Flags: wire.TCPAck, Window: 65535}, nil); err != nil {
+		return res, fmt.Errorf("minitcp: send ACK: %w", err)
+	}
+	for _, seg := range collect() {
+		if len(seg.data) > 0 {
+			res.Banner = append(res.Banner, seg.data...)
+		}
+	}
+
+	if req != nil {
+		ack := serverISN + 1 + uint32(len(res.Banner))
+		if err := send(wire.TCPHeader{
+			SrcPort: srcPort, DstPort: dstPort,
+			Seq: clientISN + 1, Ack: ack,
+			Flags: wire.TCPPsh | wire.TCPAck, Window: 65535,
+		}, req); err != nil {
+			return res, fmt.Errorf("minitcp: send request: %w", err)
+		}
+		done := false
+		for round := 0; round < maxRounds && !done; round++ {
+			for _, seg := range collect() {
+				if len(seg.data) > 0 {
+					res.Data = append(res.Data, seg.data...)
+				}
+				if seg.h.Flags&(wire.TCPFin|wire.TCPRst) != 0 {
+					done = true
+				}
+			}
+			if !done && round == maxRounds-1 {
+				done = true // tolerate servers that never FIN
+			}
+		}
+	}
+
+	// Politely reset to tear down whatever half-state the peer holds.
+	_ = send(wire.TCPHeader{SrcPort: srcPort, DstPort: dstPort, Seq: clientISN + 1, Flags: wire.TCPRst}, nil)
+	return res, nil
+}
+
+type segment struct {
+	h    wire.TCPHeader
+	data []byte
+}

@@ -1,0 +1,210 @@
+package minitcp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+var (
+	clientAddr = ipv6.MustParseAddr("2001:beef::100")
+	serverAddr = ipv6.MustParseAddr("2001:db8::1")
+)
+
+// echoService responds with a transformed request.
+type echoService struct {
+	banner string
+	prefix string
+}
+
+func (s echoService) Banner() []byte {
+	if s.banner == "" {
+		return nil
+	}
+	return []byte(s.banner)
+}
+
+func (s echoService) Respond(req []byte) []byte {
+	if s.prefix == "" {
+		return nil
+	}
+	return append([]byte(s.prefix), req...)
+}
+
+// loopConn wires the client directly to a Server, emulating the
+// simulator's lock-step delivery.
+type loopConn struct {
+	srv *Server
+	buf [][]byte
+}
+
+func (c *loopConn) Send(pkt []byte) error {
+	s, err := wire.ParsePacket(pkt)
+	if err != nil || s.TCP == nil {
+		return err
+	}
+	replies := c.srv.HandleSegment(s.IP.Dst, s.IP.Src, *s.TCP, s.Payload)
+	c.buf = append(c.buf, replies...)
+	return nil
+}
+
+func (c *loopConn) Recv() [][]byte {
+	out := c.buf
+	c.buf = nil
+	return out
+}
+
+func newConn(svc Service, port uint16) *loopConn {
+	srv := NewServer([]byte("test-key"))
+	if svc != nil {
+		srv.Register(port, svc)
+	}
+	return &loopConn{srv: srv}
+}
+
+func TestRequestResponse(t *testing.T) {
+	c := newConn(echoService{prefix: "RESP:"}, 80)
+	res, err := Exchange(c, clientAddr, serverAddr, 40000, 80, []byte("GET /"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Open {
+		t.Fatal("port reported closed")
+	}
+	if string(res.Data) != "RESP:GET /" {
+		t.Errorf("data = %q", res.Data)
+	}
+	if res.Banner != nil {
+		t.Errorf("unexpected banner %q", res.Banner)
+	}
+}
+
+func TestBannerProtocol(t *testing.T) {
+	c := newConn(echoService{banner: "SSH-2.0-dropbear_0.46\r\n"}, 22)
+	res, err := Exchange(c, clientAddr, serverAddr, 40001, 22, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Open || !strings.HasPrefix(string(res.Banner), "SSH-2.0-dropbear") {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestBannerThenRequest(t *testing.T) {
+	c := newConn(echoService{banner: "220 ftp ready\r\n", prefix: "331 "}, 21)
+	res, err := Exchange(c, clientAddr, serverAddr, 40002, 21, []byte("USER anonymous\r\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Banner) != "220 ftp ready\r\n" {
+		t.Errorf("banner = %q", res.Banner)
+	}
+	if string(res.Data) != "331 USER anonymous\r\n" {
+		t.Errorf("data = %q", res.Data)
+	}
+}
+
+func TestClosedPortGetsRST(t *testing.T) {
+	c := newConn(echoService{prefix: "x"}, 80)
+	res, err := Exchange(c, clientAddr, serverAddr, 40003, 8080, []byte("hi"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Open {
+		t.Error("closed port reported open")
+	}
+}
+
+func TestNoServicesSilence(t *testing.T) {
+	// A conn that drops everything: filtered port.
+	drop := &dropConn{}
+	res, err := Exchange(drop, clientAddr, serverAddr, 40004, 80, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Open {
+		t.Error("filtered port reported open")
+	}
+}
+
+type dropConn struct{}
+
+func (dropConn) Send([]byte) error { return nil }
+func (dropConn) Recv() [][]byte    { return nil }
+
+func TestServerIgnoresForeignAck(t *testing.T) {
+	srv := NewServer([]byte("k"))
+	srv.Register(80, echoService{prefix: "R"})
+	// A data segment with a bogus ack (not matching the cookie) must be
+	// ignored, not answered.
+	seg := wire.TCPHeader{SrcPort: 1234, DstPort: 80, Seq: 55, Ack: 0xdeadbeef, Flags: wire.TCPAck | wire.TCPPsh}
+	replies := srv.HandleSegment(serverAddr, clientAddr, seg, []byte("req"))
+	if len(replies) != 0 {
+		t.Errorf("got %d replies to forged segment", len(replies))
+	}
+}
+
+func TestServerRSTNotAnswered(t *testing.T) {
+	srv := NewServer([]byte("k"))
+	srv.Register(80, echoService{prefix: "R"})
+	seg := wire.TCPHeader{SrcPort: 1234, DstPort: 80, Seq: 1, Flags: wire.TCPRst}
+	if replies := srv.HandleSegment(serverAddr, clientAddr, seg, nil); len(replies) != 0 {
+		t.Errorf("server answered a RST with %d packets", len(replies))
+	}
+	// RST to a closed port is also not answered.
+	seg.DstPort = 9999
+	if replies := srv.HandleSegment(serverAddr, clientAddr, seg, nil); len(replies) != 0 {
+		t.Error("server answered a RST to a closed port")
+	}
+}
+
+func TestSynCookieDeterministic(t *testing.T) {
+	srv := NewServer([]byte("k"))
+	a := srv.isn(serverAddr, clientAddr, 80, 40000)
+	b := srv.isn(serverAddr, clientAddr, 80, 40000)
+	if a != b {
+		t.Error("ISN not deterministic")
+	}
+	if srv.isn(serverAddr, clientAddr, 80, 40001) == a {
+		t.Error("ISN ignores ports")
+	}
+}
+
+func TestEmptyResponseClosesWithFin(t *testing.T) {
+	c := newConn(echoService{}, 23)
+	res, err := Exchange(c, clientAddr, serverAddr, 40005, 23, []byte("req"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Open {
+		t.Error("open port reported closed")
+	}
+	if len(res.Data) != 0 {
+		t.Errorf("data = %q", res.Data)
+	}
+}
+
+func TestPorts(t *testing.T) {
+	srv := NewServer([]byte("k"))
+	srv.Register(80, echoService{})
+	srv.Register(22, echoService{})
+	ports := srv.Ports()
+	if len(ports) != 2 {
+		t.Errorf("ports = %v", ports)
+	}
+}
+
+func TestLargeResponseSingleSegment(t *testing.T) {
+	big := bytes.Repeat([]byte("A"), 4000)
+	c := newConn(echoService{prefix: string(big)}, 8080)
+	res, err := Exchange(c, clientAddr, serverAddr, 40006, 8080, []byte("!"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Data) != 4001 {
+		t.Errorf("data length = %d", len(res.Data))
+	}
+}

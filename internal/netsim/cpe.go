@@ -1,0 +1,329 @@
+package netsim
+
+import (
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// LocalStack is the transport/application stack of a periphery device.
+// The services package provides an implementation with DNS, HTTP, and the
+// other periphery services; netsim itself ships an echo-only stack.
+type LocalStack interface {
+	// HandleLocal processes a packet addressed to self and returns any
+	// reply packets (already fully marshalled, source = self).
+	HandleLocal(self ipv6.Addr, pkt []byte) [][]byte
+}
+
+// EchoStack answers ICMPv6 echo requests and nothing else: a periphery
+// with no exposed services.
+type EchoStack struct{}
+
+var _ LocalStack = EchoStack{}
+
+// HandleLocal implements LocalStack.
+func (EchoStack) HandleLocal(self ipv6.Addr, pkt []byte) [][]byte {
+	s, err := wire.ParsePacket(pkt)
+	if err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
+		return nil
+	}
+	e, err := wire.ParseEcho(s.ICMP.Body)
+	if err != nil {
+		return nil
+	}
+	reply, err := wire.BuildEchoReply(self, s.IP.Src, 64, e.ID, e.Seq, e.Data)
+	if err != nil {
+		return nil
+	}
+	return [][]byte{reply}
+}
+
+// CPEBehavior captures how a CPE's routing module handles addresses it
+// has no specific route for — the implementation property the paper's
+// Section VI measures.
+type CPEBehavior struct {
+	// VulnWAN: the CPE installs only a host route for its own WAN
+	// address; other (nonexistent) addresses within the WAN /64 match
+	// the default route and bounce back to the ISP — a routing loop.
+	VulnWAN bool
+	// VulnLAN: the CPE lacks the RFC 7084 unreachable route for the
+	// delegated-but-unassigned LAN prefixes; packets to a Not-used
+	// Prefix match the default route and bounce back — a routing loop.
+	VulnLAN bool
+	// LoopCap, when positive, bounds how many times the CPE forwards
+	// packets of one looping destination before dropping (the partial
+	// mitigation observed on Xiaomi/OpenWrt-family devices, which
+	// forward such packets only >10 times rather than (255-n)/2).
+	LoopCap int
+}
+
+// CPE is a customer-premises-edge router: WAN interface toward the ISP,
+// a delegated LAN prefix, one or more in-use subnets, and optionally a
+// set of LAN host addresses that answer pings.
+type CPE struct {
+	name      string
+	wan       *Iface
+	wanPrefix ipv6.Prefix // the point-to-point /64 containing the WAN address
+	delegated ipv6.Prefix // LAN prefix delegated by the ISP (may be zero-width: none)
+	subnets   []ipv6.Prefix
+	lanAddr   ipv6.Addr // CPE's own address inside the first subnet
+	hosts     map[ipv6.Addr]bool
+	behavior  CPEBehavior
+	stack     LocalStack
+	gate      errorGate
+	hasLAN    bool
+
+	loopCount map[ipv6.Addr]int
+
+	// CountForwarded tallies packets the CPE sent back out its WAN
+	// interface in a loop; used for amplification accounting.
+	CountForwarded uint64
+}
+
+var _ Node = (*CPE)(nil)
+
+// CPEConfig assembles a CPE.
+type CPEConfig struct {
+	Name      string
+	WANAddr   ipv6.Addr   // address on the WAN /64
+	WANPrefix ipv6.Prefix // the WAN point-to-point /64
+	Delegated ipv6.Prefix // LAN delegated prefix; leave zero for none
+	Subnets   []ipv6.Prefix
+	LANAddr   ipv6.Addr // CPE address within Subnets[0]; zero for none
+	Hosts     []ipv6.Addr
+	Behavior  CPEBehavior
+	Stack     LocalStack // nil means EchoStack
+	Policy    ErrorPolicy
+}
+
+// NewCPE builds a CPE node; its WAN interface is returned by WAN().
+func NewCPE(cfg CPEConfig) *CPE {
+	c := &CPE{
+		name:      cfg.Name,
+		wanPrefix: cfg.WANPrefix,
+		delegated: cfg.Delegated,
+		subnets:   cfg.Subnets,
+		lanAddr:   cfg.LANAddr,
+		behavior:  cfg.Behavior,
+		stack:     cfg.Stack,
+		gate:      errorGate{policy: cfg.Policy},
+		hasLAN:    cfg.Delegated.Bits() > 0,
+	}
+	if c.stack == nil {
+		c.stack = EchoStack{}
+	}
+	if len(cfg.Hosts) > 0 {
+		c.hosts = make(map[ipv6.Addr]bool, len(cfg.Hosts))
+		for _, h := range cfg.Hosts {
+			c.hosts[h] = true
+		}
+	}
+	c.wan = NewIface(c, cfg.WANAddr, cfg.Name+":wan")
+	return c
+}
+
+// Name implements Node.
+func (c *CPE) Name() string { return c.name }
+
+// WAN returns the WAN interface to connect to the ISP router.
+func (c *CPE) WAN() *Iface { return c.wan }
+
+// WANAddr returns the CPE's WAN interface address.
+func (c *CPE) WANAddr() ipv6.Addr { return c.wan.addr }
+
+// Behavior returns the CPE's routing behavior (for ground-truth checks).
+func (c *CPE) Behavior() CPEBehavior { return c.behavior }
+
+// Delegated returns the delegated LAN prefix (zero Prefix if none).
+func (c *CPE) Delegated() ipv6.Prefix { return c.delegated }
+
+// Handle implements Node, realizing the routing table of the paper's
+// Figure 4 — correct or flawed depending on Behavior.
+func (c *CPE) Handle(in *Iface, pkt []byte) []Emission {
+	hdr, _, err := wire.ParseIPv6(pkt)
+	if err != nil {
+		return nil
+	}
+	dst := hdr.Dst
+
+	// Local delivery: WAN address, LAN interface address.
+	if dst == c.wan.addr || (c.lanAddr != (ipv6.Addr{}) && dst == c.lanAddr) {
+		return c.deliverLocal(in, dst, pkt)
+	}
+	// A LAN host the subscriber actually operates: answers pings.
+	if c.hosts[dst] {
+		return hostEcho(in, dst, pkt)
+	}
+
+	if !decrementHopLimit(pkt) {
+		return c.emitError(in, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit)
+	}
+
+	switch {
+	case c.wanPrefix.Contains(dst):
+		// Nonexistent address in the WAN point-to-point /64.
+		if c.behavior.VulnWAN {
+			return c.loopForward(in, dst, pkt)
+		}
+		// Correct: neighbor discovery fails; address unreachable.
+		return c.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachAddress)
+
+	case c.inSubnet(dst):
+		// In an operated subnet but no such host: NDP failure.
+		return c.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachAddress)
+
+	case c.hasLAN && c.delegated.Contains(dst):
+		// Delegated-but-unassigned space: the Not-used Prefix.
+		if c.behavior.VulnLAN {
+			return c.loopForward(in, dst, pkt)
+		}
+		// Correct per RFC 7084: a discard/unreachable route.
+		return c.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
+
+	default:
+		// Default route: egress toward the ISP.
+		c.CountForwarded++
+		return []Emission{{Out: c.wan, Pkt: pkt}}
+	}
+}
+
+// loopForward sends the packet back out the WAN default route, applying
+// any per-destination loop cap.
+func (c *CPE) loopForward(in *Iface, dst ipv6.Addr, pkt []byte) []Emission {
+	if limit := c.behavior.LoopCap; limit > 0 {
+		if c.loopCount == nil {
+			c.loopCount = make(map[ipv6.Addr]int)
+		}
+		if len(c.loopCount) > 4096 { // bound state like a real embedded table
+			c.loopCount = make(map[ipv6.Addr]int)
+		}
+		c.loopCount[dst]++
+		if c.loopCount[dst] > limit {
+			return nil
+		}
+	}
+	c.CountForwarded++
+	return []Emission{{Out: c.wan, Pkt: pkt}}
+}
+
+// inSubnet reports whether dst falls in an operated subnet.
+func (c *CPE) inSubnet(dst ipv6.Addr) bool {
+	for _, s := range c.subnets {
+		if s.Contains(dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// deliverLocal hands the packet to the device stack.
+func (c *CPE) deliverLocal(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
+	replies := c.stack.HandleLocal(self, pkt)
+	out := make([]Emission, 0, len(replies))
+	for _, r := range replies {
+		out = append(out, Emission{Out: in, Pkt: r})
+	}
+	return out
+}
+
+func (c *CPE) emitError(in *Iface, invoking []byte, typ, code uint8) []Emission {
+	if !c.gate.allow() {
+		return nil
+	}
+	// RFC 4443 source selection: the error leaves the WAN interface, so
+	// it carries the WAN address — this is what exposes the periphery.
+	out := icmpError(c.wan.addr, invoking, typ, code)
+	if out == nil {
+		c.gate.generated--
+		return nil
+	}
+	return []Emission{{Out: in, Pkt: out}}
+}
+
+// hostEcho answers a ping to an existing LAN host on its behalf (the
+// host is modelled inside the CPE rather than as a separate node).
+func hostEcho(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
+	s, err := wire.ParsePacket(pkt)
+	if err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
+		return nil
+	}
+	e, err := wire.ParseEcho(s.ICMP.Body)
+	if err != nil {
+		return nil
+	}
+	reply, err := wire.BuildEchoReply(self, s.IP.Src, 64, e.ID, e.Seq, e.Data)
+	if err != nil {
+		return nil
+	}
+	return []Emission{{Out: in, Pkt: reply}}
+}
+
+// UE is a user-equipment periphery (paper Figure 1b): a device holding a
+// single /64 prefix on its radio interface. Nonexistent addresses inside
+// the prefix draw an address-unreachable error from the UE itself.
+type UE struct {
+	name   string
+	ifc    *Iface
+	prefix ipv6.Prefix
+	stack  LocalStack
+	gate   errorGate
+}
+
+var _ Node = (*UE)(nil)
+
+// NewUE builds a UE holding prefix, answering at addr.
+func NewUE(name string, addr ipv6.Addr, prefix ipv6.Prefix, stack LocalStack, policy ErrorPolicy) *UE {
+	u := &UE{name: name, prefix: prefix, stack: stack, gate: errorGate{policy: policy}}
+	if u.stack == nil {
+		u.stack = EchoStack{}
+	}
+	u.ifc = NewIface(u, addr, name+":radio")
+	return u
+}
+
+// Name implements Node.
+func (u *UE) Name() string { return u.name }
+
+// Iface returns the radio interface to connect to the base station.
+func (u *UE) Iface() *Iface { return u.ifc }
+
+// Addr returns the UE's own address.
+func (u *UE) Addr() ipv6.Addr { return u.ifc.addr }
+
+// Handle implements Node.
+func (u *UE) Handle(in *Iface, pkt []byte) []Emission {
+	hdr, _, err := wire.ParseIPv6(pkt)
+	if err != nil {
+		return nil
+	}
+	if hdr.Dst == u.ifc.addr {
+		replies := u.stack.HandleLocal(u.ifc.addr, pkt)
+		out := make([]Emission, 0, len(replies))
+		for _, r := range replies {
+			out = append(out, Emission{Out: in, Pkt: r})
+		}
+		return out
+	}
+	if !decrementHopLimit(pkt) {
+		if !u.gate.allow() {
+			return nil
+		}
+		if e := icmpError(u.ifc.addr, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit); e != nil {
+			return []Emission{{Out: in, Pkt: e}}
+		}
+		u.gate.generated--
+		return nil
+	}
+	if u.prefix.Contains(hdr.Dst) {
+		// Nonexistent address within the UE prefix.
+		if !u.gate.allow() {
+			return nil
+		}
+		if e := icmpError(u.ifc.addr, pkt, wire.ICMPDestUnreach, wire.UnreachAddress); e != nil {
+			return []Emission{{Out: in, Pkt: e}}
+		}
+		u.gate.generated--
+		return nil
+	}
+	// A UE is not a transit router: anything else is dropped.
+	return nil
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"sync"
+
+	"repro/internal/ipv6"
+)
+
+// Edge is the attachment point for external software — the scanner's
+// vantage. Every packet delivered to it is buffered for the driver to
+// drain. It never forwards or replies.
+type Edge struct {
+	name string
+	ifc  *Iface
+
+	mu  sync.Mutex
+	buf [][]byte
+	// notify, when non-nil, is closed-and-replaced on each arrival so a
+	// blocked reader can wake without polling.
+	notify chan struct{}
+}
+
+var _ Node = (*Edge)(nil)
+
+// NewEdge creates an edge node whose interface has the given address.
+func NewEdge(name string, addr ipv6.Addr) *Edge {
+	e := &Edge{name: name, notify: make(chan struct{})}
+	e.ifc = NewIface(e, addr, name+":if")
+	return e
+}
+
+// Name implements Node.
+func (e *Edge) Name() string { return e.name }
+
+// Iface returns the edge interface to connect into the topology.
+func (e *Edge) Iface() *Iface { return e.ifc }
+
+// Addr returns the edge's address (the scanner's source address).
+func (e *Edge) Addr() ipv6.Addr { return e.ifc.addr }
+
+// Handle implements Node: buffer everything.
+func (e *Edge) Handle(_ *Iface, pkt []byte) []Emission {
+	e.mu.Lock()
+	e.buf = append(e.buf, pkt)
+	close(e.notify)
+	e.notify = make(chan struct{})
+	e.mu.Unlock()
+	return nil
+}
+
+// Drain returns and clears all buffered packets.
+func (e *Edge) Drain() [][]byte {
+	e.mu.Lock()
+	out := e.buf
+	e.buf = nil
+	e.mu.Unlock()
+	return out
+}
+
+// Pending returns the number of buffered packets.
+func (e *Edge) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.buf)
+}
+
+// Wait returns a channel that is closed when a packet arrives after the
+// call. Use together with Drain for blocking reads.
+func (e *Edge) Wait() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.notify
+}

@@ -1,0 +1,208 @@
+// Package netsim is the packet-level IPv6 network simulator the scanner
+// runs against: the substitute for the real Internet vantage the paper
+// used. Nodes (routers, customer-premises equipment, user equipment)
+// exchange raw IPv6 packets over point-to-point links; forwarding,
+// hop-limit handling and ICMPv6 error generation follow RFC 8200 and
+// RFC 4443, including the flawed CPE routing implementations the paper
+// measures (Section VI).
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/ipv6"
+)
+
+// Emission is a packet a node wants to transmit out of one of its
+// interfaces.
+type Emission struct {
+	Out *Iface
+	Pkt []byte
+}
+
+// Node is anything attached to the network.
+type Node interface {
+	// Name identifies the node in diagnostics.
+	Name() string
+	// Handle processes a packet that arrived on in and returns the
+	// packets to transmit. Implementations may retain or mutate pkt.
+	Handle(in *Iface, pkt []byte) []Emission
+}
+
+// Iface is one end of a point-to-point link, bound to a node and holding
+// the interface's unicast address.
+type Iface struct {
+	node Node
+	addr ipv6.Addr
+	name string
+	link *Link
+	end  int // which end of link this iface is (0 or 1)
+}
+
+// NewIface creates an unbound interface for node with the given unicast
+// address. Bind it with Engine.Connect.
+func NewIface(node Node, addr ipv6.Addr, name string) *Iface {
+	return &Iface{node: node, addr: addr, name: name}
+}
+
+// Node returns the owning node.
+func (i *Iface) Node() Node { return i.node }
+
+// Addr returns the interface's unicast address.
+func (i *Iface) Addr() ipv6.Addr { return i.addr }
+
+// Name returns the interface label.
+func (i *Iface) Name() string { return i.name }
+
+// Peer returns the interface at the other end of the link, or nil if the
+// interface is not connected.
+func (i *Iface) Peer() *Iface {
+	if i.link == nil {
+		return nil
+	}
+	return i.link.ends[1-i.end]
+}
+
+// Link is a point-to-point link between two interfaces.
+type Link struct {
+	ends  [2]*Iface
+	loss  float64
+	stats [2]LinkStats
+}
+
+// LinkStats counts traffic sent from one end of a link.
+type LinkStats struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// StatsFrom returns the counters for traffic transmitted by iface into
+// the link. It panics if iface is not an endpoint.
+func (l *Link) StatsFrom(iface *Iface) LinkStats {
+	switch iface {
+	case l.ends[0]:
+		return l.stats[0]
+	case l.ends[1]:
+		return l.stats[1]
+	}
+	panic("netsim: StatsFrom on foreign interface")
+}
+
+// Ends returns the two endpoint interfaces of the link.
+func (l *Link) Ends() [2]*Iface { return l.ends }
+
+// TotalPackets returns the packets carried in both directions.
+func (l *Link) TotalPackets() uint64 {
+	return l.stats[0].Packets + l.stats[1].Packets
+}
+
+// delivery is a queued packet arrival.
+type delivery struct {
+	to  *Iface
+	pkt []byte
+}
+
+// Engine owns the simulation: links, the event queue, and the virtual
+// pump. All methods are safe for concurrent use; the engine serializes
+// internally, so a run is deterministic for a given seed and injection
+// order.
+type Engine struct {
+	mu     sync.Mutex
+	queue  []delivery
+	links  []*Link
+	rng    *rand.Rand
+	steps  uint64
+	budget int
+}
+
+// DefaultEventBudget bounds a single Run; loop-attack packets terminate
+// via hop limit well before this.
+const DefaultEventBudget = 1 << 22
+
+// New creates an engine with a deterministic random source for loss
+// decisions.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), budget: DefaultEventBudget}
+}
+
+// Connect joins two interfaces with a link that drops each packet with
+// probability loss. It panics if either interface is already connected.
+func (e *Engine) Connect(a, b *Iface, loss float64) *Link {
+	if a.link != nil || b.link != nil {
+		panic(fmt.Sprintf("netsim: interface %s or %s already connected", a.name, b.name))
+	}
+	l := &Link{ends: [2]*Iface{a, b}, loss: loss}
+	a.link, a.end = l, 0
+	b.link, b.end = l, 1
+	e.mu.Lock()
+	e.links = append(e.links, l)
+	e.mu.Unlock()
+	return l
+}
+
+// Inject copies pkt and delivers it as if transmitted by from into its
+// link, then pumps the network to quiescence. It returns the number of
+// events processed.
+func (e *Engine) Inject(from *Iface, pkt []byte) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := append([]byte(nil), pkt...)
+	e.transmitLocked(from, cp)
+	return e.runLocked()
+}
+
+// InjectBatch is Inject for multiple packets from the same interface,
+// pumping once at the end.
+func (e *Engine) InjectBatch(from *Iface, pkts [][]byte) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, pkt := range pkts {
+		cp := append([]byte(nil), pkt...)
+		e.transmitLocked(from, cp)
+	}
+	return e.runLocked()
+}
+
+// Steps returns the total events processed since creation.
+func (e *Engine) Steps() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.steps
+}
+
+// transmitLocked pushes pkt from iface onto its link (applying loss) and
+// enqueues the arrival at the peer.
+func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
+	l := from.link
+	if l == nil {
+		return // unconnected interface: packet vanishes
+	}
+	st := &l.stats[from.end]
+	st.Packets++
+	st.Bytes += uint64(len(pkt))
+	if l.loss > 0 && e.rng.Float64() < l.loss {
+		return
+	}
+	e.queue = append(e.queue, delivery{to: l.ends[1-from.end], pkt: pkt})
+}
+
+// runLocked pumps queued deliveries until the network is quiescent or the
+// event budget is exhausted, returning events processed.
+func (e *Engine) runLocked() int {
+	n := 0
+	for len(e.queue) > 0 && n < e.budget {
+		d := e.queue[0]
+		e.queue = e.queue[1:]
+		n++
+		e.steps++
+		for _, em := range d.to.node.Handle(d.to, d.pkt) {
+			e.transmitLocked(em.Out, em.Pkt)
+		}
+	}
+	if len(e.queue) > 0 {
+		e.queue = e.queue[:0] // budget exceeded: drop the remainder
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// ISPRouter is the provider-edge router of one ISP block. Instead of a
+// general LPM table it holds per-length delegation tables (an exact-match
+// table per delegated prefix length), which is both how provider BNGs
+// are provisioned and memory-proportional to the number of subscribers.
+type ISPRouter struct {
+	name     string
+	block    ipv6.Prefix
+	upstream *Iface
+	ifs      []*Iface
+	addrs    map[ipv6.Addr]struct{}
+	delegs   []*delegTable
+	gate     errorGate
+
+	// CountForwarded tallies transit packets for amplification
+	// measurements.
+	CountForwarded uint64
+}
+
+var _ Node = (*ISPRouter)(nil)
+
+// delegTable maps sub-prefix indices (at one prefix length within the
+// block) to subscriber-facing interfaces.
+type delegTable struct {
+	subLen  int
+	entries map[uint64]*Iface
+}
+
+// NewISPRouter creates the edge router for the given ISP block.
+func NewISPRouter(name string, block ipv6.Prefix, policy ErrorPolicy) *ISPRouter {
+	return &ISPRouter{
+		name:  name,
+		block: block,
+		addrs: make(map[ipv6.Addr]struct{}),
+		gate:  errorGate{policy: policy},
+	}
+}
+
+// Name implements Node.
+func (r *ISPRouter) Name() string { return r.name }
+
+// Block returns the ISP's address block.
+func (r *ISPRouter) Block() ipv6.Prefix { return r.block }
+
+// AddIface registers a new interface with the given address.
+func (r *ISPRouter) AddIface(addr ipv6.Addr, name string) *Iface {
+	ifc := NewIface(r, addr, name)
+	r.ifs = append(r.ifs, ifc)
+	r.addrs[addr] = struct{}{}
+	return ifc
+}
+
+// SetUpstream nominates the interface toward the Internet core; traffic
+// not covered by the block or delegations leaves through it.
+func (r *ISPRouter) SetUpstream(ifc *Iface) { r.upstream = ifc }
+
+// Delegate routes the sub-prefix p of the block to the subscriber behind
+// out. All delegations of the same length share one exact-match table.
+func (r *ISPRouter) Delegate(p ipv6.Prefix, out *Iface) error {
+	if !r.block.Overlaps(p) || p.Bits() <= r.block.Bits() {
+		return fmt.Errorf("netsim: delegation %s outside block %s", p, r.block)
+	}
+	idx, err := r.block.SubIndex(p.Addr(), p.Bits())
+	if err != nil {
+		return err
+	}
+	if idx.Hi != 0 {
+		return fmt.Errorf("netsim: delegation index for %s exceeds 64 bits", p)
+	}
+	for _, t := range r.delegs {
+		if t.subLen == p.Bits() {
+			t.entries[idx.Lo] = out
+			return nil
+		}
+	}
+	t := &delegTable{subLen: p.Bits(), entries: map[uint64]*Iface{idx.Lo: out}}
+	// Keep tables sorted longest-first so more-specific delegations win.
+	pos := 0
+	for pos < len(r.delegs) && r.delegs[pos].subLen > t.subLen {
+		pos++
+	}
+	r.delegs = append(r.delegs, nil)
+	copy(r.delegs[pos+1:], r.delegs[pos:])
+	r.delegs[pos] = t
+	return nil
+}
+
+// lookup resolves dst against the delegation tables.
+func (r *ISPRouter) lookup(dst ipv6.Addr) (*Iface, bool) {
+	for _, t := range r.delegs {
+		idx, err := r.block.SubIndex(dst, t.subLen)
+		if err != nil {
+			return nil, false // not in block at all
+		}
+		if idx.Hi != 0 {
+			continue
+		}
+		if out, ok := t.entries[idx.Lo]; ok {
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// isLocal reports whether dst is one of the router's interface addresses.
+func (r *ISPRouter) isLocal(dst ipv6.Addr) bool {
+	_, ok := r.addrs[dst]
+	return ok
+}
+
+// Handle implements Node: RFC 8200 forwarding with RFC 4443 errors. A
+// destination inside the block but matching no delegation draws an
+// address-unreachable error — exactly the mechanism the paper's
+// discovery strategy exploits at the periphery, here occurring one hop
+// earlier for unassigned space.
+func (r *ISPRouter) Handle(in *Iface, pkt []byte) []Emission {
+	hdr, _, err := wire.ParseIPv6(pkt)
+	if err != nil {
+		return nil
+	}
+	if r.isLocal(hdr.Dst) {
+		return respondLocalEcho(in, hdr.Dst, pkt)
+	}
+	if !decrementHopLimit(pkt) {
+		return r.emitError(in, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit)
+	}
+	if out, ok := r.lookup(hdr.Dst); ok {
+		r.CountForwarded++
+		return []Emission{{Out: out, Pkt: pkt}}
+	}
+	if r.block.Contains(hdr.Dst) {
+		// Unassigned space within the block.
+		return r.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
+	}
+	if r.upstream != nil && in != r.upstream {
+		r.CountForwarded++
+		return []Emission{{Out: r.upstream, Pkt: pkt}}
+	}
+	return r.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
+}
+
+func (r *ISPRouter) emitError(in *Iface, invoking []byte, typ, code uint8) []Emission {
+	if !r.gate.allow() {
+		return nil
+	}
+	out := icmpError(in.addr, invoking, typ, code)
+	if out == nil {
+		r.gate.generated--
+		return nil
+	}
+	return []Emission{{Out: in, Pkt: out}}
+}
+
+// DelegationCount returns the number of installed delegations (for
+// diagnostics and tests).
+func (r *ISPRouter) DelegationCount() int {
+	n := 0
+	for _, t := range r.delegs {
+		n += len(t.entries)
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// The IPv4 side of the simulator exists for the paper's Section II
+// contrast: the same home network behind a NAT'd IPv4 CPE versus
+// globally addressed IPv6. The IPv4 nodes speak real IPv4/ICMPv4 wire
+// format over the same Engine.
+
+// V4Router forwards IPv4 packets by longest-prefix match over
+// (address, masklen) pairs and answers pings to its own addresses.
+type V4Router struct {
+	name   string
+	ifs    []*Iface
+	local  map[wire.IPv4Addr]bool
+	routes []v4Route
+}
+
+type v4Route struct {
+	addr wire.IPv4Addr
+	bits int
+	out  *Iface
+}
+
+var _ Node = (*V4Router)(nil)
+
+// NewV4Router creates an IPv4 router.
+func NewV4Router(name string) *V4Router {
+	return &V4Router{name: name, local: make(map[wire.IPv4Addr]bool)}
+}
+
+// Name implements Node.
+func (r *V4Router) Name() string { return r.name }
+
+// AddIface4 registers an interface. IPv4 nodes reuse Iface with a zero
+// IPv6 address; the v4 address lives in the router's own table.
+func (r *V4Router) AddIface4(addr wire.IPv4Addr, name string) *Iface {
+	ifc := NewIface(r, addrOfV4(addr), name)
+	r.ifs = append(r.ifs, ifc)
+	r.local[addr] = true
+	return ifc
+}
+
+// AddRoute4 installs a route.
+func (r *V4Router) AddRoute4(addr wire.IPv4Addr, bits int, out *Iface) {
+	r.routes = append(r.routes, v4Route{addr: maskV4(addr, bits), bits: bits, out: out})
+}
+
+func maskV4(a wire.IPv4Addr, bits int) wire.IPv4Addr {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 32 {
+		return a
+	}
+	return a & wire.IPv4Addr(^uint32(0)<<(32-bits))
+}
+
+func (r *V4Router) lookup(dst wire.IPv4Addr) (*Iface, bool) {
+	best := -1
+	var out *Iface
+	for _, rt := range r.routes {
+		if maskV4(dst, rt.bits) == rt.addr && rt.bits > best {
+			best, out = rt.bits, rt.out
+		}
+	}
+	return out, best >= 0
+}
+
+// Handle implements Node: TTL processing, forwarding, ICMPv4 errors.
+func (r *V4Router) Handle(in *Iface, pkt []byte) []Emission {
+	h, _, err := wire.ParseIPv4(pkt)
+	if err != nil {
+		return nil
+	}
+	srcAddr := v4OfAddr(in.addr)
+	if r.local[h.Dst] {
+		return v4Echo(in, h.Dst, pkt)
+	}
+	if h.TTL <= 1 {
+		if isICMP4Error(pkt) {
+			return nil
+		}
+		e, err := wire.BuildICMP4Error(srcAddr, h.Src, wire.ICMP4TimeExceeded, 0, pkt)
+		if err != nil {
+			return nil
+		}
+		return []Emission{{Out: in, Pkt: e}}
+	}
+	decTTL(pkt)
+	if out, ok := r.lookup(h.Dst); ok {
+		return []Emission{{Out: out, Pkt: pkt}}
+	}
+	if isICMP4Error(pkt) {
+		return nil
+	}
+	e, err := wire.BuildICMP4Error(srcAddr, h.Src, wire.ICMP4DestUnreach, wire.Unreach4Net, pkt)
+	if err != nil {
+		return nil
+	}
+	return []Emission{{Out: in, Pkt: e}}
+}
+
+// NATGateway is the IPv4 home router of the Section II contrast: one
+// public address, private space behind it. Unsolicited inbound traffic
+// to anything but the public address's ICMP echo is dropped — the
+// "protection" NAT incidentally provides, which global IPv6 addressing
+// removes.
+type NATGateway struct {
+	name   string
+	wan    *Iface
+	public wire.IPv4Addr
+	// lanHosts are the private addresses inside (never reachable from
+	// the WAN side; they exist so tests can assert the asymmetry).
+	lanHosts map[wire.IPv4Addr]bool
+}
+
+var _ Node = (*NATGateway)(nil)
+
+// NewNATGateway creates the gateway with its single public address.
+func NewNATGateway(name string, public wire.IPv4Addr, lanHosts []wire.IPv4Addr) *NATGateway {
+	g := &NATGateway{name: name, public: public, lanHosts: make(map[wire.IPv4Addr]bool)}
+	for _, h := range lanHosts {
+		g.lanHosts[h] = true
+	}
+	g.wan = NewIface(g, addrOfV4(public), name+":wan")
+	return g
+}
+
+// Name implements Node.
+func (g *NATGateway) Name() string { return g.name }
+
+// WAN returns the interface toward the provider.
+func (g *NATGateway) WAN() *Iface { return g.wan }
+
+// Public returns the gateway's public address.
+func (g *NATGateway) Public() wire.IPv4Addr { return g.public }
+
+// Handle implements Node: answer pings to the public address; drop
+// everything else arriving unsolicited (no port mappings exist).
+func (g *NATGateway) Handle(in *Iface, pkt []byte) []Emission {
+	h, _, err := wire.ParseIPv4(pkt)
+	if err != nil {
+		return nil
+	}
+	if h.Dst != g.public {
+		// Private space is not routed to the gateway in the first
+		// place; anything else is silently dropped, exactly like a
+		// consumer NAT with no mappings.
+		return nil
+	}
+	return v4Echo(in, g.public, pkt)
+}
+
+// v4Echo answers an ICMPv4 echo request to self.
+func v4Echo(in *Iface, self wire.IPv4Addr, pkt []byte) []Emission {
+	s, err := wire.ParsePacket4(pkt)
+	if err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMP4EchoRequest {
+		return nil
+	}
+	reply, err := wire.BuildEchoReply4(self, s.IP.Src, 64, s.EchoID, s.EchoSeq, nil)
+	if err != nil {
+		return nil
+	}
+	return []Emission{{Out: in, Pkt: reply}}
+}
+
+// isICMP4Error reports whether pkt is an ICMPv4 error message.
+func isICMP4Error(pkt []byte) bool {
+	if len(pkt) < wire.IPv4HeaderLen+1 || pkt[9] != 1 {
+		return false
+	}
+	t := pkt[wire.IPv4HeaderLen]
+	return t == wire.ICMP4DestUnreach || t == wire.ICMP4TimeExceeded
+}
+
+// decTTL decrements the TTL and fixes the header checksum incrementally
+// (RFC 1624).
+func decTTL(pkt []byte) {
+	pkt[8]--
+	// Recompute the header checksum from scratch: simplest and safe.
+	pkt[10], pkt[11] = 0, 0
+	ihl := int(pkt[0]&0xf) * 4
+	c := headerChecksum(pkt[:ihl])
+	pkt[10], pkt[11] = byte(c>>8), byte(c)
+}
+
+func headerChecksum(b []byte) uint16 {
+	var sum uint64
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint64(b[i])<<8 | uint64(b[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// addrOfV4 embeds a v4 address in the Iface's v6 slot as a v4-mapped
+// address (::ffff:a.b.c.d) purely for diagnostics.
+func addrOfV4(a wire.IPv4Addr) ipv6.Addr { return ipv6.V4Mapped(uint32(a)) }
+
+// v4OfAddr recovers the v4 address from a v4-mapped interface address.
+func v4OfAddr(a ipv6.Addr) wire.IPv4Addr {
+	v4, _ := a.AsV4()
+	return wire.IPv4Addr(v4)
+}

@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"repro/internal/ipv6"
+	"repro/internal/lpm"
+	"repro/internal/wire"
+)
+
+// isICMPError reports whether pkt is an ICMPv6 error message (type <
+// 128); RFC 4443 section 2.4(e) forbids generating errors in response to
+// them, which is what prevents error storms in loop scenarios.
+func isICMPError(pkt []byte) bool {
+	if len(pkt) < wire.HeaderLen+1 {
+		return false
+	}
+	return pkt[6] == wire.ProtoICMPv6 && pkt[wire.HeaderLen] < 128
+}
+
+// decrementHopLimit applies RFC 8200 section 3 hop-limit processing in
+// place. It returns false if the packet must be discarded (hop limit
+// exhausted); the caller is then responsible for the Time Exceeded error.
+func decrementHopLimit(pkt []byte) bool {
+	if pkt[7] <= 1 {
+		return false
+	}
+	pkt[7]--
+	return true
+}
+
+// icmpError builds an ICMPv6 error packet from the given source address
+// in response to the invoking packet, or nil if policy forbids one.
+func icmpError(src ipv6.Addr, invoking []byte, typ, code uint8) []byte {
+	if isICMPError(invoking) {
+		return nil
+	}
+	hdr, _, err := wire.ParseIPv6(invoking)
+	if err != nil {
+		return nil
+	}
+	var (
+		out []byte
+	)
+	switch typ {
+	case wire.ICMPDestUnreach:
+		out, err = wire.BuildDestUnreach(src, hdr.Src, wire.MaxHopLimit, code, invoking)
+	case wire.ICMPTimeExceeded:
+		out, err = wire.BuildTimeExceeded(src, hdr.Src, wire.MaxHopLimit, invoking)
+	default:
+		return nil
+	}
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ErrorPolicy controls a node's ICMPv6 error generation, modelling the
+// ISP filtering and rate-limiting policies the paper's Section IV-C
+// discusses as discovery limitations.
+type ErrorPolicy struct {
+	// Suppress drops all locally generated ICMPv6 errors (an ISP that
+	// filters outbound unreachables).
+	Suppress bool
+	// Budget, when positive, caps the number of errors the node will
+	// generate over its lifetime (a crude rate limiter; RFC 4443 2.4(f)).
+	Budget int
+}
+
+// errorGate tracks policy state for one node.
+type errorGate struct {
+	policy    ErrorPolicy
+	generated int
+}
+
+// allow reports whether one more error may be generated, consuming
+// budget.
+func (g *errorGate) allow() bool {
+	if g.policy.Suppress {
+		return false
+	}
+	if g.policy.Budget > 0 && g.generated >= g.policy.Budget {
+		return false
+	}
+	g.generated++
+	return true
+}
+
+// RouteKind discriminates routing-table entries.
+type RouteKind int
+
+// Route entry kinds.
+const (
+	RouteForward RouteKind = iota + 1 // send out Iface
+	RouteReject                       // respond destination unreachable (no route)
+)
+
+// Route is one entry in a Router's table.
+type Route struct {
+	Kind RouteKind
+	Out  *Iface // for RouteForward
+}
+
+// Router is a generic LPM-table router: the model for Internet core and
+// transit routers. It answers echo requests addressed to its interfaces
+// and generates RFC 4443 errors.
+type Router struct {
+	name  string
+	table *lpm.Table[Route]
+	ifs   []*Iface
+	addrs map[ipv6.Addr]struct{}
+	gate  errorGate
+
+	// CountForwarded tallies transit packets, used by the loop-attack
+	// experiments to measure amplification.
+	CountForwarded uint64
+}
+
+var _ Node = (*Router)(nil)
+
+// NewRouter creates a router with an empty routing table.
+func NewRouter(name string, policy ErrorPolicy) *Router {
+	return &Router{
+		name:  name,
+		table: lpm.New[Route](),
+		addrs: make(map[ipv6.Addr]struct{}),
+		gate:  errorGate{policy: policy},
+	}
+}
+
+// Name implements Node.
+func (r *Router) Name() string { return r.name }
+
+// AddIface registers (and returns) a new interface with the given
+// address. Connect it via Engine.Connect.
+func (r *Router) AddIface(addr ipv6.Addr, name string) *Iface {
+	ifc := NewIface(r, addr, name)
+	r.ifs = append(r.ifs, ifc)
+	r.addrs[addr] = struct{}{}
+	return ifc
+}
+
+// AddRoute installs a forwarding route.
+func (r *Router) AddRoute(p ipv6.Prefix, out *Iface) {
+	r.table.Insert(p, Route{Kind: RouteForward, Out: out})
+}
+
+// AddRejectRoute installs an unreachable route.
+func (r *Router) AddRejectRoute(p ipv6.Prefix) {
+	r.table.Insert(p, Route{Kind: RouteReject})
+}
+
+// isLocal reports whether dst is one of the router's interface addresses.
+func (r *Router) isLocal(dst ipv6.Addr) bool {
+	_, ok := r.addrs[dst]
+	return ok
+}
+
+// Handle implements Node.
+func (r *Router) Handle(in *Iface, pkt []byte) []Emission {
+	hdr, _, err := wire.ParseIPv6(pkt)
+	if err != nil {
+		return nil
+	}
+	if r.isLocal(hdr.Dst) {
+		return respondLocalEcho(in, hdr.Dst, pkt)
+	}
+	if !decrementHopLimit(pkt) {
+		return r.emitError(in, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit)
+	}
+	route, ok := r.table.Lookup(hdr.Dst)
+	if !ok || route.Kind == RouteReject {
+		return r.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
+	}
+	r.CountForwarded++
+	return []Emission{{Out: route.Out, Pkt: pkt}}
+}
+
+// emitError generates an ICMPv6 error from the incoming interface's
+// address, subject to the node's error policy.
+func (r *Router) emitError(in *Iface, invoking []byte, typ, code uint8) []Emission {
+	if !r.gate.allow() {
+		return nil
+	}
+	out := icmpError(in.addr, invoking, typ, code)
+	if out == nil {
+		r.gate.generated-- // nothing was sent; refund the budget
+		return nil
+	}
+	return []Emission{{Out: in, Pkt: out}}
+}
+
+// respondLocalEcho answers an ICMPv6 Echo Request addressed to self with
+// an Echo Reply out the arrival interface. Non-echo local traffic is
+// silently dropped (core routers in this simulator expose no services).
+func respondLocalEcho(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
+	s, err := wire.ParsePacket(pkt)
+	if err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
+		return nil
+	}
+	e, err := wire.ParseEcho(s.ICMP.Body)
+	if err != nil {
+		return nil
+	}
+	reply, err := wire.BuildEchoReply(self, s.IP.Src, 64, e.ID, e.Seq, e.Data)
+	if err != nil {
+		return nil
+	}
+	return []Emission{{Out: in, Pkt: reply}}
+}

@@ -1,0 +1,97 @@
+// Package ntpwire implements the NTPv4 packet format (RFC 5905) the NTP
+// probe and the simulated periphery NTP service exchange, including the
+// mode-3 client query / mode-4 server reply pair the paper's Table VI
+// specifies ("version query" -> "version reply").
+package ntpwire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet modes.
+const (
+	ModeClient = 3
+	ModeServer = 4
+)
+
+// PacketLen is the length of a basic NTP packet without extensions.
+const PacketLen = 48
+
+// Packet is an NTP packet (no extension fields, no MAC).
+type Packet struct {
+	LeapIndicator uint8 // 2 bits
+	Version       uint8 // 3 bits
+	Mode          uint8 // 3 bits
+	Stratum       uint8
+	Poll          int8
+	Precision     int8
+	RootDelay     uint32
+	RootDisp      uint32
+	ReferenceID   uint32
+	RefTimestamp  uint64
+	OrigTimestamp uint64
+	RecvTimestamp uint64
+	XmitTimestamp uint64
+}
+
+// Marshal serializes the packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	if p.LeapIndicator > 3 || p.Version > 7 || p.Mode > 7 {
+		return nil, fmt.Errorf("ntpwire: field out of range (li=%d ver=%d mode=%d)", p.LeapIndicator, p.Version, p.Mode)
+	}
+	b := make([]byte, PacketLen)
+	b[0] = p.LeapIndicator<<6 | p.Version<<3 | p.Mode
+	b[1] = p.Stratum
+	b[2] = byte(p.Poll)
+	b[3] = byte(p.Precision)
+	binary.BigEndian.PutUint32(b[4:8], p.RootDelay)
+	binary.BigEndian.PutUint32(b[8:12], p.RootDisp)
+	binary.BigEndian.PutUint32(b[12:16], p.ReferenceID)
+	binary.BigEndian.PutUint64(b[16:24], p.RefTimestamp)
+	binary.BigEndian.PutUint64(b[24:32], p.OrigTimestamp)
+	binary.BigEndian.PutUint64(b[32:40], p.RecvTimestamp)
+	binary.BigEndian.PutUint64(b[40:48], p.XmitTimestamp)
+	return b, nil
+}
+
+// Parse decodes an NTP packet.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < PacketLen {
+		return nil, fmt.Errorf("ntpwire: packet too short: %d bytes", len(b))
+	}
+	return &Packet{
+		LeapIndicator: b[0] >> 6,
+		Version:       b[0] >> 3 & 7,
+		Mode:          b[0] & 7,
+		Stratum:       b[1],
+		Poll:          int8(b[2]),
+		Precision:     int8(b[3]),
+		RootDelay:     binary.BigEndian.Uint32(b[4:8]),
+		RootDisp:      binary.BigEndian.Uint32(b[8:12]),
+		ReferenceID:   binary.BigEndian.Uint32(b[12:16]),
+		RefTimestamp:  binary.BigEndian.Uint64(b[16:24]),
+		OrigTimestamp: binary.BigEndian.Uint64(b[24:32]),
+		RecvTimestamp: binary.BigEndian.Uint64(b[32:40]),
+		XmitTimestamp: binary.BigEndian.Uint64(b[40:48]),
+	}, nil
+}
+
+// NewClientQuery builds the version-4 mode-3 query the scanner sends.
+func NewClientQuery(xmit uint64) *Packet {
+	return &Packet{Version: 4, Mode: ModeClient, XmitTimestamp: xmit}
+}
+
+// NewServerReply builds a stratum-2 mode-4 reply echoing the client's
+// transmit timestamp into the origin field, as RFC 5905 requires.
+func NewServerReply(query *Packet, recv, xmit uint64) *Packet {
+	return &Packet{
+		Version:       query.Version,
+		Mode:          ModeServer,
+		Stratum:       2,
+		ReferenceID:   0x7f7f0101,
+		OrigTimestamp: query.XmitTimestamp,
+		RecvTimestamp: recv,
+		XmitTimestamp: xmit,
+	}
+}

@@ -1,0 +1,64 @@
+package ntpwire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(li, ver, mode, stratum uint8, poll, prec int8, rd, rdisp, rid uint32, ts [4]uint64) bool {
+		p := &Packet{
+			LeapIndicator: li & 3, Version: ver & 7, Mode: mode & 7,
+			Stratum: stratum, Poll: poll, Precision: prec,
+			RootDelay: rd, RootDisp: rdisp, ReferenceID: rid,
+			RefTimestamp: ts[0], OrigTimestamp: ts[1], RecvTimestamp: ts[2], XmitTimestamp: ts[3],
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(b)
+		return err == nil && *got == *p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalRejectsOutOfRange(t *testing.T) {
+	for _, p := range []*Packet{
+		{LeapIndicator: 4},
+		{Version: 8},
+		{Mode: 8},
+	} {
+		if _, err := p.Marshal(); err == nil {
+			t.Errorf("packet %+v accepted", p)
+		}
+	}
+}
+
+func TestParseRejectsShort(t *testing.T) {
+	if _, err := Parse(make([]byte, 47)); err == nil {
+		t.Error("short packet accepted")
+	}
+}
+
+func TestClientServerExchange(t *testing.T) {
+	q := NewClientQuery(0xAABBCCDD11223344)
+	if q.Mode != ModeClient || q.Version != 4 {
+		t.Fatalf("query = %+v", q)
+	}
+	r := NewServerReply(q, 100, 200)
+	if r.Mode != ModeServer {
+		t.Errorf("reply mode = %d", r.Mode)
+	}
+	if r.OrigTimestamp != q.XmitTimestamp {
+		t.Errorf("origin timestamp not echoed: %x", r.OrigTimestamp)
+	}
+	if r.Stratum == 0 || r.Stratum > 15 {
+		t.Errorf("stratum = %d", r.Stratum)
+	}
+	if r.Version != q.Version {
+		t.Errorf("version not mirrored: %d", r.Version)
+	}
+}

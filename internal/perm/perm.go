@@ -1,0 +1,264 @@
+// Package perm implements the XMap address-generation module: a random
+// permutation of an arbitrary-size scan space realized as iteration over
+// the multiplicative group of integers modulo a prime, the same
+// construction ZMap uses for the 32-bit IPv4 space and the paper's XMap
+// generalizes to arbitrary bit windows at any position of the 128-bit
+// IPv6 space (Section IV-B).
+//
+// The paper links against GMP for the big-integer work; here the per-scan
+// setup (prime search, generator selection) uses math/big and the hot
+// iteration path uses the repository's fixed-size uint128 arithmetic.
+//
+// For a space of size N, the smallest safe prime p >= N+1 is chosen.
+// The group Z_p* is cyclic with order p-1 = 2q; an element g is a
+// generator iff g^2 != 1 and g^q != 1 (mod p). Iterating x <- x*g (mod p)
+// visits every element of [1, p-1] exactly once; elements x with
+// x-1 >= N are skipped, leaving a uniform-feeling permutation of [0, N).
+package perm
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/uint128"
+)
+
+// Cycle is a multiplicative-group permutation of the space [0, N).
+// A Cycle is immutable after creation and safe for concurrent use; each
+// goroutine iterates through its own Iterator.
+type Cycle struct {
+	size  uint128.Uint128 // N
+	prime uint128.Uint128 // smallest safe prime >= N+1
+	q     uint128.Uint128 // (prime-1)/2
+	gen   uint128.Uint128 // generator of Z_p*
+	start uint128.Uint128 // random first element in [1, p-1]
+}
+
+// safePrimeCache memoizes the (expensive) safe-prime search per space
+// size. Guarded by its own mutex; the cache only grows.
+var safePrimeCache = struct {
+	sync.Mutex
+	m map[uint128.Uint128]uint128.Uint128
+}{m: make(map[uint128.Uint128]uint128.Uint128)}
+
+// NewCycle creates a permutation of [0, size) seeded deterministically
+// from seed. size must be at least 2 and at most 2^127.
+func NewCycle(size uint128.Uint128, seed []byte) (*Cycle, error) {
+	if size.Cmp(uint128.From64(2)) < 0 {
+		return nil, fmt.Errorf("perm: space size %s too small", size)
+	}
+	if size.Bit(127) == 1 {
+		return nil, fmt.Errorf("perm: space size %s exceeds 2^127", size)
+	}
+	p, err := safePrimeAtLeast(size.Add64(1))
+	if err != nil {
+		return nil, err
+	}
+	q, _ := p.Sub64(1).Div64(2)
+
+	c := &Cycle{size: size, prime: p, q: q}
+	c.gen = c.findGenerator(seed)
+	c.start = c.element(seed, "start")
+	return c, nil
+}
+
+// Size returns the size of the permuted space.
+func (c *Cycle) Size() uint128.Uint128 { return c.size }
+
+// Prime returns the group modulus (exposed for tests and diagnostics).
+func (c *Cycle) Prime() uint128.Uint128 { return c.prime }
+
+// Generator returns the group generator (exposed for tests).
+func (c *Cycle) Generator() uint128.Uint128 { return c.gen }
+
+// element derives a deterministic group element in [1, p-1] from the
+// seed and a label, via HMAC-SHA256 rejection sampling.
+func (c *Cycle) element(seed []byte, label string) uint128.Uint128 {
+	pm1 := c.prime.Sub64(1)
+	for ctr := uint64(0); ; ctr++ {
+		mac := hmac.New(sha256.New, seed)
+		mac.Write([]byte(label))
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], ctr)
+		mac.Write(b[:])
+		sum := mac.Sum(nil)
+		v := uint128.FromBytes(sum[:16])
+		// Map into [1, p-1] with negligible bias for our use.
+		v = v.Mod(pm1).Add64(1)
+		if !v.IsZero() {
+			return v
+		}
+	}
+}
+
+// findGenerator derives a deterministic generator of Z_p* from the seed.
+func (c *Cycle) findGenerator(seed []byte) uint128.Uint128 {
+	for ctr := 0; ; ctr++ {
+		g := c.element(seed, fmt.Sprintf("gen-%d", ctr))
+		if g.Cmp(uint128.One) == 0 {
+			continue
+		}
+		// g is a generator iff g^2 != 1 and g^q != 1 (order divides 2q).
+		if g.MulMod(g, c.prime).Cmp(uint128.One) == 0 {
+			continue
+		}
+		if g.ExpMod(c.q, c.prime).Cmp(uint128.One) == 0 {
+			continue
+		}
+		return g
+	}
+}
+
+// Iterator walks one shard of the permutation. Not safe for concurrent
+// use; create one per goroutine via Shard or Iterate.
+type Iterator struct {
+	c         *Cycle
+	cur       uint128.Uint128 // current group element
+	step      uint128.Uint128 // g^nshards
+	remaining uint128.Uint128 // group elements left to visit in this shard
+	first     bool
+}
+
+// Iterate returns an iterator over the whole permutation.
+func (c *Cycle) Iterate() *Iterator { return c.Shard(0, 1) }
+
+// Shard returns an iterator over shard i of n: the elements at positions
+// i, i+n, i+2n, ... of the full group walk. The n shards partition the
+// space exactly. Panics if i >= n or n <= 0.
+func (c *Cycle) Shard(i, n int) *Iterator {
+	if n <= 0 || i < 0 || i >= n {
+		panic(fmt.Sprintf("perm: invalid shard %d of %d", i, n))
+	}
+	order := c.prime.Sub64(1) // group order
+	if order.Hi == 0 && uint64(i) >= order.Lo {
+		// More shards than group elements; this shard is empty.
+		return &Iterator{c: c}
+	}
+	// Elements in this shard: ceil((order - i) / n).
+	cnt, _ := order.Sub64(uint64(i)).Add64(uint64(n) - 1).Div64(uint64(n))
+	cur := c.start.MulMod(c.gen.ExpMod(uint128.From64(uint64(i)), c.prime), c.prime)
+	step := c.gen.ExpMod(uint128.From64(uint64(n)), c.prime)
+	return &Iterator{c: c, cur: cur, step: step, remaining: cnt, first: true}
+}
+
+// Next returns the next value of the permutation in [0, size), and false
+// when the shard is exhausted.
+func (it *Iterator) Next() (uint128.Uint128, bool) {
+	for {
+		if it.remaining.IsZero() {
+			return uint128.Zero, false
+		}
+		if it.first {
+			it.first = false
+		} else {
+			it.cur = it.cur.MulMod(it.step, it.c.prime)
+		}
+		it.remaining = it.remaining.Sub64(1)
+		v := it.cur.Sub64(1)
+		if v.Cmp(it.c.size) < 0 {
+			return v, true
+		}
+		// Out-of-range group element (v in [N, p-2]); skip, like ZMap.
+	}
+}
+
+// Sequential is the ablation baseline: iterate [0, size) in order.
+type Sequential struct {
+	next, size uint128.Uint128
+}
+
+// NewSequential returns an in-order iterator over [0, size).
+func NewSequential(size uint128.Uint128) *Sequential {
+	return &Sequential{size: size}
+}
+
+// Next returns the next value, and false when exhausted.
+func (s *Sequential) Next() (uint128.Uint128, bool) {
+	if s.next.Cmp(s.size) >= 0 {
+		return uint128.Zero, false
+	}
+	v := s.next
+	s.next = s.next.Add64(1)
+	return v, true
+}
+
+// safePrimeAtLeast returns the smallest safe prime p >= min, memoized.
+func safePrimeAtLeast(min uint128.Uint128) (uint128.Uint128, error) {
+	safePrimeCache.Lock()
+	if p, ok := safePrimeCache.m[min]; ok {
+		safePrimeCache.Unlock()
+		return p, nil
+	}
+	safePrimeCache.Unlock()
+
+	p, err := searchSafePrime(min)
+	if err != nil {
+		return uint128.Zero, err
+	}
+
+	safePrimeCache.Lock()
+	safePrimeCache.m[min] = p
+	safePrimeCache.Unlock()
+	return p, nil
+}
+
+// smallSafePrimes covers moduli below the searchable range (p = 2q+1 with
+// q prime): 5, 7, 11, 23, 47, 59, 83, 107, ...
+var smallSafePrimes = []uint64{5, 7, 11, 23, 47, 59, 83, 107, 167, 179, 227, 263, 347, 359, 383, 467, 479, 503, 563, 587, 719, 839, 863, 887, 983, 1019, 1187, 1283}
+
+func searchSafePrime(min uint128.Uint128) (uint128.Uint128, error) {
+	if min.Hi == 0 && min.Lo <= smallSafePrimes[len(smallSafePrimes)-1] {
+		for _, sp := range smallSafePrimes {
+			if sp >= min.Lo {
+				return uint128.From64(sp), nil
+			}
+		}
+	}
+	// Safe primes (other than 5) satisfy p ≡ 11 (mod 12): p ≡ 3 (mod 4)
+	// because q is odd, and p ≡ 2 (mod 3) because q ≢ 0,1 forces it.
+	// March candidates at that residue.
+	cand := min
+	rem := cand.Mod(uint128.From64(12)).Lo
+	if rem <= 11 {
+		cand = cand.Add64(11 - rem)
+	}
+	one := big.NewInt(1)
+	two := big.NewInt(2)
+	for i := 0; i < 1_000_000; i++ {
+		if quickComposite(cand) {
+			cand = cand.Add64(12)
+			continue
+		}
+		p := cand.Big()
+		q := new(big.Int).Sub(p, one)
+		q.Div(q, two)
+		if p.ProbablyPrime(20) && q.ProbablyPrime(20) {
+			return cand, nil
+		}
+		cand = cand.Add64(12)
+	}
+	return uint128.Zero, fmt.Errorf("perm: no safe prime found above %s", min)
+}
+
+// smallPrimes is a trial-division filter applied to both p and (p-1)/2.
+var smallPrimes = []uint64{5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113}
+
+func quickComposite(p uint128.Uint128) bool {
+	for _, sp := range smallPrimes {
+		_, r := p.Div64(sp)
+		if r == 0 && !(p.Hi == 0 && p.Lo == sp) {
+			return true
+		}
+		// (p-1)/2 divisible by sp also disqualifies the safe-prime shape.
+		q, _ := p.Sub64(1).Div64(2)
+		_, r = q.Div64(sp)
+		if r == 0 && !(q.Hi == 0 && q.Lo == sp) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package perm
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/internal/uint128"
+)
+
+func collect(t *testing.T, it *Iterator) []uint128.Uint128 {
+	t.Helper()
+	var out []uint128.Uint128
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestCycleIsPermutation(t *testing.T) {
+	for _, size := range []uint64{2, 3, 5, 16, 100, 256, 1000, 4096} {
+		t.Run(fmt.Sprintf("size=%d", size), func(t *testing.T) {
+			c, err := NewCycle(uint128.From64(size), []byte("seed"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := collect(t, c.Iterate())
+			if uint64(len(vals)) != size {
+				t.Fatalf("emitted %d values, want %d", len(vals), size)
+			}
+			seen := make(map[uint128.Uint128]bool, size)
+			for _, v := range vals {
+				if v.Cmp(uint128.From64(size)) >= 0 {
+					t.Fatalf("value %s out of range", v)
+				}
+				if seen[v] {
+					t.Fatalf("value %s emitted twice", v)
+				}
+				seen[v] = true
+			}
+		})
+	}
+}
+
+func TestCycleDeterministic(t *testing.T) {
+	mk := func(seed string) []uint128.Uint128 {
+		c, err := NewCycle(uint128.From64(500), []byte(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collect(t, c.Iterate())
+	}
+	a, b := mk("alpha"), mk("alpha")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	cvals := mk("beta")
+	same := 0
+	for i := range a {
+		if a[i] == cvals[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical order")
+	}
+}
+
+func TestCycleNotSequential(t *testing.T) {
+	c, err := NewCycle(uint128.From64(1000), []byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := collect(t, c.Iterate())
+	ascending := 0
+	for i := 1; i < len(vals); i++ {
+		if vals[i].Cmp(vals[i-1]) > 0 {
+			ascending++
+		}
+	}
+	// A random permutation ascends about half the time; sequential always.
+	if ascending > 700 {
+		t.Errorf("permutation looks sequential: %d/999 ascending steps", ascending)
+	}
+}
+
+func TestShardsPartitionSpace(t *testing.T) {
+	for _, nshards := range []int{1, 2, 3, 7, 8} {
+		const size = 1000
+		c, err := NewCycle(uint128.From64(size), []byte("shard-seed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint128.Uint128]int)
+		for i := 0; i < nshards; i++ {
+			for _, v := range collect(t, c.Shard(i, nshards)) {
+				seen[v]++
+			}
+		}
+		if len(seen) != size {
+			t.Fatalf("nshards=%d: %d unique values, want %d", nshards, len(seen), size)
+		}
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("nshards=%d: value %s seen %d times", nshards, v, n)
+			}
+		}
+	}
+}
+
+func TestShardMoreShardsThanElements(t *testing.T) {
+	c, err := NewCycle(uint128.From64(2), []byte("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 64; i++ {
+		total += len(collect(t, c.Shard(i, 64)))
+	}
+	if total != 2 {
+		t.Errorf("total emitted = %d, want 2", total)
+	}
+}
+
+func TestShardPanicsOnBadArgs(t *testing.T) {
+	c, err := NewCycle(uint128.From64(16), []byte("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{0, 0}, {-1, 2}, {2, 2}, {5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shard(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			c.Shard(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestNewCycleRejectsBadSizes(t *testing.T) {
+	if _, err := NewCycle(uint128.Zero, []byte("s")); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewCycle(uint128.One, []byte("s")); err == nil {
+		t.Error("size 1 accepted")
+	}
+	if _, err := NewCycle(uint128.One.Lsh(127), []byte("s")); err == nil {
+		t.Error("size 2^127 accepted")
+	}
+}
+
+func TestPrimeIsSafePrime(t *testing.T) {
+	for _, size := range []uint64{2, 100, 65536, 1 << 20} {
+		c, err := NewCycle(uint128.From64(size), []byte("s"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.Prime().Big()
+		if !p.ProbablyPrime(30) {
+			t.Errorf("size %d: modulus %s not prime", size, p)
+		}
+		q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+		if !q.ProbablyPrime(30) {
+			t.Errorf("size %d: (p-1)/2 = %s not prime", size, q)
+		}
+		if c.Prime().Cmp(uint128.From64(size)) <= 0 {
+			t.Errorf("size %d: modulus %s not above space", size, c.Prime())
+		}
+	}
+}
+
+func TestGeneratorHasFullOrder(t *testing.T) {
+	c, err := NewCycle(uint128.From64(1000), []byte("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Prime()
+	g := c.Generator()
+	q, _ := p.Sub64(1).Div64(2)
+	if g.MulMod(g, p).Cmp(uint128.One) == 0 {
+		t.Error("generator has order 2")
+	}
+	if g.ExpMod(q, p).Cmp(uint128.One) == 0 {
+		t.Error("generator has order q")
+	}
+	if g.ExpMod(p.Sub64(1), p).Cmp(uint128.One) != 0 {
+		t.Error("generator^order != 1")
+	}
+}
+
+func TestWideSpacePermutationPrefix(t *testing.T) {
+	// A 2^40 space cannot be exhausted in a test; check the first chunk
+	// is in range and duplicate-free.
+	c, err := NewCycle(uint128.One.Lsh(40), []byte("wide"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := c.Iterate()
+	seen := make(map[uint128.Uint128]bool)
+	for i := 0; i < 10000; i++ {
+		v, ok := it.Next()
+		if !ok {
+			t.Fatal("iterator ended early")
+		}
+		if v.Cmp(uint128.One.Lsh(40)) >= 0 {
+			t.Fatalf("value %s out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %s", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestVeryWideSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("safe prime search above 2^64 is slow")
+	}
+	// Exercise the >64-bit modulus path (mod256 reduction).
+	c, err := NewCycle(uint128.One.Lsh(80), []byte("huge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := c.Iterate()
+	seen := make(map[uint128.Uint128]bool)
+	for i := 0; i < 200; i++ {
+		v, ok := it.Next()
+		if !ok {
+			t.Fatal("iterator ended early")
+		}
+		if v.Cmp(uint128.One.Lsh(80)) >= 0 || seen[v] {
+			t.Fatalf("bad value %s", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSequential(t *testing.T) {
+	s := NewSequential(uint128.From64(5))
+	want := []uint64{0, 1, 2, 3, 4}
+	for _, w := range want {
+		v, ok := s.Next()
+		if !ok || v != uint128.From64(w) {
+			t.Fatalf("Next() = %s, %v; want %d", v, ok, w)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("sequential iterator did not terminate")
+	}
+}
+
+func BenchmarkCycleNext24(b *testing.B) {
+	c, err := NewCycle(uint128.One.Lsh(24), []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	it := c.Iterate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := it.Next(); !ok {
+			it = c.Iterate()
+		}
+	}
+}
+
+func BenchmarkCycleNext48(b *testing.B) {
+	c, err := NewCycle(uint128.One.Lsh(48), []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	it := c.Iterate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := it.Next(); !ok {
+			it = c.Iterate()
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package registry provides the lookup databases the measurement pipeline
+// consults: an IEEE-OUI-style MAC-prefix-to-vendor table, a CVE-count
+// table for the software versions of the paper's Table VIII, and a
+// MaxMind-style prefix-to-(ASN, country) geolocation database. All three
+// are synthetic stand-ins for the proprietary datasets the paper used;
+// the code paths that consume them are identical.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ipv6"
+	"repro/internal/lpm"
+)
+
+// CPEVendors lists the customer-premises-equipment vendors of the paper's
+// Table IV, most-frequent first.
+var CPEVendors = []string{
+	"China Mobile", "ZTE", "Skyworth", "Fiberhome", "Youhua Tech",
+	"China Unicom", "AVM", "Technicolor", "Huawei", "StarNet",
+	"TP-Link", "D-Link", "Xiaomi", "Hitron Tech", "Netgear",
+	"Linksys", "Asus", "Optilink", "Tenda", "MikroTik",
+}
+
+// UEVendors lists the user-equipment vendors of Table IV.
+var UEVendors = []string{
+	"NTMore", "HMD Global", "Vivo", "Oppo", "Apple", "Samsung",
+	"Nokia", "LG", "Motorola", "Lenovo", "Nubia", "OnePlus",
+}
+
+// OUIDB maps 24-bit MAC OUIs to vendor names, the stand-in for the IEEE
+// registration-authority file the paper resolves EUI-64 MACs against.
+type OUIDB struct {
+	byOUI    map[uint32]string
+	byVendor map[string][]uint32
+}
+
+// NewOUIDB builds the synthetic OUI registry: each known vendor receives
+// a deterministic pair of OUIs.
+func NewOUIDB() *OUIDB {
+	db := &OUIDB{byOUI: make(map[uint32]string), byVendor: make(map[string][]uint32)}
+	assign := func(vendors []string, base uint32) {
+		for i, v := range vendors {
+			for j := 0; j < 2; j++ {
+				oui := base + uint32(i)*16 + uint32(j)
+				db.byOUI[oui] = v
+				db.byVendor[v] = append(db.byVendor[v], oui)
+			}
+		}
+	}
+	assign(CPEVendors, 0x001a00)
+	assign(UEVendors, 0x00f600)
+	return db
+}
+
+// Vendor resolves an OUI, reporting ok=false for unregistered prefixes.
+func (db *OUIDB) Vendor(oui uint32) (string, bool) {
+	v, ok := db.byOUI[oui]
+	return v, ok
+}
+
+// VendorOfMAC resolves the vendor of a full MAC address.
+func (db *OUIDB) VendorOfMAC(m ipv6.MAC) (string, bool) { return db.Vendor(m.OUI()) }
+
+// OUIsOf returns the OUIs registered to vendor (used by the topology
+// generator to mint device MACs).
+func (db *OUIDB) OUIsOf(vendor string) []uint32 {
+	return append([]uint32(nil), db.byVendor[vendor]...)
+}
+
+// Len returns the number of registered OUIs.
+func (db *OUIDB) Len() int { return len(db.byOUI) }
+
+// cveTable maps software families to the CVE counts of Table VIII. Keys
+// are matched against lower-cased software strings by substring.
+var cveTable = []struct {
+	family string
+	count  int
+}{
+	{"dnsmasq", 16},
+	{"jetty", 24},
+	{"miniweb", 24},
+	{"micro_httpd", 24},
+	{"goahead", 24},
+	{"dropbear", 10},
+	{"openssh", 74},
+	{"freebsd", 1},
+	{"vsftpd", 2},
+	{"inetutils", 0},
+}
+
+// CVECount returns the number of known CVEs applicable to a software
+// string (e.g. "dnsmasq-2.45" -> 16). Unknown software reports zero.
+func CVECount(software string) int {
+	s := strings.ToLower(software)
+	for _, e := range cveTable {
+		if strings.Contains(s, e.family) {
+			return e.count
+		}
+	}
+	return 0
+}
+
+// GeoEntry is one geolocation record.
+type GeoEntry struct {
+	ASN     int
+	Country string // ISO 3166-1 alpha-2
+}
+
+// GeoDB maps prefixes to origin AS and country, the MaxMind substitute.
+type GeoDB struct {
+	table *lpm.Table[GeoEntry]
+}
+
+// NewGeoDB returns an empty database.
+func NewGeoDB() *GeoDB { return &GeoDB{table: lpm.New[GeoEntry]()} }
+
+// Add installs a record.
+func (g *GeoDB) Add(p ipv6.Prefix, e GeoEntry) { g.table.Insert(p, e) }
+
+// Lookup resolves an address by longest prefix match.
+func (g *GeoDB) Lookup(a ipv6.Addr) (GeoEntry, bool) { return g.table.Lookup(a) }
+
+// Len returns the number of records.
+func (g *GeoDB) Len() int { return g.table.Len() }
+
+// Countries returns the distinct country codes present.
+func (g *GeoDB) Countries() []string {
+	seen := map[string]bool{}
+	g.table.Walk(func(_ ipv6.Prefix, e GeoEntry) bool {
+		seen[e.Country] = true
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VendorIndex returns a stable index for a vendor name, used to derive
+// deterministic per-vendor parameters. It errors on unknown vendors.
+func VendorIndex(vendor string) (int, error) {
+	for i, v := range CPEVendors {
+		if v == vendor {
+			return i, nil
+		}
+	}
+	for i, v := range UEVendors {
+		if v == vendor {
+			return len(CPEVendors) + i, nil
+		}
+	}
+	return 0, fmt.Errorf("registry: unknown vendor %q", vendor)
+}

@@ -1,0 +1,103 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/ipv6"
+)
+
+func TestOUIDBRoundTrip(t *testing.T) {
+	db := NewOUIDB()
+	for _, vendor := range append(append([]string{}, CPEVendors...), UEVendors...) {
+		ouis := db.OUIsOf(vendor)
+		if len(ouis) == 0 {
+			t.Errorf("vendor %q has no OUIs", vendor)
+			continue
+		}
+		for _, oui := range ouis {
+			got, ok := db.Vendor(oui)
+			if !ok || got != vendor {
+				t.Errorf("Vendor(%06x) = %q,%v; want %q", oui, got, ok, vendor)
+			}
+		}
+	}
+	if db.Len() != 2*(len(CPEVendors)+len(UEVendors)) {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestOUIDBUnknown(t *testing.T) {
+	db := NewOUIDB()
+	if _, ok := db.Vendor(0xffffff); ok {
+		t.Error("unknown OUI resolved")
+	}
+}
+
+func TestVendorOfMAC(t *testing.T) {
+	db := NewOUIDB()
+	oui := db.OUIsOf("ZTE")[0]
+	m := ipv6.MAC{byte(oui >> 16), byte(oui >> 8), byte(oui), 1, 2, 3}
+	v, ok := db.VendorOfMAC(m)
+	if !ok || v != "ZTE" {
+		t.Errorf("VendorOfMAC = %q,%v", v, ok)
+	}
+}
+
+func TestCVECounts(t *testing.T) {
+	cases := []struct {
+		software string
+		want     int
+	}{
+		{"dnsmasq-2.45", 16},
+		{"dnsmasq-2.78", 16},
+		{"Jetty 6.1.26", 24},
+		{"MiniWeb HTTP Server", 24},
+		{"micro_httpd", 24},
+		{"GoAhead Embedded", 24},
+		{"dropbear_0.46", 10},
+		{"OpenSSH_3.5", 74},
+		{"FreeBSD version 6.00ls", 1},
+		{"vsftpd 2.3.4", 2},
+		{"GNU Inetutils 1.4.1", 0},
+		{"totally-unknown 1.0", 0},
+	}
+	for _, c := range cases {
+		if got := CVECount(c.software); got != c.want {
+			t.Errorf("CVECount(%q) = %d, want %d", c.software, got, c.want)
+		}
+	}
+}
+
+func TestGeoDB(t *testing.T) {
+	g := NewGeoDB()
+	g.Add(ipv6.MustParsePrefix("2400:1::/32"), GeoEntry{ASN: 4134, Country: "CN"})
+	g.Add(ipv6.MustParsePrefix("2400:2::/32"), GeoEntry{ASN: 7922, Country: "US"})
+	e, ok := g.Lookup(ipv6.MustParseAddr("2400:1:abcd::1"))
+	if !ok || e.ASN != 4134 || e.Country != "CN" {
+		t.Errorf("Lookup = %+v,%v", e, ok)
+	}
+	if _, ok := g.Lookup(ipv6.MustParseAddr("2600::1")); ok {
+		t.Error("unlisted space resolved")
+	}
+	cs := g.Countries()
+	if len(cs) != 2 || cs[0] != "CN" || cs[1] != "US" {
+		t.Errorf("Countries = %v", cs)
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestVendorIndexStable(t *testing.T) {
+	i, err := VendorIndex("ZTE")
+	if err != nil || i != 1 {
+		t.Errorf("VendorIndex(ZTE) = %d,%v", i, err)
+	}
+	j, err := VendorIndex("Apple")
+	if err != nil || j != len(CPEVendors)+4 {
+		t.Errorf("VendorIndex(Apple) = %d,%v", j, err)
+	}
+	if _, err := VendorIndex("NoSuchVendor"); err == nil {
+		t.Error("unknown vendor accepted")
+	}
+}

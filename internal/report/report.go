@@ -1,0 +1,123 @@
+// Package report renders experiment aggregates as aligned text tables
+// and simple ASCII bar charts — the terminal counterparts of the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; cells beyond the header width are kept.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders a ranked label/value list as an ASCII bar chart scaled to
+// the largest value.
+type Bars struct {
+	Title string
+	Width int // bar width in characters (default 40)
+}
+
+// Render draws the bars.
+func (bc Bars) Render(labels []string, values []int) string {
+	width := bc.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 1
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if bc.Title != "" {
+		b.WriteString(bc.Title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := v * width / maxV
+		fmt.Fprintf(&b, "%-*s |%s %d\n", maxLabel, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Count formats an integer with thousands separators (52_478_703 ->
+// "52,478,703"), matching the paper's table style.
+func Count(v int) string {
+	s := fmt.Sprintf("%d", v)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// The "Value" column starts at the same offset in every row.
+	idx := strings.Index(lines[1], "Value")
+	if got := strings.Index(lines[3], "1"); got != idx {
+		t.Errorf("row 1 misaligned: col %d vs %d\n%s", got, idx, out)
+	}
+	if got := strings.Index(lines[4], "22"); got != idx {
+		t.Errorf("row 2 misaligned: col %d vs %d\n%s", got, idx, out)
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tb := Table{Headers: []string{"A"}}
+	tb.AddRow("x", "y", "z")
+	out := tb.String()
+	if !strings.Contains(out, "z") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestBarsScale(t *testing.T) {
+	out := (Bars{Title: "T", Width: 10}).Render([]string{"a", "bb"}, []int{10, 5})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("max bar = %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 5 {
+		t.Errorf("half bar = %q", lines[2])
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := (Bars{}).Render([]string{"a"}, []int{0})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "0") {
+		t.Errorf("zero bar = %q", out)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int]string{
+		0:        "0",
+		7:        "7",
+		999:      "999",
+		1000:     "1,000",
+		52478703: "52,478,703",
+		-1234567: "-1,234,567",
+	}
+	for v, want := range cases {
+		if got := Count(v); got != want {
+			t.Errorf("Count(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(99.25) != "99.2" && Pct(99.25) != "99.3" {
+		t.Errorf("Pct = %q", Pct(99.25))
+	}
+	if Pct(0) != "0.0" {
+		t.Errorf("Pct(0) = %q", Pct(0))
+	}
+}

@@ -1,0 +1,180 @@
+// Package subnet implements the paper's Section IV-A sub-prefix length
+// inference: find one periphery by probing random /64s of an ISP block,
+// then flip target-address bits from the 64th toward the 32nd and watch
+// when the responder changes — the first differing bit position is the
+// delegation boundary (Table I's "Length" column).
+package subnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ipv6"
+	"repro/internal/uint128"
+	"repro/internal/wire"
+	"repro/internal/xmap"
+)
+
+// Options tunes the inference.
+type Options struct {
+	// Seed keys target selection.
+	Seed int64
+	// MaxPreliminary bounds the number of random /64 probes used to find
+	// the first periphery (default 512).
+	MaxPreliminary int
+	// Repeats is how many independent inferences are combined by
+	// majority (default 3), the paper's "replicate the test several
+	// times".
+	Repeats int
+	// MinLength is the shallowest boundary probed (default 32).
+	MinLength int
+}
+
+func (o *Options) fill() {
+	if o.MaxPreliminary == 0 {
+		o.MaxPreliminary = 512
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	if o.MinLength == 0 {
+		o.MinLength = 32
+	}
+}
+
+// Result is one block's inference outcome.
+type Result struct {
+	Block  ipv6.Prefix
+	Length int
+	// Samples lists each repeat's individual answer.
+	Samples []int
+	// Periphery is the (last) periphery the walk anchored on.
+	Periphery ipv6.Addr
+}
+
+// Infer determines the delegated sub-prefix length for end users of the
+// given ISP block, scanning through drv.
+func Infer(drv xmap.Driver, block ipv6.Prefix, opts Options) (Result, error) {
+	opts.fill()
+	if block.Bits() >= 64 {
+		return Result{}, fmt.Errorf("subnet: block %s too long to infer within", block)
+	}
+	if opts.MinLength <= block.Bits() {
+		opts.MinLength = block.Bits() + 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := Result{Block: block, Length: -1}
+
+	counts := map[int]int{}
+	for r := 0; r < opts.Repeats; r++ {
+		target, responder, err := findPeriphery(drv, block, rng, opts.MaxPreliminary)
+		if err != nil {
+			return res, err
+		}
+		length, err := walkBoundary(drv, target, responder, opts.MinLength)
+		if err != nil {
+			return res, err
+		}
+		res.Samples = append(res.Samples, length)
+		res.Periphery = responder
+		counts[length]++
+	}
+	best, bestN := -1, 0
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l > best) {
+			best, bestN = l, n
+		}
+	}
+	res.Length = best
+	return res, nil
+}
+
+// probeOnce sends one echo request and returns the first ICMPv6 error
+// response matching the probed target (nil responder if silence).
+func probeOnce(drv xmap.Driver, dst ipv6.Addr) (responder ipv6.Addr, code uint8, errType uint8, ok bool, err error) {
+	pkt, err := wire.BuildEchoRequest(drv.SourceAddr(), dst, 64, 0x5bac, 0x0001, nil)
+	if err != nil {
+		return ipv6.Addr{}, 0, 0, false, err
+	}
+	if err := drv.Send(pkt); err != nil {
+		return ipv6.Addr{}, 0, 0, false, err
+	}
+	for _, raw := range drv.Recv() {
+		sum, perr := wire.ParsePacket(raw)
+		if perr != nil || sum.ICMP == nil {
+			continue
+		}
+		switch sum.ICMP.Type {
+		case wire.ICMPDestUnreach, wire.ICMPTimeExceeded:
+			inv, perr := wire.ParseInvoking(sum.ICMP.Body)
+			if perr != nil || inv.IP.Dst != dst {
+				continue
+			}
+			return sum.IP.Src, sum.ICMP.Code, sum.ICMP.Type, true, nil
+		case wire.ICMPEchoReply:
+			if sum.IP.Src == dst {
+				// Astonishing luck: the random IID exists. Treat the
+				// reply as the periphery itself.
+				return sum.IP.Src, 0, wire.ICMPEchoReply, true, nil
+			}
+		}
+	}
+	return ipv6.Addr{}, 0, 0, false, nil
+}
+
+// findPeriphery probes random /64 sub-prefixes of the block until an
+// error arrives from a periphery-like address. Following the paper, a
+// responder qualifies when its interface identifier is EUI-64 format,
+// when the error is the NDP address-unreachable signature, or when the
+// responder is not one of the provider's infrastructure addresses (which
+// betray themselves by answering for many unrelated sub-prefixes).
+func findPeriphery(drv xmap.Driver, block ipv6.Prefix, rng *rand.Rand, maxProbes int) (target, responder ipv6.Addr, err error) {
+	n64, _ := block.NumSub(64)
+	seen := map[ipv6.Addr]int{}
+	const infraThreshold = 3
+	for i := 0; i < maxProbes; i++ {
+		idx := uint128.From64(rng.Uint64()).Mod(n64)
+		sub, serr := block.Sub(64, idx)
+		if serr != nil {
+			return ipv6.Addr{}, ipv6.Addr{}, serr
+		}
+		dst := ipv6.SLAAC(sub, rng.Uint64()|1)
+		from, code, typ, ok, perr := probeOnce(drv, dst)
+		if perr != nil {
+			return ipv6.Addr{}, ipv6.Addr{}, perr
+		}
+		if !ok || typ == wire.ICMPEchoReply {
+			continue
+		}
+		seen[from]++
+		switch {
+		case typ == wire.ICMPDestUnreach && code == wire.UnreachAddress:
+			return dst, from, nil
+		case ipv6.Classify(from) == ipv6.IIDEUI64:
+			return dst, from, nil
+		case i >= 8 && seen[from] < infraThreshold:
+			// A fresh responder once the infrastructure addresses have
+			// revealed themselves by repetition.
+			return dst, from, nil
+		}
+	}
+	return ipv6.Addr{}, ipv6.Addr{}, fmt.Errorf("subnet: no periphery found in %s after %d probes", block, maxProbes)
+}
+
+// walkBoundary flips target bits from position 64 upward (toward shorter
+// prefixes) until the responder changes; the first differing position is
+// the boundary length.
+func walkBoundary(drv xmap.Driver, target, responder ipv6.Addr, minLength int) (int, error) {
+	for b := 64; b > minLength; b-- {
+		// Bit b in prefix-notation is bit (128-b) counting from the LSB.
+		flipped := ipv6.AddrFrom128(target.Uint128().Xor(uint128.One.Lsh(uint(128 - b))))
+		from, _, _, ok, err := probeOnce(drv, flipped)
+		if err != nil {
+			return 0, err
+		}
+		if !ok || from != responder {
+			return b, nil
+		}
+	}
+	return minLength, nil
+}

@@ -1,0 +1,80 @@
+package subnet
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+	"repro/internal/uint128"
+	"repro/internal/xmap"
+)
+
+func inferISP(t *testing.T, index int) Result {
+	t.Helper()
+	dep, err := topo.Build(topo.Config{
+		Seed: 21, Scale: 0.001, WindowWidth: 10,
+		MaxDevicesPerISP: 120, OnlyISPs: []int{index},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp := dep.ISPs[0]
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	res, err := Infer(drv, isp.Window.Base, Options{Seed: 5, MaxPreliminary: 4096})
+	if err != nil {
+		t.Fatalf("ISP %d (%s): %v", index, isp.Spec.Name, err)
+	}
+	return res
+}
+
+func TestInferBoundaryPerISPFamily(t *testing.T) {
+	cases := []struct {
+		isp  int
+		want int
+	}{
+		{1, 64},  // Reliance Jio: /64
+		{5, 56},  // Comcast: /56
+		{6, 60},  // AT&T: /60
+		{13, 60}, // China Mobile broadband: /60
+		{15, 64}, // China Mobile mobile: /64
+	}
+	for _, c := range cases {
+		res := inferISP(t, c.isp)
+		if res.Length != c.want {
+			t.Errorf("ISP %d inferred /%d, want /%d (samples %v)", c.isp, res.Length, c.want, res.Samples)
+		}
+	}
+}
+
+func TestInferRejectsLongBlock(t *testing.T) {
+	dep, err := topo.Build(topo.Config{Seed: 1, Scale: 0.0001, WindowWidth: 10, MaxDevicesPerISP: 20, OnlyISPs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	sub64, err := dep.ISPs[0].Window.Base.Sub(64, uint128.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Infer(drv, sub64, Options{Seed: 1}); err == nil {
+		t.Error("accepted a /64 block")
+	}
+}
+
+func TestInferFailsOnEmptyBlock(t *testing.T) {
+	// An ISP with a tiny population and a huge preliminary budget still
+	// succeeds; an empty region fails cleanly.
+	dep, err := topo.Build(topo.Config{Seed: 2, Scale: 0.0001, WindowWidth: 10, MaxDevicesPerISP: 10, OnlyISPs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	// Probe the second window-size region: reserved for WAN prefixes of
+	// delegated ISPs, empty for ISP 1.
+	empty, err := dep.ISPs[0].Block.Sub(54, uint128.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Infer(drv, empty, Options{Seed: 1, MaxPreliminary: 64}); err == nil {
+		t.Error("inference in empty space succeeded")
+	}
+}

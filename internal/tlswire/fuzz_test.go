@@ -1,0 +1,17 @@
+package tlswire
+
+import "testing"
+
+// FuzzParseServerFlight covers record and handshake framing.
+func FuzzParseServerFlight(f *testing.F) {
+	flight, err := MarshalServerFlight(TLSRSAWithAES128CBCSHA, []byte("CN=x"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(flight)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseServerFlight(data)
+		_, _ = ParseClientHello(data)
+		_, _ = ParseRecords(data)
+	})
+}

@@ -1,0 +1,245 @@
+// Package tlswire implements the minimal TLS handshake framing the TLS
+// probe needs: a ClientHello the scanner sends, and a ServerHello +
+// Certificate flight the simulated periphery returns. This reproduces the
+// ZGrab-style "certificate request -> certificate, cipher suite" exchange
+// of the paper's Table VI without a full handshake (the measurement only
+// reads the certificate subject and chosen cipher).
+package tlswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record content types.
+const (
+	ContentHandshake = 22
+	ContentAlert     = 21
+)
+
+// Handshake message types.
+const (
+	HandshakeClientHello = 1
+	HandshakeServerHello = 2
+	HandshakeCertificate = 11
+	HandshakeServerDone  = 14
+)
+
+// VersionTLS12 is the legacy version field value for TLS 1.2.
+const VersionTLS12 = 0x0303
+
+// A few recognizable cipher suite ids.
+const (
+	TLSRSAWithAES128CBCSHA         = 0x002f
+	TLSECDHERSAWithAES128GCMSHA256 = 0xc02f
+)
+
+// Record is one TLS record.
+type Record struct {
+	Type    uint8
+	Version uint16
+	Body    []byte
+}
+
+// MarshalRecord frames body as a single record.
+func MarshalRecord(typ uint8, version uint16, body []byte) ([]byte, error) {
+	if len(body) > 1<<14 {
+		return nil, fmt.Errorf("tlswire: record body %d exceeds 2^14", len(body))
+	}
+	b := make([]byte, 5+len(body))
+	b[0] = typ
+	binary.BigEndian.PutUint16(b[1:3], version)
+	binary.BigEndian.PutUint16(b[3:5], uint16(len(body)))
+	copy(b[5:], body)
+	return b, nil
+}
+
+// ParseRecords splits a byte stream into records.
+func ParseRecords(b []byte) ([]Record, error) {
+	var recs []Record
+	for len(b) > 0 {
+		if len(b) < 5 {
+			return nil, fmt.Errorf("tlswire: truncated record header")
+		}
+		l := int(binary.BigEndian.Uint16(b[3:5]))
+		if 5+l > len(b) {
+			return nil, fmt.Errorf("tlswire: truncated record body")
+		}
+		recs = append(recs, Record{Type: b[0], Version: binary.BigEndian.Uint16(b[1:3]), Body: b[5 : 5+l]})
+		b = b[5+l:]
+	}
+	return recs, nil
+}
+
+// handshakeMsg frames a handshake message (type + 24-bit length).
+func handshakeMsg(typ uint8, body []byte) []byte {
+	b := make([]byte, 4+len(body))
+	b[0] = typ
+	b[1] = byte(len(body) >> 16)
+	b[2] = byte(len(body) >> 8)
+	b[3] = byte(len(body))
+	copy(b[4:], body)
+	return b
+}
+
+// parseHandshakes splits a handshake record body into (type, body) pairs.
+func parseHandshakes(b []byte) ([][2]interface{}, error) {
+	var out [][2]interface{}
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("tlswire: truncated handshake header")
+		}
+		l := int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+		if 4+l > len(b) {
+			return nil, fmt.Errorf("tlswire: truncated handshake body")
+		}
+		out = append(out, [2]interface{}{b[0], b[4 : 4+l]})
+		b = b[4+l:]
+	}
+	return out, nil
+}
+
+// ClientHello carries the fields the probe sets.
+type ClientHello struct {
+	Random       [32]byte
+	CipherSuites []uint16
+}
+
+// MarshalClientHello builds the full record-framed ClientHello.
+func MarshalClientHello(ch *ClientHello) ([]byte, error) {
+	body := make([]byte, 0, 64)
+	body = append(body, byte(VersionTLS12>>8), byte(VersionTLS12&0xff))
+	body = append(body, ch.Random[:]...)
+	body = append(body, 0) // empty session id
+	if len(ch.CipherSuites) == 0 || len(ch.CipherSuites) > 1000 {
+		return nil, fmt.Errorf("tlswire: %d cipher suites", len(ch.CipherSuites))
+	}
+	body = append(body, byte(len(ch.CipherSuites)*2>>8), byte(len(ch.CipherSuites)*2))
+	for _, cs := range ch.CipherSuites {
+		body = append(body, byte(cs>>8), byte(cs))
+	}
+	body = append(body, 1, 0) // compression: null only
+	return MarshalRecord(ContentHandshake, VersionTLS12, handshakeMsg(HandshakeClientHello, body))
+}
+
+// ParseClientHello extracts a ClientHello from raw records.
+func ParseClientHello(raw []byte) (*ClientHello, error) {
+	recs, err := ParseRecords(raw)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.Type != ContentHandshake {
+			continue
+		}
+		msgs, err := parseHandshakes(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range msgs {
+			typ, body := m[0].(uint8), m[1].([]byte)
+			if typ != HandshakeClientHello {
+				continue
+			}
+			if len(body) < 35 {
+				return nil, fmt.Errorf("tlswire: ClientHello too short")
+			}
+			var ch ClientHello
+			copy(ch.Random[:], body[2:34])
+			sidLen := int(body[34])
+			off := 35 + sidLen
+			if off+2 > len(body) {
+				return nil, fmt.Errorf("tlswire: ClientHello truncated at ciphers")
+			}
+			csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+			off += 2
+			if off+csLen > len(body) || csLen%2 != 0 {
+				return nil, fmt.Errorf("tlswire: bad cipher suite vector")
+			}
+			for i := 0; i < csLen; i += 2 {
+				ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(body[off+i:off+i+2]))
+			}
+			return &ch, nil
+		}
+	}
+	return nil, fmt.Errorf("tlswire: no ClientHello found")
+}
+
+// ServerFlight is what the probe extracts from the server's response.
+type ServerFlight struct {
+	Cipher      uint16
+	Certificate []byte // opaque DER-ish blob; the sim stores a text form
+}
+
+// MarshalServerFlight builds ServerHello + Certificate + ServerHelloDone
+// in one record.
+func MarshalServerFlight(cipher uint16, cert []byte) ([]byte, error) {
+	sh := make([]byte, 0, 48)
+	sh = append(sh, byte(VersionTLS12>>8), byte(VersionTLS12&0xff))
+	var random [32]byte
+	sh = append(sh, random[:]...)
+	sh = append(sh, 0) // empty session id
+	sh = append(sh, byte(cipher>>8), byte(cipher))
+	sh = append(sh, 0) // null compression
+
+	// Certificate message: 3-byte total length, then one 3-byte-length
+	// certificate entry.
+	certBody := make([]byte, 0, len(cert)+6)
+	total := len(cert) + 3
+	certBody = append(certBody, byte(total>>16), byte(total>>8), byte(total))
+	certBody = append(certBody, byte(len(cert)>>16), byte(len(cert)>>8), byte(len(cert)))
+	certBody = append(certBody, cert...)
+
+	body := handshakeMsg(HandshakeServerHello, sh)
+	body = append(body, handshakeMsg(HandshakeCertificate, certBody)...)
+	body = append(body, handshakeMsg(HandshakeServerDone, nil)...)
+	return MarshalRecord(ContentHandshake, VersionTLS12, body)
+}
+
+// ParseServerFlight extracts the negotiated cipher and first certificate.
+func ParseServerFlight(raw []byte) (*ServerFlight, error) {
+	recs, err := ParseRecords(raw)
+	if err != nil {
+		return nil, err
+	}
+	var out ServerFlight
+	seenHello := false
+	for _, r := range recs {
+		if r.Type != ContentHandshake {
+			continue
+		}
+		msgs, err := parseHandshakes(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range msgs {
+			typ, body := m[0].(uint8), m[1].([]byte)
+			switch typ {
+			case HandshakeServerHello:
+				if len(body) < 35 {
+					return nil, fmt.Errorf("tlswire: ServerHello too short")
+				}
+				sidLen := int(body[34])
+				off := 35 + sidLen
+				if off+2 > len(body) {
+					return nil, fmt.Errorf("tlswire: ServerHello truncated")
+				}
+				out.Cipher = binary.BigEndian.Uint16(body[off : off+2])
+				seenHello = true
+			case HandshakeCertificate:
+				if len(body) < 6 {
+					return nil, fmt.Errorf("tlswire: Certificate too short")
+				}
+				certLen := int(body[3])<<16 | int(body[4])<<8 | int(body[5])
+				if 6+certLen > len(body) {
+					return nil, fmt.Errorf("tlswire: Certificate truncated")
+				}
+				out.Certificate = body[6 : 6+certLen]
+			}
+		}
+	}
+	if !seenHello {
+		return nil, fmt.Errorf("tlswire: no ServerHello found")
+	}
+	return &out, nil
+}

@@ -1,0 +1,109 @@
+package tlswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	ch := &ClientHello{CipherSuites: []uint16{TLSRSAWithAES128CBCSHA, TLSECDHERSAWithAES128GCMSHA256}}
+	for i := range ch.Random {
+		ch.Random[i] = byte(i)
+	}
+	raw, err := MarshalClientHello(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseClientHello(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Random != ch.Random {
+		t.Error("random mismatch")
+	}
+	if len(got.CipherSuites) != 2 || got.CipherSuites[0] != TLSRSAWithAES128CBCSHA {
+		t.Errorf("ciphers = %v", got.CipherSuites)
+	}
+}
+
+func TestMarshalClientHelloValidation(t *testing.T) {
+	if _, err := MarshalClientHello(&ClientHello{}); err == nil {
+		t.Error("empty cipher list accepted")
+	}
+}
+
+func TestServerFlightRoundTrip(t *testing.T) {
+	cert := []byte("CN=router.local,O=AcmeRouterCo")
+	raw, err := MarshalServerFlight(TLSECDHERSAWithAES128GCMSHA256, cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseServerFlight(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cipher != TLSECDHERSAWithAES128GCMSHA256 {
+		t.Errorf("cipher = %04x", got.Cipher)
+	}
+	if !bytes.Equal(got.Certificate, cert) {
+		t.Errorf("cert = %q", got.Certificate)
+	}
+}
+
+func TestParseRecordsRejectsTruncation(t *testing.T) {
+	raw, err := MarshalServerFlight(1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 4, len(raw) - 1} {
+		if _, err := ParseRecords(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestParseServerFlightRequiresHello(t *testing.T) {
+	// A record with only a Certificate message.
+	certBody := []byte{0, 0, 4, 0, 0, 1, 'x'}
+	rec, err := MarshalRecord(ContentHandshake, VersionTLS12, handshakeMsg(HandshakeCertificate, certBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseServerFlight(rec); err == nil {
+		t.Error("flight without ServerHello accepted")
+	}
+}
+
+func TestParseClientHelloOnGarbage(t *testing.T) {
+	if _, err := ParseClientHello([]byte("GET / HTTP/1.1\r\n")); err == nil {
+		t.Error("HTTP accepted as ClientHello")
+	}
+}
+
+func TestMultipleRecordsParsed(t *testing.T) {
+	a, err := MarshalRecord(ContentAlert, VersionTLS12, []byte{2, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalServerFlight(1, []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseRecords(append(a, b...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Type != ContentAlert {
+		t.Errorf("recs = %+v", recs)
+	}
+	// ParseServerFlight skips the alert and still finds the hello.
+	if _, err := ParseServerFlight(append(a, b...)); err != nil {
+		t.Errorf("flight with leading alert rejected: %v", err)
+	}
+}
+
+func TestRecordSizeLimit(t *testing.T) {
+	if _, err := MarshalRecord(ContentHandshake, VersionTLS12, make([]byte, 1<<14+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}

@@ -1,0 +1,507 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ipv6"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/services"
+	"repro/internal/uint128"
+)
+
+// Config parameterizes deployment generation.
+type Config struct {
+	// Seed drives every random choice; equal seeds give identical
+	// deployments.
+	Seed int64
+	// Scale multiplies the paper's per-ISP device counts (Table II).
+	// The default 1/1024 turns the paper's 52.5M peripheries into ~51k
+	// simulated devices.
+	Scale float64
+	// WindowWidth is the iterated bit width of each ISP's scan window
+	// (the paper uses 32; the default here is 16, preserving shape at
+	// simulation scale).
+	WindowWidth int
+	// MaxDevicesPerISP caps population for fast tests (0 = no cap).
+	MaxDevicesPerISP int
+	// OnlyISPs, when non-empty, restricts generation to these Table VII
+	// indices (1-15).
+	OnlyISPs []int
+	// PatchLoops applies the Section VII mitigation: every CPE installs
+	// the RFC 7084 unreachable route, eliminating the routing loop.
+	PatchLoops bool
+	// FilterPings applies the stricter Section VII mitigation: the
+	// periphery stops emitting ICMPv6 errors for probes entirely
+	// (re-evaluating RFC 4890's advice), which defeats discovery.
+	FilterPings bool
+}
+
+// DefaultScale is 1/1024 of the paper's population.
+const DefaultScale = 1.0 / 1024
+
+// Device is the ground truth for one generated periphery.
+type Device struct {
+	Spec     *ISPSpec
+	Vendor   string
+	IsUE     bool
+	WANAddr  ipv6.Addr
+	Class    ipv6.IIDClass
+	MAC      ipv6.MAC
+	HasMAC   bool
+	Services map[services.ID]string
+	VulnWAN  bool
+	VulnLAN  bool
+	Model    addrModel
+
+	// CPE/UE is the simulator node (exactly one non-nil).
+	CPE *netsim.CPE
+	UE  *netsim.UE
+	// AccessLink is the subscriber link (for amplification accounting).
+	AccessLink *netsim.Link
+}
+
+// Vulnerable reports whether the device has any routing-loop flaw.
+func (d *Device) Vulnerable() bool { return d.VulnWAN || d.VulnLAN }
+
+// ISPDeployment is one generated ISP block.
+type ISPDeployment struct {
+	Spec    *ISPSpec
+	Block   ipv6.Prefix
+	Router  *netsim.ISPRouter
+	Window  ipv6.Window
+	Devices []*Device
+
+	downAddr ipv6.Addr // shared provider-side address of subscriber links
+	// clonedMACs is the pool future devices may clone from.
+	clonedMACs []ipv6.MAC
+}
+
+// Deployment is the full simulated Internet of the Table I ISPs.
+type Deployment struct {
+	Engine *netsim.Engine
+	Edge   *netsim.Edge
+	Core   *netsim.Router
+	// Border is the transit hop between core and the ISPs; its presence
+	// fixes the hop-limit parity so looping packets expire at the CPE
+	// (whose Time Exceeded then exposes the periphery address), matching
+	// the path lengths the paper observes.
+	Border *netsim.Router
+	ISPs   []*ISPDeployment
+	Geo    *registry.GeoDB
+	OUI    *registry.OUIDB
+
+	byWAN      map[ipv6.Addr]*Device
+	coreBorder *netsim.Iface
+}
+
+// ScannerAddr is the vantage address of every generated deployment.
+var ScannerAddr = ipv6.MustParseAddr("2001:beef::100")
+
+// DeviceByWAN resolves ground truth for a discovered WAN address.
+func (d *Deployment) DeviceByWAN(a ipv6.Addr) (*Device, bool) {
+	dev, ok := d.byWAN[a]
+	return dev, ok
+}
+
+// Devices returns every generated device across ISPs.
+func (d *Deployment) Devices() []*Device {
+	var out []*Device
+	for _, isp := range d.ISPs {
+		out = append(out, isp.Devices...)
+	}
+	return out
+}
+
+// BlockFor returns the ISP block prefix for a spec: each ISP owns the
+// (0x2400+index)::/16 slice, and the block is its first /BlockLen.
+func BlockFor(spec *ISPSpec) ipv6.Prefix {
+	seg0 := uint16(0x2400 + spec.Index)
+	return ipv6.MustPrefix(ipv6.AddrFromSegments([8]uint16{seg0}), spec.BlockLen)
+}
+
+// Build generates the deployment.
+func Build(cfg Config) (*Deployment, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = DefaultScale
+	}
+	if cfg.Scale < 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("topo: scale %v out of (0,1]", cfg.Scale)
+	}
+	if cfg.WindowWidth == 0 {
+		cfg.WindowWidth = 16
+	}
+	if cfg.WindowWidth < 4 || cfg.WindowWidth > 28 {
+		return nil, fmt.Errorf("topo: window width %d out of [4,28]", cfg.WindowWidth)
+	}
+
+	dep := &Deployment{
+		Engine: netsim.New(cfg.Seed),
+		Geo:    registry.NewGeoDB(),
+		OUI:    registry.NewOUIDB(),
+		byWAN:  make(map[ipv6.Addr]*Device),
+	}
+	dep.Edge = netsim.NewEdge("scanner", ScannerAddr)
+	dep.Core = netsim.NewRouter("core", netsim.ErrorPolicy{})
+	dep.Border = netsim.NewRouter("border", netsim.ErrorPolicy{})
+	coreScan := dep.Core.AddIface(ipv6.MustParseAddr("2001:beef::1"), "core:scan")
+	dep.Engine.Connect(dep.Edge.Iface(), coreScan, 0)
+	dep.Core.AddRoute(ipv6.MustParsePrefix("2001:beef::/64"), coreScan)
+	coreBorder := dep.Core.AddIface(ipv6.MustParseAddr("2001:face::1"), "core:border")
+	borderUp := dep.Border.AddIface(ipv6.MustParseAddr("2001:face::2"), "border:up")
+	dep.Engine.Connect(coreBorder, borderUp, 0)
+	dep.Border.AddRoute(ipv6.MustParsePrefix("::/0"), borderUp)
+	dep.coreBorder = coreBorder
+
+	want := func(index int) bool {
+		if len(cfg.OnlyISPs) == 0 {
+			return true
+		}
+		for _, i := range cfg.OnlyISPs {
+			if i == index {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i := range Specs {
+		spec := &Specs[i]
+		if !want(spec.Index) {
+			continue
+		}
+		isp, err := buildISP(dep, spec, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("topo: building ISP %d (%s): %w", spec.Index, spec.Name, err)
+		}
+		dep.ISPs = append(dep.ISPs, isp)
+	}
+	return dep, nil
+}
+
+// buildISP populates one ISP block.
+func buildISP(dep *Deployment, spec *ISPSpec, cfg Config) (*ISPDeployment, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(spec.Index)))
+	iidGen := ipv6.NewIIDGenerator(cfg.Seed*2000 + int64(spec.Index))
+
+	block := BlockFor(spec)
+	dep.Geo.Add(block, registry.GeoEntry{ASN: spec.ASN, Country: spec.Country})
+
+	router := netsim.NewISPRouter(spec.Name, block, netsim.ErrorPolicy{})
+	// Core <-> ISP link: addresses carved from a dedicated /64 of the
+	// ISP block's tail, outside any scan window.
+	linkNet, err := block.Sub(64, maxIndex(block, 64))
+	if err != nil {
+		return nil, err
+	}
+	borderIf := dep.Border.AddIface(ipv6.SLAAC(linkNet, 1), fmt.Sprintf("border:isp%d", spec.Index))
+	ispUp := router.AddIface(ipv6.SLAAC(linkNet, 2), "isp:up")
+	dep.Engine.Connect(borderIf, ispUp, 0)
+	dep.Border.AddRoute(block, borderIf)
+	dep.Core.AddRoute(block, dep.coreBorder)
+	router.SetUpstream(ispUp)
+
+	// Subscriber-facing links are unnumbered: every down interface
+	// shares one provider-side address, as on a real BNG.
+	downAddr := ipv6.SLAAC(linkNet, 3)
+
+	// Scan window: the first (DelegLen-WindowWidth)-prefix of the block.
+	winBase, err := block.Sub(spec.DelegLen-cfg.WindowWidth, uint128.Zero)
+	if err != nil {
+		return nil, err
+	}
+	window, err := ipv6.NewWindow(winBase, spec.DelegLen)
+	if err != nil {
+		return nil, err
+	}
+
+	isp := &ISPDeployment{Spec: spec, Block: block, Router: router, Window: window, downAddr: downAddr}
+
+	n := int(float64(spec.PaperLastHops)*cfg.Scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if cfg.MaxDevicesPerISP > 0 && n > cfg.MaxDevicesPerISP {
+		n = cfg.MaxDevicesPerISP
+	}
+	capacity := 1 << cfg.WindowWidth
+	if n*2 > capacity {
+		return nil, fmt.Errorf("population %d exceeds window capacity %d", n, capacity)
+	}
+
+	indices := rng.Perm(capacity)
+	nextIdx := 0
+	takeIdx := func() uint64 { v := indices[nextIdx]; nextIdx++; return uint64(v) }
+
+	// Normalizers so per-ISP service/loop rates survive vendor weighting.
+	meanSvcW := map[services.ID]float64{}
+	var meanLoopW float64
+	var totalShare float64
+	for _, vw := range spec.VendorShare {
+		totalShare += vw.Weight
+	}
+	for _, vw := range spec.VendorShare {
+		frac := vw.Weight / totalShare
+		meanLoopW += frac * loopWeight(vw.Vendor)
+		for _, svc := range services.All {
+			meanSvcW[svc] += frac * serviceWeight(vw.Vendor, svc)
+		}
+	}
+
+	for devN := 0; devN < n; devN++ {
+		dev, err := buildDevice(dep, isp, cfg, rng, iidGen, meanSvcW, meanLoopW, takeIdx, devN)
+		if err != nil {
+			return nil, err
+		}
+		isp.Devices = append(isp.Devices, dev)
+		dep.byWAN[dev.WANAddr] = dev
+	}
+	return isp, nil
+}
+
+// routerIID is the interface identifier provider-side link addresses use;
+// chosen outside every IID class the generator emits so it never collides
+// with a device address.
+const routerIID = 0xffff_ffff_ffff_fffe
+
+// maxIndex returns the last sub-prefix index of the given length.
+func maxIndex(p ipv6.Prefix, bits int) uint128.Uint128 {
+	n, _ := p.NumSub(bits)
+	return n.Sub64(1)
+}
+
+func pickVendor(rng *rand.Rand, shares []VendorWeight) string {
+	var total float64
+	for _, vw := range shares {
+		total += vw.Weight
+	}
+	r := rng.Float64() * total
+	for _, vw := range shares {
+		if r < vw.Weight {
+			return vw.Vendor
+		}
+		r -= vw.Weight
+	}
+	return shares[len(shares)-1].Vendor
+}
+
+// pickIIDClass draws a class with the ISP's EUI-64 rate and the paper's
+// Table III remainder split.
+func pickIIDClass(rng *rand.Rand, eui64Frac float64) ipv6.IIDClass {
+	if rng.Float64() < eui64Frac {
+		return ipv6.IIDEUI64
+	}
+	r := rng.Float64()
+	switch {
+	case r < 0.817:
+		return ipv6.IIDRandomized
+	case r < 0.817+0.113:
+		return ipv6.IIDBytePattern
+	case r < 0.817+0.113+0.059:
+		return ipv6.IIDEmbedIPv4
+	default:
+		return ipv6.IIDLowByte
+	}
+}
+
+func buildDevice(
+	dep *Deployment, isp *ISPDeployment, cfg Config,
+	rng *rand.Rand, iidGen *ipv6.IIDGenerator,
+	meanSvcW map[services.ID]float64, meanLoopW float64,
+	takeIdx func() uint64, devN int,
+) (*Device, error) {
+	spec := isp.Spec
+	dev := &Device{Spec: spec}
+
+	dev.IsUE = spec.Network == Mobile && rng.Float64() < spec.UEFrac
+	eui64Frac := spec.PaperEUI64Frac
+	if dev.IsUE {
+		// Weight UE vendors toward the paper's Table IV ranking.
+		dev.Vendor = registry.UEVendors[min(rng.Intn(len(registry.UEVendors)), rng.Intn(len(registry.UEVendors)))]
+		// Handsets of the measurement era commonly derived their IID
+		// from the radio MAC, which is how Table IV attributes them.
+		eui64Frac = 0.35
+	} else {
+		dev.Vendor = pickVendor(rng, spec.VendorShare)
+	}
+
+	dev.Class = pickIIDClass(rng, eui64Frac)
+	ouis := dep.OUI.OUIsOf(dev.Vendor)
+	oui := ouis[rng.Intn(len(ouis))]
+	iid, mac := iidGen.Generate(dev.Class, oui)
+	if dev.Class == ipv6.IIDEUI64 {
+		// A small share of devices clone a MAC already in the field
+		// (duplicated firmware images; the paper's Table II observes
+		// 3.5% repeated MACs).
+		if len(isp.clonedMACs) > 0 && rng.Float64() < 0.035 {
+			mac = isp.clonedMACs[rng.Intn(len(isp.clonedMACs))]
+			iid = mac.EUI64IID()
+		} else {
+			isp.clonedMACs = append(isp.clonedMACs, mac)
+		}
+		dev.MAC, dev.HasMAC = mac, true
+	}
+
+	// Services.
+	for _, svc := range services.All {
+		base := spec.ServiceRate[svc]
+		if base == 0 {
+			continue
+		}
+		p := base * serviceWeight(dev.Vendor, svc) / meanSvcW[svc]
+		if p > 0.97 {
+			p = 0.97
+		}
+		if rng.Float64() < p {
+			if dev.Services == nil {
+				dev.Services = make(map[services.ID]string)
+			}
+			dev.Services[svc] = softwareFor(spec, dev.Vendor, svc)
+		}
+	}
+
+	// Loop vulnerability.
+	loopP := spec.LoopFrac * loopWeight(dev.Vendor) / meanLoopW
+	vulnerable := rng.Float64() < loopP
+	if cfg.PatchLoops {
+		vulnerable = false
+	}
+
+	var stack netsim.LocalStack
+	if len(dev.Services) > 0 {
+		stack = services.NewStack(
+			services.Config{Vendor: dev.Vendor, Software: dev.Services},
+			[]byte(fmt.Sprintf("stack-%d-%d", spec.Index, devN)),
+		)
+	}
+
+	name := fmt.Sprintf("%s-%d", spec.Name, devN)
+	policy := netsim.ErrorPolicy{Suppress: cfg.FilterPings}
+
+	switch {
+	case spec.DelegLen == 64 && dev.IsUE:
+		prefix, err := isp.Window.Sub(uint128.From64(takeIdx()))
+		if err != nil {
+			return nil, err
+		}
+		dev.Model = modelShared64
+		dev.WANAddr = ipv6.SLAAC(prefix, iid)
+		ue := netsim.NewUE(name, dev.WANAddr, prefix, stack, policy)
+		down := isp.Router.AddIface(isp.downAddr, name+":bs")
+		dev.AccessLink = dep.Engine.Connect(down, ue.Iface(), 0)
+		if err := isp.Router.Delegate(prefix, down); err != nil {
+			return nil, err
+		}
+		dev.UE = ue
+
+	case spec.DelegLen == 64:
+		wanPrefix, err := isp.Window.Sub(uint128.From64(takeIdx()))
+		if err != nil {
+			return nil, err
+		}
+		dev.WANAddr = ipv6.SLAAC(wanPrefix, iid)
+		cpeCfg := netsim.CPEConfig{
+			Name: name, WANAddr: dev.WANAddr, WANPrefix: wanPrefix,
+			Stack: stack, Policy: policy,
+		}
+		dev.Model = modelShared64
+		if rng.Float64() < spec.DualFrac {
+			dev.Model = modelDual64
+			lan, err := isp.Window.Sub(uint128.From64(takeIdx()))
+			if err != nil {
+				return nil, err
+			}
+			cpeCfg.Delegated = lan
+		}
+		if vulnerable {
+			dev.VulnWAN = true
+			if dev.Model == modelDual64 {
+				dev.VulnLAN = true
+			}
+		}
+		cpeCfg.Behavior = behaviorFor(dev)
+		cpe := netsim.NewCPE(cpeCfg)
+		down := isp.Router.AddIface(isp.downAddr, name+":down")
+		dev.AccessLink = dep.Engine.Connect(down, cpe.WAN(), 0)
+		if err := isp.Router.Delegate(wanPrefix, down); err != nil {
+			return nil, err
+		}
+		if cpeCfg.Delegated.Bits() > 0 {
+			if err := isp.Router.Delegate(cpeCfg.Delegated, down); err != nil {
+				return nil, err
+			}
+		}
+		dev.CPE = cpe
+
+	default: // DelegLen < 64: delegated model
+		deleg, err := isp.Window.Sub(uint128.From64(takeIdx()))
+		if err != nil {
+			return nil, err
+		}
+		sub64s, _ := deleg.NumSub(64)
+		pick64 := func() (ipv6.Prefix, error) {
+			idx := uint128.From64(rng.Uint64()).Mod(sub64s)
+			return deleg.Sub(64, idx)
+		}
+		var wanPrefix ipv6.Prefix
+		if spec.WANInsideDelegation {
+			wanPrefix, err = pick64()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// WAN /64 in a reserved region of the block outside the
+			// scan window (the second window-size region).
+			wanRegion, err := isp.Block.Sub(spec.DelegLen-cfg.WindowWidth, uint128.One)
+			if err != nil {
+				return nil, err
+			}
+			wanPrefix, err = wanRegion.Sub(64, uint128.From64(uint64(devN)))
+			if err != nil {
+				return nil, err
+			}
+		}
+		dev.Model = modelDelegated
+		dev.WANAddr = ipv6.SLAAC(wanPrefix, iid)
+		subnet, err := pick64()
+		if err != nil {
+			return nil, err
+		}
+		if vulnerable {
+			dev.VulnLAN = true
+			if spec.WANInsideDelegation {
+				dev.VulnWAN = true
+			}
+		}
+		cpeCfg := netsim.CPEConfig{
+			Name: name, WANAddr: dev.WANAddr, WANPrefix: wanPrefix,
+			Delegated: deleg, Subnets: []ipv6.Prefix{subnet},
+			LANAddr: ipv6.SLAAC(subnet, 1),
+			Stack:   stack, Policy: policy,
+		}
+		cpeCfg.Behavior = behaviorFor(dev)
+		cpe := netsim.NewCPE(cpeCfg)
+		down := isp.Router.AddIface(isp.downAddr, name+":down")
+		dev.AccessLink = dep.Engine.Connect(down, cpe.WAN(), 0)
+		if err := isp.Router.Delegate(deleg, down); err != nil {
+			return nil, err
+		}
+		if !spec.WANInsideDelegation {
+			if err := isp.Router.Delegate(wanPrefix, down); err != nil {
+				return nil, err
+			}
+		}
+		dev.CPE = cpe
+	}
+	return dev, nil
+}
+
+// behaviorFor maps ground-truth flags to the CPE behavior struct.
+func behaviorFor(dev *Device) netsim.CPEBehavior {
+	b := netsim.CPEBehavior{VulnWAN: dev.VulnWAN, VulnLAN: dev.VulnLAN}
+	if dev.Vendor == "Xiaomi" && dev.Vulnerable() {
+		b.LoopCap = 12 // the ">10 times" mitigation class of Table XII
+	}
+	return b
+}

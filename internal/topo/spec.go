@@ -1,0 +1,337 @@
+// Package topo generates the simulated deployments the experiments run
+// against: the 15 ISP blocks of the paper's Table I populated with
+// periphery devices whose prefix layout, interface-identifier mix,
+// exposed services and routing-loop flaws are calibrated to the paper's
+// measured distributions (Tables II-XI, Figures 2-6), plus the
+// BGP-universe deployment of Section VI-B and the 95-router lab of
+// Table XII.
+package topo
+
+import (
+	"repro/internal/services"
+)
+
+// NetworkKind is the ISP network type of Table I.
+type NetworkKind int
+
+// Network kinds.
+const (
+	Broadband NetworkKind = iota + 1
+	Mobile
+	Enterprise
+)
+
+// String returns the paper's single-letter annotation spelled out.
+func (k NetworkKind) String() string {
+	switch k {
+	case Broadband:
+		return "Broadband"
+	case Mobile:
+		return "Mobile"
+	case Enterprise:
+		return "Enterprise"
+	}
+	return "Unknown"
+}
+
+// addrModel describes how a periphery's prefixes relate to the scan
+// window (Section III-A's CPE/UE models as they appear to the scanner).
+type addrModel int
+
+const (
+	// modelShared64: the device holds a single /64 (UE, or CPE whose WAN
+	// and LAN prefix coincide); replies come from the probed /64
+	// ("same" in Table II).
+	modelShared64 addrModel = iota + 1
+	// modelDelegated: the device holds a delegated /L (L<64); the WAN
+	// /64 may sit inside the delegation (CN practice) or elsewhere in
+	// the block (US practice).
+	modelDelegated
+	// modelDual64: WAN /64 and a separate LAN /64, both in the window
+	// (the small "diff" share of /64-boundary ISPs).
+	modelDual64
+)
+
+// ISPSpec is one row of Table I plus the calibration the generator needs.
+type ISPSpec struct {
+	Index    int    // 1-based, the paper's ISP numbering in Table VII
+	Country  string // ISO code
+	Network  NetworkKind
+	Name     string
+	ASN      int
+	BlockLen int // ISP block length (Table I "Block")
+	DelegLen int // inferred sub-prefix length for end users (Table I "Length")
+
+	// PaperLastHops is the unique last-hop count of Table II, the basis
+	// for scaled device populations.
+	PaperLastHops int
+	// PaperEUI64Frac is Table II's EUI-64 address share.
+	PaperEUI64Frac float64
+	// DualFrac is the share of devices holding a second, separate /64
+	// delegation (produces the "diff" replies of /64-boundary ISPs).
+	DualFrac float64
+	// WANInsideDelegation places the WAN /64 inside the delegated
+	// prefix (CN broadband practice; yields ~1/2^(64-L) "same").
+	WANInsideDelegation bool
+	// UEFrac is the share of devices modelled as user equipment
+	// (phones); only meaningful for mobile networks.
+	UEFrac float64
+	// LoopFrac is the routing-loop-vulnerable share (Table XI).
+	LoopFrac float64
+	// ServiceRate is the per-service alive fraction (Table VII).
+	ServiceRate map[services.ID]float64
+	// VendorShare weights periphery vendors within this ISP.
+	VendorShare []VendorWeight
+}
+
+// VendorWeight is one entry of an ISP's vendor mix.
+type VendorWeight struct {
+	Vendor string
+	Weight float64
+}
+
+// svcRate abbreviates ServiceRate literals.
+func svcRate(dns, ntp, ftp, ssh, tel, h80, tls, h8080 float64) map[services.ID]float64 {
+	return map[services.ID]float64{
+		services.SvcDNS: dns, services.SvcNTP: ntp, services.SvcFTP: ftp,
+		services.SvcSSH: ssh, services.SvcTelnet: tel, services.SvcHTTP80: h80,
+		services.SvcTLS: tls, services.SvcHTTP8080: h8080,
+	}
+}
+
+// Specs is Table I with the calibration columns described above. Rates
+// are fractions of discovered peripheries (Table VII), loop fractions are
+// Table XI loops over Table II hops.
+var Specs = []ISPSpec{
+	{
+		Index: 1, Country: "IN", Network: Broadband, Name: "Reliance Jio", ASN: 55836,
+		BlockLen: 32, DelegLen: 64, PaperLastHops: 3_365_175, PaperEUI64Frac: 0.014,
+		DualFrac: 0.002, LoopFrac: 0.0026,
+		ServiceRate: svcRate(0.009, 0, 0, 0, 0, 0, 0, 0.0004),
+		VendorShare: []VendorWeight{{"D-Link", 2}, {"TP-Link", 2}, {"Optilink", 3}, {"Tenda", 1}, {"MikroTik", 1}},
+	},
+	{
+		Index: 2, Country: "IN", Network: Broadband, Name: "BSNL", ASN: 9829,
+		BlockLen: 32, DelegLen: 64, PaperLastHops: 2_404, PaperEUI64Frac: 0.767,
+		DualFrac: 0.656, LoopFrac: 0.135,
+		ServiceRate: svcRate(0.002, 0.037, 0.009, 0.037, 0.023, 0.010, 0.008, 0.002),
+		VendorShare: []VendorWeight{{"D-Link", 2}, {"MikroTik", 2}, {"TP-Link", 1}, {"Tenda", 1}},
+	},
+	{
+		Index: 3, Country: "IN", Network: Mobile, Name: "Bharti Airtel", ASN: 45609,
+		BlockLen: 32, DelegLen: 64, PaperLastHops: 22_542_690, PaperEUI64Frac: 0.014,
+		DualFrac: 0.011, UEFrac: 0.01, LoopFrac: 0.0013,
+		ServiceRate: svcRate(0.002, 0, 0, 0, 0, 0, 0, 0),
+		VendorShare: []VendorWeight{{"Huawei", 1}, {"ZTE", 1}, {"Optilink", 1}},
+	},
+	{
+		Index: 4, Country: "IN", Network: Mobile, Name: "Vadafone", ASN: 38266,
+		BlockLen: 32, DelegLen: 64, PaperLastHops: 2_307_784, PaperEUI64Frac: 0.013,
+		DualFrac: 0.002, UEFrac: 0.01, LoopFrac: 0.0001,
+		ServiceRate: svcRate(0.0001, 0, 0, 0, 0, 0.0001, 0, 0.0003),
+		VendorShare: []VendorWeight{{"Huawei", 1}, {"ZTE", 1}},
+	},
+	{
+		Index: 5, Country: "US", Network: Broadband, Name: "Comcast", ASN: 7922,
+		BlockLen: 24, DelegLen: 56, PaperLastHops: 87_308, PaperEUI64Frac: 0.95,
+		LoopFrac:    0.0004,
+		ServiceRate: svcRate(0.0001, 0.003, 0.0001, 0.0001, 0.001, 0.001, 0.001, 0.004),
+		VendorShare: []VendorWeight{{"Technicolor", 3}, {"Netgear", 2}, {"Hitron Tech", 2}, {"Linksys", 1}, {"Asus", 1}},
+	},
+	{
+		Index: 6, Country: "US", Network: Broadband, Name: "AT&T", ASN: 7018,
+		BlockLen: 28, DelegLen: 60, PaperLastHops: 740_141, PaperEUI64Frac: 0.128,
+		LoopFrac:    0.0022,
+		ServiceRate: svcRate(0.005, 0.0004, 0.001, 0.0003, 0, 0.0005, 0.005, 0),
+		VendorShare: []VendorWeight{{"Technicolor", 3}, {"D-Link", 1}, {"Netgear", 1}},
+	},
+	{
+		Index: 7, Country: "US", Network: Broadband, Name: "Charter", ASN: 20115,
+		BlockLen: 24, DelegLen: 56, PaperLastHops: 13_027, PaperEUI64Frac: 0.006,
+		LoopFrac:    0.029,
+		ServiceRate: svcRate(0.034, 0.004, 0, 0.004, 0, 0.002, 0.029, 0.027),
+		VendorShare: []VendorWeight{{"Hitron Tech", 2}, {"Netgear", 2}, {"Asus", 1}, {"Linksys", 1}},
+	},
+	{
+		Index: 8, Country: "US", Network: Broadband, Name: "CenturyLink", ASN: 209,
+		BlockLen: 24, DelegLen: 56, PaperLastHops: 249_835, PaperEUI64Frac: 0.37,
+		LoopFrac:    0.08,
+		ServiceRate: svcRate(0.014, 0.060, 0.004, 0.008, 0.006, 0.0002, 0.012, 0),
+		VendorShare: []VendorWeight{{"Technicolor", 2}, {"AVM", 2}, {"Netgear", 1}, {"Linksys", 1}},
+	},
+	{
+		Index: 9, Country: "US", Network: Mobile, Name: "AT&T Mobility", ASN: 20057,
+		BlockLen: 32, DelegLen: 64, PaperLastHops: 1_734_506, PaperEUI64Frac: 0.0003,
+		DualFrac: 0.055, UEFrac: 0.02, LoopFrac: 0.0000012,
+		ServiceRate: svcRate(0, 0, 0, 0, 0, 0.0004, 0.0004, 0.0003),
+		VendorShare: []VendorWeight{{"Netgear", 1}, {"Linksys", 1}},
+	},
+	{
+		Index: 10, Country: "US", Network: Enterprise, Name: "Mediacom", ASN: 30036,
+		BlockLen: 28, DelegLen: 56, PaperLastHops: 38_399, PaperEUI64Frac: 0.004,
+		LoopFrac:    0.186,
+		ServiceRate: svcRate(0.002, 0.003, 0.0004, 0.030, 0.027, 0.068, 0.034, 0.001),
+		VendorShare: []VendorWeight{{"MikroTik", 2}, {"Netgear", 1}, {"Technicolor", 1}},
+	},
+	{
+		Index: 11, Country: "CN", Network: Broadband, Name: "China Telecom", ASN: 4134,
+		BlockLen: 28, DelegLen: 60, PaperLastHops: 2_122_292, PaperEUI64Frac: 0.122,
+		WANInsideDelegation: true, LoopFrac: 0.397,
+		ServiceRate: svcRate(0.030, 0.0001, 0.0001, 0.0002, 0.0001, 0.0004, 0, 0),
+		VendorShare: []VendorWeight{{"ZTE", 3}, {"Huawei", 3}, {"Fiberhome", 2}, {"TP-Link", 1}, {"Skyworth", 1}},
+	},
+	{
+		Index: 12, Country: "CN", Network: Broadband, Name: "China Unicom", ASN: 4837,
+		BlockLen: 28, DelegLen: 60, PaperLastHops: 1_273_075, PaperEUI64Frac: 0.533,
+		WANInsideDelegation: true, LoopFrac: 0.789,
+		ServiceRate: svcRate(0.159, 0.0001, 0.028, 0.016, 0.029, 0.166, 0.0001, 0.180),
+		VendorShare: []VendorWeight{{"China Unicom", 4}, {"ZTE", 3}, {"Youhua Tech", 1}, {"Fiberhome", 1}, {"Huawei", 1}},
+	},
+	{
+		Index: 13, Country: "CN", Network: Broadband, Name: "China Mobile", ASN: 9808,
+		BlockLen: 28, DelegLen: 60, PaperLastHops: 7_316_861, PaperEUI64Frac: 0.331,
+		WANInsideDelegation: true, LoopFrac: 0.53,
+		ServiceRate: svcRate(0.055, 0, 0.019, 0.016, 0.019, 0.143, 0.019, 0.448),
+		VendorShare: []VendorWeight{
+			{"China Mobile", 50}, {"ZTE", 16}, {"Skyworth", 13}, {"Fiberhome", 7},
+			{"Youhua Tech", 4}, {"StarNet", 3}, {"Huawei", 2}, {"Xiaomi", 1},
+			{"TP-Link", 1}, {"Hitron Tech", 1},
+		},
+	},
+	{
+		Index: 14, Country: "CN", Network: Mobile, Name: "China Unicom Mobile", ASN: 4837,
+		BlockLen: 32, DelegLen: 64, PaperLastHops: 3_696_275, PaperEUI64Frac: 0.004,
+		DualFrac: 0.021, UEFrac: 0.01, LoopFrac: 0.00005,
+		ServiceRate: svcRate(0.0001, 0, 0, 0, 0, 0, 0, 0),
+		VendorShare: []VendorWeight{{"ZTE", 1}, {"Huawei", 1}},
+	},
+	{
+		Index: 15, Country: "CN", Network: Mobile, Name: "China Mobile Mobile", ASN: 9808,
+		BlockLen: 32, DelegLen: 64, PaperLastHops: 7_193_972, PaperEUI64Frac: 0.003,
+		DualFrac: 0.016, UEFrac: 0.01, LoopFrac: 0.00005,
+		ServiceRate: svcRate(0, 0, 0, 0, 0, 0, 0, 0.0001),
+		VendorShare: []VendorWeight{{"ZTE", 1}, {"Huawei", 1}},
+	},
+}
+
+// PaperTotalLastHops is the Table II total, used for scale computation.
+const PaperTotalLastHops = 52_478_703
+
+// vendorServiceWeight biases which vendors expose which services,
+// producing the Figure 2/3 shapes. Unlisted (vendor, service) pairs get
+// weight 1.
+var vendorServiceWeight = map[string]map[services.ID]float64{
+	"China Mobile": {services.SvcDNS: 0.4, services.SvcFTP: 0.3, services.SvcSSH: 0.2, services.SvcTelnet: 0.3, services.SvcHTTP80: 1.6, services.SvcHTTP8080: 1.8},
+	"Fiberhome":    {services.SvcDNS: 3.0, services.SvcFTP: 2.5, services.SvcSSH: 3.0, services.SvcTelnet: 0.8, services.SvcHTTP80: 1.2, services.SvcHTTP8080: 0.05},
+	"Youhua Tech":  {services.SvcDNS: 2.6, services.SvcFTP: 3.0, services.SvcSSH: 3.0, services.SvcTelnet: 3.0, services.SvcHTTP80: 2.0, services.SvcTLS: 0.2, services.SvcHTTP8080: 0.02},
+	"ZTE":          {services.SvcDNS: 1.2, services.SvcTelnet: 2.0, services.SvcHTTP80: 1.0, services.SvcHTTP8080: 0.4},
+	"Skyworth":     {services.SvcDNS: 0.3, services.SvcHTTP80: 0.7, services.SvcHTTP8080: 1.4, services.SvcSSH: 0.1, services.SvcTelnet: 0.1},
+	"StarNet":      {services.SvcDNS: 0.05, services.SvcFTP: 0.05, services.SvcSSH: 0.05, services.SvcTelnet: 0.05, services.SvcHTTP80: 0.1, services.SvcTLS: 0.05, services.SvcHTTP8080: 2.6},
+	"China Unicom": {services.SvcDNS: 1.6, services.SvcTelnet: 1.6, services.SvcHTTP80: 1.3},
+	"AVM":          {services.SvcTLS: 2.2, services.SvcFTP: 1.5, services.SvcHTTP80: 0.8, services.SvcNTP: 1.5},
+	"Hitron Tech":  {services.SvcHTTP8080: 1.2, services.SvcTLS: 1.0},
+	"TP-Link":      {services.SvcHTTP80: 1.0, services.SvcTLS: 0.6},
+	"Technicolor":  {services.SvcNTP: 1.5, services.SvcTLS: 1.2},
+	"MikroTik":     {services.SvcSSH: 2.0, services.SvcTelnet: 1.6, services.SvcFTP: 1.4},
+}
+
+// serviceWeight returns the exposure weight for (vendor, service).
+func serviceWeight(vendor string, svc services.ID) float64 {
+	if m, ok := vendorServiceWeight[vendor]; ok {
+		if w, ok := m[svc]; ok {
+			return w
+		}
+	}
+	return 1
+}
+
+// vendorLoopWeight biases loop vulnerability toward the Figure 6 vendors.
+var vendorLoopWeight = map[string]float64{
+	"China Mobile": 1.2, "ZTE": 1.4, "Skyworth": 1.6, "Youhua Tech": 1.0,
+	"StarNet": 1.3, "Fiberhome": 0.6, "Huawei": 0.8, "China Unicom": 0.8,
+	"Technicolor": 0.7, "AVM": 0.5, "Hitron Tech": 0.6,
+}
+
+// loopWeight returns the loop-vulnerability weight for a vendor.
+func loopWeight(vendor string) float64 {
+	if w, ok := vendorLoopWeight[vendor]; ok {
+		return w
+	}
+	return 1
+}
+
+// softwareFor picks the software string for (ISP, vendor, service),
+// reproducing the version landscape of Table VIII.
+func softwareFor(spec *ISPSpec, vendor string, svc services.ID) string {
+	switch svc {
+	case services.SvcDNS:
+		if spec.Country == "IN" {
+			return "dnsmasq-2.75"
+		}
+		switch vendor {
+		case "Youhua Tech":
+			return "dnsmasq-2.45"
+		case "Fiberhome":
+			return "dnsmasq-2.47"
+		case "China Mobile":
+			return "dnsmasq-2.52"
+		case "ZTE":
+			return "dnsmasq-2.62"
+		default:
+			return "dnsmasq-2.78"
+		}
+	case services.SvcNTP:
+		return "NTPv4"
+	case services.SvcFTP:
+		switch vendor {
+		case "Youhua Tech", "Fiberhome", "China Mobile", "ZTE", "China Unicom":
+			return "GNU Inetutils 1.4.1"
+		case "AVM":
+			return "Fritz!Box FTP"
+		case "Netgear":
+			return "FreeBSD version 6.00ls"
+		default:
+			return "vsftpd 2.3.4"
+		}
+	case services.SvcSSH:
+		switch vendor {
+		case "Youhua Tech":
+			return "dropbear_0.48"
+		case "Fiberhome":
+			return "dropbear_0.46"
+		case "MikroTik":
+			return "dropbear_2012.55"
+		case "AVM", "Technicolor":
+			return "dropbear_2017.75"
+		case "Netgear":
+			return "OpenSSH_3.5"
+		default:
+			return "dropbear_0.52"
+		}
+	case services.SvcTelnet:
+		switch vendor {
+		case "China Unicom":
+			return "China Unicom Gateway"
+		case "Youhua Tech", "China Mobile":
+			return "Yocto Linux"
+		default:
+			return "OpenWrt"
+		}
+	case services.SvcHTTP80:
+		switch vendor {
+		case "China Mobile", "Skyworth":
+			return "MiniWeb HTTP Server"
+		case "Youhua Tech", "ZTE", "China Unicom":
+			return "micro_httpd"
+		case "Fiberhome":
+			return "GoAhead Embedded"
+		default:
+			return "micro_httpd"
+		}
+	case services.SvcTLS:
+		return "embedded-tls"
+	case services.SvcHTTP8080:
+		return "Jetty 6.1.26"
+	}
+	return "unknown"
+}

@@ -1,0 +1,299 @@
+package topo
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/services"
+	"repro/internal/uint128"
+	"repro/internal/wire"
+	"repro/internal/xmap"
+)
+
+func smallConfig() Config {
+	return Config{Seed: 1, Scale: 0.0001, WindowWidth: 10, MaxDevicesPerISP: 60}
+}
+
+func TestBuildSmallDeployment(t *testing.T) {
+	dep, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.ISPs) != len(Specs) {
+		t.Fatalf("built %d ISPs, want %d", len(dep.ISPs), len(Specs))
+	}
+	for _, isp := range dep.ISPs {
+		if len(isp.Devices) == 0 {
+			t.Errorf("ISP %s has no devices", isp.Spec.Name)
+		}
+		if isp.Window.To != isp.Spec.DelegLen {
+			t.Errorf("ISP %s window %s, want boundary /%d", isp.Spec.Name, isp.Window, isp.Spec.DelegLen)
+		}
+		if !isp.Block.Overlaps(isp.Window.Base) {
+			t.Errorf("ISP %s window outside block", isp.Spec.Name)
+		}
+		for _, dev := range isp.Devices {
+			if !isp.Block.Contains(dev.WANAddr) {
+				t.Errorf("device %s outside block %s", dev.WANAddr, isp.Block)
+			}
+			if got := ipv6.Classify(dev.WANAddr); got != dev.Class {
+				t.Errorf("device %s class %s, ground truth says %s", dev.WANAddr, got, dev.Class)
+			}
+			if dev.HasMAC {
+				if _, ok := dep.OUI.VendorOfMAC(dev.MAC); !ok {
+					t.Errorf("device MAC %s has unknown OUI", dev.MAC)
+				}
+			}
+			if d2, ok := dep.DeviceByWAN(dev.WANAddr); !ok || d2 != dev {
+				t.Errorf("DeviceByWAN(%s) broken", dev.WANAddr)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.Devices(), b.Devices()
+	if len(da) != len(db) {
+		t.Fatalf("device counts differ: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i].WANAddr != db[i].WANAddr || da[i].Vendor != db[i].Vendor ||
+			da[i].VulnLAN != db[i].VulnLAN || da[i].VulnWAN != db[i].VulnWAN {
+			t.Fatalf("device %d differs", i)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Seed: 1, Scale: 2}); err == nil {
+		t.Error("scale 2 accepted")
+	}
+	if _, err := Build(Config{Seed: 1, WindowWidth: 2}); err == nil {
+		t.Error("window width 2 accepted")
+	}
+	// A window too small for the population must error.
+	if _, err := Build(Config{Seed: 1, Scale: 1.0 / 64, WindowWidth: 8}); err == nil {
+		t.Error("over-capacity population accepted")
+	}
+}
+
+func TestOnlyISPsFilter(t *testing.T) {
+	dep, err := Build(Config{Seed: 1, Scale: 0.0001, WindowWidth: 10, MaxDevicesPerISP: 60, OnlyISPs: []int{13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.ISPs) != 1 || dep.ISPs[0].Spec.Index != 13 {
+		t.Fatalf("ISPs = %+v", dep.ISPs)
+	}
+}
+
+// TestScanDiscoversGeneratedDevices runs the actual scanner against one
+// generated ISP end to end.
+func TestScanDiscoversGeneratedDevices(t *testing.T) {
+	dep, err := Build(Config{Seed: 5, Scale: 0.0001, WindowWidth: 10, MaxDevicesPerISP: 40, OnlyISPs: []int{13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp := dep.ISPs[0]
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	s, err := xmap.New(xmap.Config{Window: isp.Window, Seed: []byte("t")}, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[ipv6.Addr]bool{}
+	if _, err := s.Run(context.Background(), func(r xmap.Response) {
+		found[r.Responder] = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	missing := 0
+	for _, dev := range isp.Devices {
+		if !found[dev.WANAddr] {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Errorf("%d of %d generated devices not discovered", missing, len(isp.Devices))
+	}
+}
+
+func TestGeneratedServicesReachable(t *testing.T) {
+	dep, err := Build(Config{Seed: 7, Scale: 0.0001, WindowWidth: 10, MaxDevicesPerISP: 60, OnlyISPs: []int{13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dev *Device
+	for _, d := range dep.ISPs[0].Devices {
+		if _, ok := d.Services[services.SvcHTTP8080]; ok {
+			dev = d
+			break
+		}
+	}
+	if dev == nil {
+		t.Skip("no device with HTTP-8080 in this sample")
+	}
+	// SYN to port 8080 must be answered with SYN/ACK through the network.
+	syn, err := wire.BuildTCP(ScannerAddr, dev.WANAddr, 64,
+		wire.TCPHeader{SrcPort: 40000, DstPort: 8080, Seq: 1, Flags: wire.TCPSyn}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Engine.Inject(dep.Edge.Iface(), syn)
+	replies := dep.Edge.Drain()
+	if len(replies) != 1 {
+		t.Fatalf("got %d replies to SYN", len(replies))
+	}
+	sum, err := wire.ParsePacket(replies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TCP == nil || sum.TCP.Flags&wire.TCPSyn == 0 || sum.TCP.Flags&wire.TCPAck == 0 {
+		t.Errorf("reply = %+v", sum)
+	}
+}
+
+func TestLabRoutersCensus(t *testing.T) {
+	routers := LabRouters()
+	if len(routers) != 99 {
+		t.Fatalf("lab has %d entries, want 99 (95 hardware + 4 OSes)", len(routers))
+	}
+	hw, oses := 0, 0
+	for _, r := range routers {
+		if r.IsOS {
+			oses++
+		} else {
+			hw++
+		}
+		if !r.VulnWAN {
+			t.Errorf("%s %s not WAN-vulnerable; all 99 were", r.Brand, r.Model)
+		}
+	}
+	if hw != 95 || oses != 4 {
+		t.Errorf("hardware=%d oses=%d", hw, oses)
+	}
+	// Brand counts match the Table XII footer.
+	byBrand := map[string]int{}
+	for _, r := range routers {
+		if !r.IsOS {
+			byBrand[r.Brand]++
+		}
+	}
+	for _, bc := range labCounts {
+		if byBrand[bc.brand] != bc.count {
+			t.Errorf("brand %s has %d units, want %d", bc.brand, byBrand[bc.brand], bc.count)
+		}
+	}
+	if byBrand["TP-Link"] != 42 {
+		t.Errorf("TP-Link = %d", byBrand["TP-Link"])
+	}
+}
+
+func TestLabLoopBehaviorEndToEnd(t *testing.T) {
+	dep, err := BuildLab(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry 0 is the ASUS GT-AC5300: WAN vulnerable, LAN immune.
+	asus := dep.Entries[0]
+	if asus.Router.Brand != "ASUS" {
+		t.Fatalf("entry 0 = %s", asus.Router.Brand)
+	}
+
+	probeTo := func(dst ipv6.Addr) uint64 {
+		before := asus.AccessLink.TotalPackets()
+		pkt, err := wire.BuildEchoRequest(ScannerAddr, dst, 255, 1, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep.Engine.Inject(dep.Edge.Iface(), pkt)
+		dep.Edge.Drain()
+		return asus.AccessLink.TotalPackets() - before
+	}
+
+	// NX address in the WAN /64: loops.
+	wanNX := ipv6.SLAAC(asus.WANPrefix, 0xdeadbeef)
+	if got := probeTo(wanNX); got < 200 {
+		t.Errorf("WAN-prefix probe moved %d packets on access link, want >200", got)
+	}
+	// Not-used prefix in the delegated /60: immune (responds unreachable).
+	lanNX := ipv6.SLAAC(mustSub64(t, asus.Delegated, 9), 0x1234)
+	if got := probeTo(lanNX); got > 4 {
+		t.Errorf("LAN-prefix probe moved %d packets; ASUS LAN is immune", got)
+	}
+}
+
+func TestLabLoopCapClass(t *testing.T) {
+	dep, err := BuildLab(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xiaomi *LabEntry
+	for _, e := range dep.Entries {
+		if e.Router.Brand == "Xiaomi" && e.Router.Model == "AX5" {
+			xiaomi = e
+			break
+		}
+	}
+	if xiaomi == nil {
+		t.Fatal("Xiaomi AX5 not in lab")
+	}
+	before := xiaomi.AccessLink.TotalPackets()
+	pkt, err := wire.BuildEchoRequest(ScannerAddr, ipv6.SLAAC(xiaomi.WANPrefix, 0xabcdef), 255, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Engine.Inject(dep.Edge.Iface(), pkt)
+	moved := xiaomi.AccessLink.TotalPackets() - before
+	if moved < 10 || moved > 40 {
+		t.Errorf("Xiaomi forwarded %d packets, want >10 but bounded", moved)
+	}
+}
+
+func mustSub64(t *testing.T, p ipv6.Prefix, idx uint64) ipv6.Prefix {
+	t.Helper()
+	sub, err := p.Sub(64, uint128.From64(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func TestBGPUniverseBuilds(t *testing.T) {
+	dep, err := BuildBGPUniverse(BGPConfig{Seed: 11, NumASes: 40, WindowWidth: 6, MeanDevices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Windows) != len(dep.Table.Adverts) {
+		t.Errorf("windows %d != adverts %d", len(dep.Windows), len(dep.Table.Adverts))
+	}
+	if len(dep.Devices) == 0 {
+		t.Fatal("no devices")
+	}
+	vuln := 0
+	for _, d := range dep.Devices {
+		if !d.Advert.Prefix.Contains(d.Addr) {
+			t.Errorf("device %s outside advert %s", d.Addr, d.Advert.Prefix)
+		}
+		if e, ok := dep.Geo.Lookup(d.Addr); !ok || e.ASN != d.Advert.ASN {
+			t.Errorf("geo lookup for %s inconsistent", d.Addr)
+		}
+		if d.Vuln {
+			vuln++
+		}
+	}
+	if vuln == 0 {
+		t.Error("no vulnerable devices generated")
+	}
+	if vuln == len(dep.Devices) {
+		t.Error("every device vulnerable; calibration broken")
+	}
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/ipv6"
+)
+
+// BuildEchoRequest assembles a complete IPv6 ICMPv6 Echo Request packet.
+func BuildEchoRequest(src, dst ipv6.Addr, hopLimit uint8, id, seq uint16, data []byte) ([]byte, error) {
+	e := Echo{ID: id, Seq: seq, Data: data}
+	m := ICMPv6{Type: ICMPEchoRequest, Body: e.MarshalBody()}
+	h := IPv6Header{NextHeader: ProtoICMPv6, HopLimit: hopLimit, Src: src, Dst: dst}
+	return h.Marshal(m.Marshal(src, dst))
+}
+
+// BuildEchoReply assembles an Echo Reply mirroring the request's id/seq.
+func BuildEchoReply(src, dst ipv6.Addr, hopLimit uint8, id, seq uint16, data []byte) ([]byte, error) {
+	e := Echo{ID: id, Seq: seq, Data: data}
+	m := ICMPv6{Type: ICMPEchoReply, Body: e.MarshalBody()}
+	h := IPv6Header{NextHeader: ProtoICMPv6, HopLimit: hopLimit, Src: src, Dst: dst}
+	return h.Marshal(m.Marshal(src, dst))
+}
+
+// BuildDestUnreach assembles a Destination Unreachable error in response
+// to the invoking packet, per RFC 4443 section 3.1.
+func BuildDestUnreach(src, dst ipv6.Addr, hopLimit, code uint8, invoking []byte) ([]byte, error) {
+	body := ErrorBody{Invoking: invoking}
+	m := ICMPv6{Type: ICMPDestUnreach, Code: code, Body: body.MarshalBody()}
+	h := IPv6Header{NextHeader: ProtoICMPv6, HopLimit: hopLimit, Src: src, Dst: dst}
+	return h.Marshal(m.Marshal(src, dst))
+}
+
+// BuildTimeExceeded assembles a Time Exceeded error (hop limit exhausted)
+// in response to the invoking packet, per RFC 4443 section 3.3.
+func BuildTimeExceeded(src, dst ipv6.Addr, hopLimit uint8, invoking []byte) ([]byte, error) {
+	body := ErrorBody{Invoking: invoking}
+	m := ICMPv6{Type: ICMPTimeExceeded, Code: TimeExceedHopLimit, Body: body.MarshalBody()}
+	h := IPv6Header{NextHeader: ProtoICMPv6, HopLimit: hopLimit, Src: src, Dst: dst}
+	return h.Marshal(m.Marshal(src, dst))
+}
+
+// BuildUDP assembles a complete IPv6 UDP packet.
+func BuildUDP(src, dst ipv6.Addr, hopLimit uint8, srcPort, dstPort uint16, payload []byte) ([]byte, error) {
+	u := UDPHeader{SrcPort: srcPort, DstPort: dstPort}
+	seg, err := u.Marshal(src, dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	h := IPv6Header{NextHeader: ProtoUDP, HopLimit: hopLimit, Src: src, Dst: dst}
+	return h.Marshal(seg)
+}
+
+// BuildTCP assembles a complete IPv6 TCP packet.
+func BuildTCP(src, dst ipv6.Addr, hopLimit uint8, t TCPHeader, payload []byte) ([]byte, error) {
+	h := IPv6Header{NextHeader: ProtoTCP, HopLimit: hopLimit, Src: src, Dst: dst}
+	return h.Marshal(t.Marshal(src, dst, payload))
+}
+
+// Summary is a decoded view of a packet used by receive paths to dispatch
+// without each caller re-walking the layers.
+type Summary struct {
+	IP IPv6Header
+	// Exactly one of the following is populated, per IP.NextHeader.
+	ICMP *ICMPv6
+	UDP  *UDPHeader
+	TCP  *TCPHeader
+	// Payload is the layer-4 payload (ICMPv6 body, UDP data, TCP data).
+	Payload []byte
+}
+
+// ParsePacket decodes an IPv6 packet one layer down.
+func ParsePacket(b []byte) (*Summary, error) {
+	h, payload, err := ParseIPv6(b)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{IP: h}
+	switch h.NextHeader {
+	case ProtoICMPv6:
+		m, err := ParseICMPv6(h.Src, h.Dst, payload)
+		if err != nil {
+			return nil, err
+		}
+		s.ICMP = &m
+		s.Payload = m.Body
+	case ProtoUDP:
+		u, data, err := ParseUDP(h.Src, h.Dst, payload)
+		if err != nil {
+			return nil, err
+		}
+		s.UDP = &u
+		s.Payload = data
+	case ProtoTCP:
+		t, data, err := ParseTCP(h.Src, h.Dst, payload)
+		if err != nil {
+			return nil, err
+		}
+		s.TCP = &t
+		s.Payload = data
+	case ProtoNone:
+		s.Payload = payload
+	default:
+		return nil, fmt.Errorf("wire: unsupported next header %d", h.NextHeader)
+	}
+	return s, nil
+}
+
+// InvokingSummary decodes the invoking packet quoted inside an ICMPv6
+// error message body. The quote may be truncated, so layer-4 checksum
+// verification is skipped: only the IPv6 header and ports are recovered.
+type InvokingSummary struct {
+	IP      IPv6Header
+	SrcPort uint16 // valid for quoted UDP/TCP
+	DstPort uint16
+	EchoID  uint16 // valid for quoted ICMPv6 echo
+	EchoSeq uint16
+}
+
+// ParseInvoking decodes the (possibly truncated) invoking packet from an
+// ICMPv6 error body.
+func ParseInvoking(body []byte) (InvokingSummary, error) {
+	eb, err := ParseErrorBody(body)
+	if err != nil {
+		return InvokingSummary{}, err
+	}
+	inv := eb.Invoking
+	if len(inv) < HeaderLen {
+		return InvokingSummary{}, fmt.Errorf("wire: quoted packet too short: %d bytes", len(inv))
+	}
+	if inv[0]>>4 != 6 {
+		return InvokingSummary{}, fmt.Errorf("wire: quoted packet not IPv6")
+	}
+	var out InvokingSummary
+	out.IP.TrafficClass = inv[0]<<4 | inv[1]>>4
+	out.IP.NextHeader = inv[6]
+	out.IP.HopLimit = inv[7]
+	out.IP.Src = ipv6.AddrFromBytes(inv[8:24])
+	out.IP.Dst = ipv6.AddrFromBytes(inv[24:40])
+	l4 := inv[HeaderLen:]
+	switch out.IP.NextHeader {
+	case ProtoUDP, ProtoTCP:
+		if len(l4) >= 4 {
+			out.SrcPort = uint16(l4[0])<<8 | uint16(l4[1])
+			out.DstPort = uint16(l4[2])<<8 | uint16(l4[3])
+		}
+	case ProtoICMPv6:
+		if len(l4) >= 8 && (l4[0] == ICMPEchoRequest || l4[0] == ICMPEchoReply) {
+			out.EchoID = uint16(l4[4])<<8 | uint16(l4[5])
+			out.EchoSeq = uint16(l4[6])<<8 | uint16(l4[7])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The IPv4 layer exists for the paper's motivating contrast (Section II):
+// a NAT'd IPv4 CPE exposes one address and hides everything behind it,
+// while the IPv6 periphery holds a globally routable prefix. XMap itself
+// is address-family agnostic ("192.168.0.0/20-25" in Section IV-B), so
+// the scanner needs both wire formats.
+
+// IPv4Addr is a 32-bit address.
+type IPv4Addr uint32
+
+// IPv4AddrFrom assembles an address from octets.
+func IPv4AddrFrom(a, b, c, d byte) IPv4Addr {
+	return IPv4Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IPv4HeaderLen is the length of an option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// IPv4Header is the fixed 20-byte IPv4 header (no options).
+type IPv4Header struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst IPv4Addr
+}
+
+// ICMPv4 message types used by the scanner.
+const (
+	ICMP4EchoReply    = 0
+	ICMP4DestUnreach  = 3
+	ICMP4EchoRequest  = 8
+	ICMP4TimeExceeded = 11
+)
+
+// ICMPv4 Destination Unreachable codes.
+const (
+	Unreach4Net  = 0
+	Unreach4Host = 1
+	Unreach4Port = 3
+)
+
+// checksum16 is the RFC 1071 checksum without a pseudo-header (IPv4
+// header and ICMPv4 use it directly).
+func checksum16(b []byte) uint16 {
+	var sum uint64
+	for len(b) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint64(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Marshal serializes the packet (header checksum computed).
+func (h *IPv4Header) Marshal(payload []byte) ([]byte, error) {
+	if IPv4HeaderLen+len(payload) > 0xffff {
+		return nil, fmt.Errorf("wire: IPv4 payload too long: %d", len(payload))
+	}
+	b := make([]byte, IPv4HeaderLen+len(payload))
+	b[0] = 4<<4 | 5 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(IPv4HeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint32(b[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(h.Dst))
+	binary.BigEndian.PutUint16(b[10:12], checksum16(b[:IPv4HeaderLen]))
+	copy(b[IPv4HeaderLen:], payload)
+	return b, nil
+}
+
+// ParseIPv4 decodes a packet, validating version, length and header
+// checksum.
+func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, nil, fmt.Errorf("wire: packet too short for IPv4 header: %d", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, nil, fmt.Errorf("wire: IP version %d, want 4", b[0]>>4)
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || ihl > len(b) {
+		return IPv4Header{}, nil, fmt.Errorf("wire: bad IHL %d", ihl)
+	}
+	if checksum16(b[:ihl]) != 0 {
+		return IPv4Header{}, nil, fmt.Errorf("wire: IPv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return IPv4Header{}, nil, fmt.Errorf("wire: IPv4 total length %d invalid", total)
+	}
+	h := IPv4Header{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      IPv4Addr(binary.BigEndian.Uint32(b[12:16])),
+		Dst:      IPv4Addr(binary.BigEndian.Uint32(b[16:20])),
+	}
+	return h, b[ihl:total], nil
+}
+
+// ICMPv4 is a generic ICMPv4 message.
+type ICMPv4 struct {
+	Type, Code uint8
+	Body       []byte // excludes the 4-byte type/code/checksum header
+}
+
+// Marshal serializes with checksum.
+func (m *ICMPv4) Marshal() []byte {
+	b := make([]byte, 4+len(m.Body))
+	b[0], b[1] = m.Type, m.Code
+	copy(b[4:], m.Body)
+	binary.BigEndian.PutUint16(b[2:4], checksum16(b))
+	return b
+}
+
+// ParseICMPv4 decodes and verifies an ICMPv4 message.
+func ParseICMPv4(b []byte) (ICMPv4, error) {
+	if len(b) < 8 {
+		return ICMPv4{}, fmt.Errorf("wire: ICMPv4 message too short: %d", len(b))
+	}
+	if checksum16(b) != 0 {
+		return ICMPv4{}, fmt.Errorf("wire: ICMPv4 checksum mismatch")
+	}
+	return ICMPv4{Type: b[0], Code: b[1], Body: b[4:]}, nil
+}
+
+// BuildEchoRequest4 assembles a complete IPv4 ICMP echo request.
+func BuildEchoRequest4(src, dst IPv4Addr, ttl uint8, id, seq uint16, data []byte) ([]byte, error) {
+	body := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint16(body[0:2], id)
+	binary.BigEndian.PutUint16(body[2:4], seq)
+	copy(body[4:], data)
+	m := ICMPv4{Type: ICMP4EchoRequest, Body: body}
+	h := IPv4Header{TTL: ttl, Protocol: 1, Src: src, Dst: dst}
+	return h.Marshal(m.Marshal())
+}
+
+// BuildEchoReply4 assembles the reply.
+func BuildEchoReply4(src, dst IPv4Addr, ttl uint8, id, seq uint16, data []byte) ([]byte, error) {
+	body := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint16(body[0:2], id)
+	binary.BigEndian.PutUint16(body[2:4], seq)
+	copy(body[4:], data)
+	m := ICMPv4{Type: ICMP4EchoReply, Body: body}
+	h := IPv4Header{TTL: ttl, Protocol: 1, Src: src, Dst: dst}
+	return h.Marshal(m.Marshal())
+}
+
+// BuildICMP4Error assembles a Destination Unreachable or Time Exceeded
+// error quoting the invoking header + 8 bytes, per RFC 792.
+func BuildICMP4Error(src, dst IPv4Addr, typ, code uint8, invoking []byte) ([]byte, error) {
+	quote := invoking
+	if len(quote) > IPv4HeaderLen+8 {
+		quote = quote[:IPv4HeaderLen+8]
+	}
+	body := make([]byte, 4+len(quote))
+	copy(body[4:], quote)
+	m := ICMPv4{Type: typ, Code: code, Body: body}
+	h := IPv4Header{TTL: 64, Protocol: 1, Src: src, Dst: dst}
+	return h.Marshal(m.Marshal())
+}
+
+// Summary4 is the decoded view of an IPv4 packet.
+type Summary4 struct {
+	IP      IPv4Header
+	ICMP    *ICMPv4
+	Payload []byte
+	// EchoID/EchoSeq are set for echo request/reply messages.
+	EchoID, EchoSeq uint16
+	// Quoted holds the invoking header recovered from an error body,
+	// with the invoking echo identifier/sequence when quoted.
+	Quoted          *IPv4Header
+	QuotedEchoID    uint16
+	QuotedEchoSeq   uint16
+	QuotedEchoValid bool
+}
+
+// ParsePacket4 decodes an IPv4 packet one layer down (ICMP only; the
+// NAT contrast needs nothing else).
+func ParsePacket4(b []byte) (*Summary4, error) {
+	h, payload, err := ParseIPv4(b)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary4{IP: h, Payload: payload}
+	if h.Protocol != 1 {
+		return s, nil
+	}
+	m, err := ParseICMPv4(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.ICMP = &m
+	switch m.Type {
+	case ICMP4EchoRequest, ICMP4EchoReply:
+		if len(m.Body) >= 4 {
+			s.EchoID = binary.BigEndian.Uint16(m.Body[0:2])
+			s.EchoSeq = binary.BigEndian.Uint16(m.Body[2:4])
+		}
+	case ICMP4DestUnreach, ICMP4TimeExceeded:
+		if len(m.Body) >= 4+IPv4HeaderLen {
+			if qh, rest, qerr := parseIPv4HeaderOnly(m.Body[4:]); qerr == nil {
+				s.Quoted = &qh
+				// RFC 792 quotes 8 payload bytes: enough for the
+				// invoking ICMP header's id/seq.
+				if qh.Protocol == 1 && len(rest) >= 8 &&
+					(rest[0] == ICMP4EchoRequest || rest[0] == ICMP4EchoReply) {
+					s.QuotedEchoID = binary.BigEndian.Uint16(rest[4:6])
+					s.QuotedEchoSeq = binary.BigEndian.Uint16(rest[6:8])
+					s.QuotedEchoValid = true
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseIPv4HeaderOnly decodes a possibly truncated quoted header without
+// enforcing the total-length bound (error quotes carry only 8 payload
+// bytes).
+func parseIPv4HeaderOnly(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, nil, fmt.Errorf("wire: quoted IPv4 header too short")
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, nil, fmt.Errorf("wire: quoted packet not IPv4")
+	}
+	h := IPv4Header{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      IPv4Addr(binary.BigEndian.Uint32(b[12:16])),
+		Dst:      IPv4Addr(binary.BigEndian.Uint32(b[16:20])),
+	}
+	return h, b[IPv4HeaderLen:], nil
+}

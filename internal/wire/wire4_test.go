@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var (
+	v4Src = IPv4AddrFrom(198, 51, 100, 7)
+	v4Dst = IPv4AddrFrom(203, 0, 113, 42)
+)
+
+func TestIPv4AddrString(t *testing.T) {
+	if got := v4Src.String(); got != "198.51.100.7" {
+		t.Errorf("String = %q", got)
+	}
+	if got := IPv4Addr(0).String(); got != "0.0.0.0" {
+		t.Errorf("zero = %q", got)
+	}
+}
+
+func TestIPv4HeaderRoundTrip(t *testing.T) {
+	f := func(tos uint8, id uint16, ttl, proto uint8, src, dst uint32, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		h := IPv4Header{TOS: tos, ID: id, TTL: ttl, Protocol: proto, Src: IPv4Addr(src), Dst: IPv4Addr(dst)}
+		b, err := h.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		got, pl, err := ParseIPv4(b)
+		if err != nil {
+			return false
+		}
+		if got != h || len(pl) != len(payload) {
+			return false
+		}
+		for i := range pl {
+			if pl[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPv4Rejects(t *testing.T) {
+	h := IPv4Header{TTL: 64, Protocol: 1, Src: v4Src, Dst: v4Dst}
+	good, err := h.Marshal([]byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ParseIPv4(good[:10]); err == nil {
+		t.Error("short packet accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 6 << 4
+	if _, _, err := ParseIPv4(bad); err == nil {
+		t.Error("IPv6 version accepted")
+	}
+	bad2 := append([]byte(nil), good...)
+	bad2[8] ^= 0xff // corrupt TTL without fixing checksum
+	if _, _, err := ParseIPv4(bad2); err == nil {
+		t.Error("checksum corruption accepted")
+	}
+}
+
+func TestEcho4RoundTrip(t *testing.T) {
+	pkt, err := BuildEchoRequest4(v4Src, v4Dst, 64, 0xbeef, 9, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParsePacket4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ICMP.Type != ICMP4EchoRequest || s.EchoID != 0xbeef || s.EchoSeq != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.IP.Src != v4Src || s.IP.Dst != v4Dst {
+		t.Errorf("addrs = %s -> %s", s.IP.Src, s.IP.Dst)
+	}
+}
+
+func TestICMP4ChecksumRejected(t *testing.T) {
+	pkt, err := BuildEchoRequest4(v4Src, v4Dst, 64, 1, 1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt[len(pkt)-1] ^= 0x1
+	if _, err := ParsePacket4(pkt); err == nil {
+		t.Error("corrupted ICMPv4 accepted")
+	}
+}
+
+func TestICMP4ErrorQuote(t *testing.T) {
+	probe, err := BuildEchoRequest4(v4Src, v4Dst, 64, 0xcafe, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := IPv4AddrFrom(10, 0, 0, 1)
+	errPkt, err := BuildICMP4Error(router, v4Src, ICMP4TimeExceeded, 0, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParsePacket4(errPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ICMP.Type != ICMP4TimeExceeded {
+		t.Fatalf("type = %d", s.ICMP.Type)
+	}
+	if s.Quoted == nil || s.Quoted.Dst != v4Dst || s.Quoted.Src != v4Src {
+		t.Fatalf("quoted = %+v", s.Quoted)
+	}
+	if !s.QuotedEchoValid || s.QuotedEchoID != 0xcafe || s.QuotedEchoSeq != 3 {
+		t.Errorf("quoted echo = %v %x/%d", s.QuotedEchoValid, s.QuotedEchoID, s.QuotedEchoSeq)
+	}
+	// The quote is truncated to header + 8 bytes per RFC 792.
+	if len(s.ICMP.Body) > 4+IPv4HeaderLen+8 {
+		t.Errorf("quote too long: %d", len(s.ICMP.Body))
+	}
+}
+
+func TestChecksum16Zeroes(t *testing.T) {
+	b := []byte{0x45, 0x00, 0x00, 0x1c, 0, 0, 0, 0, 64, 1, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}
+	c := checksum16(b)
+	b[10], b[11] = byte(c>>8), byte(c)
+	if checksum16(b) != 0 {
+		t.Error("checksum does not verify to zero")
+	}
+}

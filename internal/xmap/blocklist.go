@@ -1,0 +1,84 @@
+package xmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ipv6"
+)
+
+// ParseBlocklist reads a ZMap-style blocklist: one prefix per line,
+// with `#` comments and blank lines ignored. Bare addresses are treated
+// as /128 (or /32 for dotted quads, returned v4-mapped).
+//
+// Research scanners ship with a blocklist of reserved and opt-out space;
+// the paper's ethics section (IV-D) requires honoring it.
+func ParseBlocklist(r io.Reader) ([]ipv6.Prefix, error) {
+	var out []ipv6.Prefix
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p, err := parseBlockEntry(line)
+		if err != nil {
+			return nil, fmt.Errorf("xmap: blocklist line %d: %w", lineNo, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("xmap: reading blocklist: %w", err)
+	}
+	return out, nil
+}
+
+func parseBlockEntry(s string) (ipv6.Prefix, error) {
+	if strings.Contains(s, ":") {
+		if strings.Contains(s, "/") {
+			return ipv6.ParsePrefix(s)
+		}
+		a, err := ipv6.ParseAddr(s)
+		if err != nil {
+			return ipv6.Prefix{}, err
+		}
+		return ipv6.NewPrefix(a, 128)
+	}
+	// Dotted quad, possibly with /len: map into ::ffff:0:0/96.
+	addrPart, lenPart, hasLen := strings.Cut(s, "/")
+	v4, err := parseDottedQuad(addrPart)
+	if err != nil {
+		return ipv6.Prefix{}, err
+	}
+	bits := 32
+	if hasLen {
+		if _, err := fmt.Sscanf(lenPart, "%d", &bits); err != nil || bits < 0 || bits > 32 {
+			return ipv6.Prefix{}, fmt.Errorf("bad IPv4 prefix length %q", lenPart)
+		}
+	}
+	return ipv6.NewPrefix(ipv6.V4Mapped(v4), 96+bits)
+}
+
+func parseDottedQuad(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		var o int
+		if _, err := fmt.Sscanf(p, "%d", &o); err != nil || o < 0 || o > 255 || fmt.Sprintf("%d", o) != p {
+			return 0, fmt.Errorf("bad IPv4 octet %q in %q", p, s)
+		}
+		v = v<<8 | uint32(o)
+	}
+	return v, nil
+}

@@ -1,0 +1,63 @@
+package xmap
+
+import (
+	"repro/internal/bloom"
+	"repro/internal/ipv6"
+	"repro/internal/uint128"
+)
+
+// dedupSet suppresses duplicate responders. Two implementations back the
+// ablation in DESIGN.md: an exact map (unbounded memory, no false
+// positives) and a Bloom filter (fixed memory, responders may very
+// rarely be dropped as presumed duplicates).
+type dedupSet interface {
+	seen(a ipv6.Addr) bool
+	add(a ipv6.Addr)
+}
+
+// mapDedup is the exact-set implementation. It also counts responses per
+// responder, which downstream analysis uses to separate infrastructure
+// (which answers for thousands of probe destinations) from peripheries
+// (which answer for one or two).
+type mapDedup map[ipv6.Addr]uint64
+
+var _ dedupSet = (mapDedup)(nil)
+
+func (m mapDedup) seen(a ipv6.Addr) bool { return m[a] > 0 }
+
+func (m mapDedup) add(a ipv6.Addr) { m[a]++ }
+
+// bloomDedup wraps the Bloom filter.
+type bloomDedup struct {
+	f *bloom.Filter
+}
+
+var _ dedupSet = (*bloomDedup)(nil)
+
+// newBloomDedup sizes the filter for the scan space (capped: responders
+// cannot outnumber probes, and beyond 16M entries the map of a real scan
+// would be replaced by this filter anyway).
+func newBloomDedup(space uint128.Uint128) (*bloomDedup, error) {
+	n := uint64(1 << 24)
+	if space.Hi == 0 && space.Lo < n {
+		n = space.Lo
+	}
+	if n < 1024 {
+		n = 1024
+	}
+	f, err := bloom.New(n, 1e-4)
+	if err != nil {
+		return nil, err
+	}
+	return &bloomDedup{f: f}, nil
+}
+
+func (b *bloomDedup) seen(a ipv6.Addr) bool {
+	u := a.Uint128()
+	return b.f.ContainsUint64Pair(u.Hi, u.Lo)
+}
+
+func (b *bloomDedup) add(a ipv6.Addr) {
+	u := a.Uint128()
+	b.f.AddUint64Pair(u.Hi, u.Lo)
+}

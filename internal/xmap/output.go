@@ -1,0 +1,140 @@
+package xmap
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/filter"
+)
+
+// Record exposes a response to the output-filter expression language
+// (Section IV-B's field-filter module).
+func (r Response) Record() filter.MapRecord {
+	return filter.MapRecord{
+		"responder":     r.Responder.String(),
+		"probe_dst":     r.ProbeDst.String(),
+		"kind":          r.Kind.String(),
+		"code":          int64(r.Code),
+		"same_prefix64": r.SamePrefix64(),
+	}
+}
+
+// OutputModule consumes scan results, mirroring ZMap's output modules.
+type OutputModule interface {
+	// Write records one responder.
+	Write(r Response) error
+	// Flush finalizes buffered output.
+	Flush() error
+}
+
+// CSVOutput streams results as CSV rows:
+// responder,probe_dst,kind,code,same_prefix64.
+type CSVOutput struct {
+	mu sync.Mutex
+	w  *csv.Writer
+}
+
+var _ OutputModule = (*CSVOutput)(nil)
+
+// NewCSVOutput writes the header and returns the module.
+func NewCSVOutput(w io.Writer) (*CSVOutput, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"responder", "probe_dst", "kind", "code", "same_prefix64"}); err != nil {
+		return nil, fmt.Errorf("xmap: writing CSV header: %w", err)
+	}
+	return &CSVOutput{w: cw}, nil
+}
+
+// Write implements OutputModule.
+func (o *CSVOutput) Write(r Response) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.w.Write([]string{
+		r.Responder.String(),
+		r.ProbeDst.String(),
+		r.Kind.String(),
+		fmt.Sprintf("%d", r.Code),
+		fmt.Sprintf("%t", r.SamePrefix64()),
+	})
+}
+
+// Flush implements OutputModule.
+func (o *CSVOutput) Flush() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.w.Flush()
+	return o.w.Error()
+}
+
+// JSONOutput streams results as one JSON object per line.
+type JSONOutput struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+var _ OutputModule = (*JSONOutput)(nil)
+
+// NewJSONOutput returns an NDJSON writer.
+func NewJSONOutput(w io.Writer) *JSONOutput {
+	return &JSONOutput{enc: json.NewEncoder(w)}
+}
+
+// jsonRecord is the serialized row shape.
+type jsonRecord struct {
+	Responder    string `json:"responder"`
+	ProbeDst     string `json:"probe_dst"`
+	Kind         string `json:"kind"`
+	Code         uint8  `json:"code"`
+	SamePrefix64 bool   `json:"same_prefix64"`
+}
+
+// Write implements OutputModule.
+func (o *JSONOutput) Write(r Response) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.enc.Encode(jsonRecord{
+		Responder:    r.Responder.String(),
+		ProbeDst:     r.ProbeDst.String(),
+		Kind:         r.Kind.String(),
+		Code:         r.Code,
+		SamePrefix64: r.SamePrefix64(),
+	})
+}
+
+// Flush implements OutputModule.
+func (o *JSONOutput) Flush() error { return nil }
+
+// FilteredOutput gates an output module behind a filter expression.
+type FilteredOutput struct {
+	Expr *filter.Expr
+	Next OutputModule
+}
+
+var _ OutputModule = (*FilteredOutput)(nil)
+
+// NewFilteredOutput compiles src and wraps next.
+func NewFilteredOutput(src string, next OutputModule) (*FilteredOutput, error) {
+	e, err := filter.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &FilteredOutput{Expr: e, Next: next}, nil
+}
+
+// Write implements OutputModule.
+func (o *FilteredOutput) Write(r Response) error {
+	ok, err := o.Expr.Eval(r.Record())
+	if err != nil {
+		return fmt.Errorf("xmap: filter %q: %w", o.Expr, err)
+	}
+	if !ok {
+		return nil
+	}
+	return o.Next.Write(r)
+}
+
+// Flush implements OutputModule.
+func (o *FilteredOutput) Flush() error { return o.Next.Flush() }

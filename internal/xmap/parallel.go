@@ -1,0 +1,81 @@
+package xmap
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/ipv6"
+)
+
+// ScanParallel splits the window into shards (Config.Shards is
+// overridden) and runs one scanner goroutine per shard against the same
+// driver — the multi-threaded operation mode of the real tool. The
+// handler receives each responder exactly once across all shards; it is
+// invoked from multiple goroutines through an internal lock, so it needs
+// no synchronization of its own. The driver must be safe for concurrent
+// use (both bundled drivers are).
+func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handler Handler) (Stats, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	cfg.Shards = shards
+
+	var (
+		mu       sync.Mutex
+		seen     = make(map[ipv6.Addr]struct{})
+		total    Stats
+		firstErr error
+	)
+	dedupHandler := func(r Response) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := seen[r.Responder]; ok {
+			total.Duplicates++
+			return
+		}
+		seen[r.Responder] = struct{}{}
+		if handler != nil {
+			handler(r)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		shardCfg := cfg
+		shardCfg.ShardIndex = i
+		scanner, err := New(shardCfg, drv)
+		if err != nil {
+			return total, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := scanner.Run(ctx, dedupHandler)
+			mu.Lock()
+			defer mu.Unlock()
+			total.Targets += stats.Targets
+			total.Sent += stats.Sent
+			total.SendErrors += stats.SendErrors
+			total.Received += stats.Received
+			total.Invalid += stats.Invalid
+			total.Blocked += stats.Blocked
+			if stats.Elapsed > total.Elapsed {
+				total.Elapsed = stats.Elapsed
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	total.Unique = uint64(len(seen))
+	err := firstErr
+	mu.Unlock()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return total, err
+	}
+	return total, err
+}

@@ -1,0 +1,322 @@
+package xmap
+
+import (
+	"fmt"
+
+	"repro/internal/dnswire"
+	"repro/internal/ipv6"
+	"repro/internal/ntpwire"
+	"repro/internal/wire"
+)
+
+// ResponseKind classifies what came back for a probe.
+type ResponseKind int
+
+// Response kinds.
+const (
+	KindEchoReply ResponseKind = iota + 1
+	KindDestUnreach
+	KindTimeExceeded
+	KindTCPSynAck
+	KindTCPRst
+	KindUDPData
+)
+
+// String names the kind.
+func (k ResponseKind) String() string {
+	switch k {
+	case KindEchoReply:
+		return "echo-reply"
+	case KindDestUnreach:
+		return "dest-unreach"
+	case KindTimeExceeded:
+		return "time-exceeded"
+	case KindTCPSynAck:
+		return "tcp-synack"
+	case KindTCPRst:
+		return "tcp-rst"
+	case KindUDPData:
+		return "udp-data"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Response is one validated scan response.
+type Response struct {
+	// Responder is the address that answered — for unreachable errors,
+	// the periphery's own (WAN/UE) address.
+	Responder ipv6.Addr
+	// ProbeDst is the address the probe was sent to.
+	ProbeDst ipv6.Addr
+	Kind     ResponseKind
+	// Code is the ICMPv6 code for error kinds.
+	Code uint8
+	// Payload is the application payload for KindUDPData.
+	Payload []byte
+}
+
+// SamePrefix64 reports whether responder and probe destination share a
+// /64 — the "same"/"diff" split of the paper's Table II.
+func (r Response) SamePrefix64() bool {
+	return r.Responder.Prefix64() == r.ProbeDst.Prefix64()
+}
+
+// Validator derives the per-target stateless validation value, ZMap-style
+// (an HMAC of the destination keyed by the scan seed).
+type Validator func(dst ipv6.Addr) uint32
+
+// ProbeModule builds probes and classifies responses; implementations
+// mirror ZMap's probe modules.
+type ProbeModule interface {
+	// Name is the module identifier (e.g. "icmp6_echoscan").
+	Name() string
+	// MakeProbe builds the raw probe packet.
+	MakeProbe(src, dst ipv6.Addr, val uint32) ([]byte, error)
+	// Classify inspects a received packet; ok=false if the packet is not
+	// a validated response to this module's probes.
+	Classify(sum *wire.Summary, validate Validator) (Response, bool)
+}
+
+// ICMPEchoProbe is the icmp6_echoscan module — the paper's discovery
+// workhorse. The validation value rides in the echo identifier and
+// sequence fields.
+type ICMPEchoProbe struct {
+	// HopLimit of outgoing probes (default 64). The routing-loop scan
+	// uses elevated values per Section VI-B.
+	HopLimit uint8
+	// Data is the echo payload.
+	Data []byte
+}
+
+var _ ProbeModule = (*ICMPEchoProbe)(nil)
+
+// Name implements ProbeModule.
+func (p *ICMPEchoProbe) Name() string { return "icmp6_echoscan" }
+
+func (p *ICMPEchoProbe) hopLimit() uint8 {
+	if p.HopLimit == 0 {
+		return 64
+	}
+	return p.HopLimit
+}
+
+// MakeProbe implements ProbeModule.
+func (p *ICMPEchoProbe) MakeProbe(src, dst ipv6.Addr, val uint32) ([]byte, error) {
+	return wire.BuildEchoRequest(src, dst, p.hopLimit(), uint16(val>>16), uint16(val), p.Data)
+}
+
+// Classify implements ProbeModule.
+func (p *ICMPEchoProbe) Classify(sum *wire.Summary, validate Validator) (Response, bool) {
+	if sum.ICMP == nil {
+		return Response{}, false
+	}
+	switch sum.ICMP.Type {
+	case wire.ICMPEchoReply:
+		e, err := wire.ParseEcho(sum.ICMP.Body)
+		if err != nil {
+			return Response{}, false
+		}
+		// The responder is the probed address itself.
+		val := validate(sum.IP.Src)
+		if e.ID != uint16(val>>16) || e.Seq != uint16(val) {
+			return Response{}, false
+		}
+		return Response{Responder: sum.IP.Src, ProbeDst: sum.IP.Src, Kind: KindEchoReply}, true
+
+	case wire.ICMPDestUnreach, wire.ICMPTimeExceeded:
+		inv, err := wire.ParseInvoking(sum.ICMP.Body)
+		if err != nil || inv.IP.NextHeader != wire.ProtoICMPv6 {
+			return Response{}, false
+		}
+		val := validate(inv.IP.Dst)
+		if inv.EchoID != uint16(val>>16) || inv.EchoSeq != uint16(val) {
+			return Response{}, false
+		}
+		kind := KindDestUnreach
+		if sum.ICMP.Type == wire.ICMPTimeExceeded {
+			kind = KindTimeExceeded
+		}
+		return Response{
+			Responder: sum.IP.Src,
+			ProbeDst:  inv.IP.Dst,
+			Kind:      kind,
+			Code:      sum.ICMP.Code,
+		}, true
+	}
+	return Response{}, false
+}
+
+// TCPSynProbe is the tcp_synscan module: a SYN whose sequence number is
+// the validation value.
+type TCPSynProbe struct {
+	Port     uint16
+	HopLimit uint8
+}
+
+var _ ProbeModule = (*TCPSynProbe)(nil)
+
+// Name implements ProbeModule.
+func (p *TCPSynProbe) Name() string { return "tcp_synscan" }
+
+func (p *TCPSynProbe) hopLimit() uint8 {
+	if p.HopLimit == 0 {
+		return 64
+	}
+	return p.HopLimit
+}
+
+// srcPortBase spreads flows while keeping the port derivable.
+const srcPortBase = 32768
+
+// MakeProbe implements ProbeModule.
+func (p *TCPSynProbe) MakeProbe(src, dst ipv6.Addr, val uint32) ([]byte, error) {
+	t := wire.TCPHeader{
+		SrcPort: srcPortBase + uint16(val%8192),
+		DstPort: p.Port,
+		Seq:     val,
+		Flags:   wire.TCPSyn,
+		Window:  65535,
+	}
+	return wire.BuildTCP(src, dst, p.hopLimit(), t, nil)
+}
+
+// Classify implements ProbeModule.
+func (p *TCPSynProbe) Classify(sum *wire.Summary, validate Validator) (Response, bool) {
+	switch {
+	case sum.TCP != nil:
+		if sum.TCP.SrcPort != p.Port {
+			return Response{}, false
+		}
+		val := validate(sum.IP.Src)
+		if sum.TCP.DstPort != srcPortBase+uint16(val%8192) {
+			return Response{}, false
+		}
+		if sum.TCP.Ack != val+1 {
+			return Response{}, false
+		}
+		kind := KindTCPRst
+		if sum.TCP.Flags&wire.TCPSyn != 0 && sum.TCP.Flags&wire.TCPAck != 0 {
+			kind = KindTCPSynAck
+		}
+		return Response{Responder: sum.IP.Src, ProbeDst: sum.IP.Src, Kind: kind}, true
+
+	case sum.ICMP != nil && (sum.ICMP.Type == wire.ICMPDestUnreach || sum.ICMP.Type == wire.ICMPTimeExceeded):
+		inv, err := wire.ParseInvoking(sum.ICMP.Body)
+		if err != nil || inv.IP.NextHeader != wire.ProtoTCP {
+			return Response{}, false
+		}
+		val := validate(inv.IP.Dst)
+		if inv.SrcPort != srcPortBase+uint16(val%8192) || inv.DstPort != p.Port {
+			return Response{}, false
+		}
+		kind := KindDestUnreach
+		if sum.ICMP.Type == wire.ICMPTimeExceeded {
+			kind = KindTimeExceeded
+		}
+		return Response{Responder: sum.IP.Src, ProbeDst: inv.IP.Dst, Kind: kind, Code: sum.ICMP.Code}, true
+	}
+	return Response{}, false
+}
+
+// UDPProbe is the udpscan module with a pluggable payload builder; the
+// DNS and NTP probe constructors below specialize it. The validation
+// value selects the source port.
+type UDPProbe struct {
+	ModName  string
+	Port     uint16
+	HopLimit uint8
+	// Payload builds the datagram body for a validation value.
+	Payload func(val uint32) ([]byte, error)
+	// ValidPayload checks an application response (already port-matched).
+	ValidPayload func(val uint32, body []byte) bool
+}
+
+var _ ProbeModule = (*UDPProbe)(nil)
+
+// Name implements ProbeModule.
+func (p *UDPProbe) Name() string { return p.ModName }
+
+func (p *UDPProbe) hopLimit() uint8 {
+	if p.HopLimit == 0 {
+		return 64
+	}
+	return p.HopLimit
+}
+
+func (p *UDPProbe) srcPort(val uint32) uint16 { return srcPortBase + uint16(val%8192) }
+
+// MakeProbe implements ProbeModule.
+func (p *UDPProbe) MakeProbe(src, dst ipv6.Addr, val uint32) ([]byte, error) {
+	body, err := p.Payload(val)
+	if err != nil {
+		return nil, err
+	}
+	return wire.BuildUDP(src, dst, p.hopLimit(), p.srcPort(val), p.Port, body)
+}
+
+// Classify implements ProbeModule.
+func (p *UDPProbe) Classify(sum *wire.Summary, validate Validator) (Response, bool) {
+	switch {
+	case sum.UDP != nil:
+		if sum.UDP.SrcPort != p.Port {
+			return Response{}, false
+		}
+		val := validate(sum.IP.Src)
+		if sum.UDP.DstPort != p.srcPort(val) {
+			return Response{}, false
+		}
+		if p.ValidPayload != nil && !p.ValidPayload(val, sum.Payload) {
+			return Response{}, false
+		}
+		return Response{Responder: sum.IP.Src, ProbeDst: sum.IP.Src, Kind: KindUDPData, Payload: sum.Payload}, true
+
+	case sum.ICMP != nil && (sum.ICMP.Type == wire.ICMPDestUnreach || sum.ICMP.Type == wire.ICMPTimeExceeded):
+		inv, err := wire.ParseInvoking(sum.ICMP.Body)
+		if err != nil || inv.IP.NextHeader != wire.ProtoUDP {
+			return Response{}, false
+		}
+		val := validate(inv.IP.Dst)
+		if inv.SrcPort != p.srcPort(val) || inv.DstPort != p.Port {
+			return Response{}, false
+		}
+		kind := KindDestUnreach
+		if sum.ICMP.Type == wire.ICMPTimeExceeded {
+			kind = KindTimeExceeded
+		}
+		return Response{Responder: sum.IP.Src, ProbeDst: inv.IP.Dst, Kind: kind, Code: sum.ICMP.Code}, true
+	}
+	return Response{}, false
+}
+
+// NewDNSProbe returns a udpscan module sending an A query ("A" query of
+// Table VI); the query ID carries the low validation bits.
+func NewDNSProbe(qname string) *UDPProbe {
+	return &UDPProbe{
+		ModName: "dnsscan",
+		Port:    53,
+		Payload: func(val uint32) ([]byte, error) {
+			return dnswire.NewQuery(uint16(val), qname, dnswire.TypeA, dnswire.ClassIN).Marshal()
+		},
+		ValidPayload: func(val uint32, body []byte) bool {
+			m, err := dnswire.Parse(body)
+			return err == nil && m.ID == uint16(val) && m.Flags&dnswire.FlagQR != 0
+		},
+	}
+}
+
+// NewNTPProbe returns a udpscan module sending an NTP version query.
+func NewNTPProbe() *UDPProbe {
+	return &UDPProbe{
+		ModName: "ntpscan",
+		Port:    123,
+		Payload: func(val uint32) ([]byte, error) {
+			return ntpwire.NewClientQuery(uint64(val)<<32 | uint64(val)).Marshal()
+		},
+		ValidPayload: func(val uint32, body []byte) bool {
+			pkt, err := ntpwire.Parse(body)
+			return err == nil && pkt.Mode == ntpwire.ModeServer &&
+				pkt.OrigTimestamp == uint64(val)<<32|uint64(val)
+		},
+	}
+}

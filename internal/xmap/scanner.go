@@ -1,0 +1,332 @@
+package xmap
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"repro/internal/ipv6"
+	"repro/internal/lpm"
+	"repro/internal/perm"
+	"repro/internal/uint128"
+	"repro/internal/wire"
+)
+
+// Config parameterizes one scan.
+type Config struct {
+	// Window is the target space: all sub-prefixes of the given length
+	// within the base prefix, each probed once at a pseudo-random
+	// interface identifier (Section III-B).
+	Window ipv6.Window
+	// Probe is the probe module; nil means ICMPv6 echo.
+	Probe ProbeModule
+	// Seed keys the permutation, the per-target IIDs and the stateless
+	// validation. Scans with equal seeds are identical.
+	Seed []byte
+	// ShardIndex/Shards split the permutation across scanner instances
+	// (ZMap-style sharding); Shards=0 means 1.
+	ShardIndex, Shards int
+	// Rate caps probes per second; 0 disables limiting (the simulator
+	// runs faster than any real link).
+	Rate int
+	// MaxTargets stops after probing this many sub-prefixes (0 = all).
+	MaxTargets uint64
+	// Blocklist prefixes are never probed; Allowlist, when non-empty,
+	// restricts probing to within it.
+	Blocklist []ipv6.Prefix
+	Allowlist []ipv6.Prefix
+	// ProbesPerTarget sends this many copies of each probe (ZMap's -P),
+	// recovering hit rate on lossy paths; default 1. Duplicate replies
+	// are absorbed by responder dedup.
+	ProbesPerTarget int
+	// DrainEvery pumps the receive path after this many probes
+	// (default 64).
+	DrainEvery int
+	// DedupExact uses an exact map for responder dedup instead of the
+	// default Bloom filter — the ablation knob of DESIGN.md.
+	DedupExact bool
+}
+
+// Stats summarizes a finished scan.
+type Stats struct {
+	// Targets is the number of sub-prefixes probed.
+	Targets    uint64
+	Sent       uint64
+	SendErrors uint64
+	Received   uint64 // validated responses, including duplicates
+	Invalid    uint64 // packets failing parse or validation
+	Duplicates uint64 // validated responses from already-seen responders
+	Unique     uint64 // unique responders handed to the handler
+	Blocked    uint64 // targets skipped by blocklist/allowlist
+	Elapsed    time.Duration
+}
+
+// HitRate is unique responders per probe sent.
+func (s Stats) HitRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Unique) / float64(s.Sent)
+}
+
+// Handler consumes one first-seen responder.
+type Handler func(Response)
+
+// Scanner executes scans against a Driver.
+type Scanner struct {
+	cfg   Config
+	drv   Driver
+	probe ProbeModule
+	cycle *perm.Cycle
+	block *lpm.Table[bool]
+	allow *lpm.Table[bool]
+	dedup dedupSet
+}
+
+// New validates the configuration and prepares a scanner.
+func New(cfg Config, drv Driver) (*Scanner, error) {
+	if drv == nil {
+		return nil, fmt.Errorf("xmap: nil driver")
+	}
+	if cfg.Window.To == 0 {
+		return nil, fmt.Errorf("xmap: no scan window configured")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.Shards {
+		return nil, fmt.Errorf("xmap: shard %d of %d invalid", cfg.ShardIndex, cfg.Shards)
+	}
+	if cfg.DrainEvery <= 0 {
+		cfg.DrainEvery = 64
+	}
+	if cfg.ProbesPerTarget <= 0 {
+		cfg.ProbesPerTarget = 1
+	}
+	if cfg.ProbesPerTarget > 16 {
+		return nil, fmt.Errorf("xmap: %d probes per target is unreasonable", cfg.ProbesPerTarget)
+	}
+	if len(cfg.Seed) == 0 {
+		cfg.Seed = []byte("xmap-default-seed")
+	}
+	size, ok := cfg.Window.Size()
+	if !ok {
+		return nil, fmt.Errorf("xmap: window %s too large", cfg.Window)
+	}
+	cycle, err := perm.NewCycle(size, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("xmap: building permutation: %w", err)
+	}
+	s := &Scanner{cfg: cfg, drv: drv, cycle: cycle}
+	s.probe = cfg.Probe
+	if s.probe == nil {
+		s.probe = &ICMPEchoProbe{}
+	}
+	if len(cfg.Blocklist) > 0 {
+		s.block = lpm.New[bool]()
+		for _, p := range cfg.Blocklist {
+			s.block.Insert(p, true)
+		}
+	}
+	if len(cfg.Allowlist) > 0 {
+		s.allow = lpm.New[bool]()
+		for _, p := range cfg.Allowlist {
+			s.allow.Insert(p, true)
+		}
+	}
+	if cfg.DedupExact {
+		s.dedup = make(mapDedup)
+	} else {
+		bf, err := newBloomDedup(size)
+		if err != nil {
+			return nil, fmt.Errorf("xmap: sizing dedup filter: %w", err)
+		}
+		s.dedup = bf
+	}
+	return s, nil
+}
+
+// ResponderCounts returns per-responder response counts when the exact
+// dedup set is in use (Config.DedupExact), nil otherwise. Infrastructure
+// routers answer for many destinations; peripheries for few — the
+// distinction Section IV-E's periphery validation leans on.
+func (s *Scanner) ResponderCounts() map[ipv6.Addr]uint64 {
+	if m, ok := s.dedup.(mapDedup); ok {
+		return m
+	}
+	return nil
+}
+
+// Validation derives the stateless validation value for dst, exposed so
+// cooperating tools (the loop scanner) can pre-compute expected values.
+func (s *Scanner) Validation(dst ipv6.Addr) uint32 {
+	mac := hmac.New(sha256.New, s.cfg.Seed)
+	mac.Write([]byte("validate"))
+	b := dst.Bytes()
+	mac.Write(b[:])
+	sum := mac.Sum(nil)
+	return uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+}
+
+// TargetFor returns the probe address for a window index: the sub-prefix
+// base combined with a pseudo-random host part (the nonexistent-address
+// IID of Section III-B).
+func (s *Scanner) TargetFor(idx uint128.Uint128) (ipv6.Addr, error) {
+	sub, err := s.cfg.Window.Sub(idx)
+	if err != nil {
+		return ipv6.Addr{}, err
+	}
+	hostBits := uint(128 - s.cfg.Window.To)
+	if hostBits == 0 {
+		return sub.Addr(), nil
+	}
+	mac := hmac.New(sha256.New, s.cfg.Seed)
+	mac.Write([]byte("iid"))
+	b := sub.Addr().Bytes()
+	mac.Write(b[:])
+	sum := mac.Sum(nil)
+	host := uint128.FromBytes(sum[:16])
+	if hostBits < 128 {
+		host = host.And(uint128.Max.Rsh(128 - hostBits))
+	}
+	if host.IsZero() {
+		host = uint128.One // never probe the subnet-router anycast address
+	}
+	return ipv6.AddrFrom128(sub.Addr().Uint128().Or(host)), nil
+}
+
+// Run executes the scan, invoking handler for each first-seen responder.
+// It honors ctx cancellation between probes.
+func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
+	var stats Stats
+	start := time.Now()
+	it := s.cycle.Shard(s.cfg.ShardIndex, s.cfg.Shards)
+	src := s.drv.SourceAddr()
+
+	var limiter *rateLimiter
+	if s.cfg.Rate > 0 {
+		limiter = newRateLimiter(s.cfg.Rate)
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, err
+		}
+		if s.cfg.MaxTargets > 0 && stats.Targets >= s.cfg.MaxTargets {
+			break
+		}
+		idx, ok := it.Next()
+		if !ok {
+			break
+		}
+		target, err := s.TargetFor(idx)
+		if err != nil {
+			return stats, err
+		}
+		if s.skipTarget(target) {
+			stats.Blocked++
+			continue
+		}
+		pkt, err := s.probe.MakeProbe(src, target, s.Validation(target))
+		if err != nil {
+			return stats, fmt.Errorf("xmap: building probe for %s: %w", target, err)
+		}
+		for copyN := 0; copyN < s.cfg.ProbesPerTarget; copyN++ {
+			if limiter != nil {
+				limiter.wait()
+			}
+			if err := s.drv.Send(pkt); err != nil {
+				stats.SendErrors++
+			} else {
+				stats.Sent++
+			}
+		}
+		stats.Targets++
+		if stats.Targets%uint64(s.cfg.DrainEvery) == 0 {
+			s.drain(&stats, handler)
+		}
+	}
+	// Final drains: catch stragglers (a real driver may deliver late).
+	for i := 0; i < 3; i++ {
+		s.drain(&stats, handler)
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// skipTarget applies allowlist then blocklist.
+func (s *Scanner) skipTarget(a ipv6.Addr) bool {
+	if s.allow != nil {
+		if _, ok := s.allow.Lookup(a); !ok {
+			return true
+		}
+	}
+	if s.block != nil {
+		if _, ok := s.block.Lookup(a); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// drain pumps the receive path through classification, validation and
+// dedup.
+func (s *Scanner) drain(stats *Stats, handler Handler) {
+	rawMod, isRaw := s.probe.(RawProbeModule)
+	for _, raw := range s.drv.Recv() {
+		var (
+			resp Response
+			ok   bool
+		)
+		if isRaw {
+			resp, ok = rawMod.ClassifyRaw(raw, s.Validation)
+		} else {
+			sum, err := wire.ParsePacket(raw)
+			if err != nil {
+				stats.Invalid++
+				continue
+			}
+			resp, ok = s.probe.Classify(sum, s.Validation)
+		}
+		if !ok {
+			stats.Invalid++
+			continue
+		}
+		stats.Received++
+		if s.dedup.seen(resp.Responder) {
+			stats.Duplicates++
+			s.dedup.add(resp.Responder) // keep per-responder counts exact
+			continue
+		}
+		s.dedup.add(resp.Responder)
+		stats.Unique++
+		if handler != nil {
+			handler(resp)
+		}
+	}
+}
+
+// rateLimiter is a token bucket over wall-clock time.
+type rateLimiter struct {
+	interval time.Duration
+	next     time.Time
+}
+
+func newRateLimiter(rate int) *rateLimiter {
+	return &rateLimiter{interval: time.Second / time.Duration(rate), next: time.Now()}
+}
+
+func (r *rateLimiter) wait() {
+	now := time.Now()
+	if now.Before(r.next) {
+		time.Sleep(r.next.Sub(now))
+	}
+	r.next = r.next.Add(r.interval)
+	if r.next.Before(now.Add(-time.Second)) {
+		// Deep deficit (slow sender); don't accumulate unbounded burst.
+		r.next = now
+	}
+}

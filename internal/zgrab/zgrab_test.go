@@ -1,0 +1,181 @@
+package zgrab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/services"
+	"repro/internal/topo"
+	"repro/internal/xmap"
+)
+
+// fixture returns a deployment of China Mobile broadband (the ISP with
+// the richest service exposure) plus a prober attached to it.
+func fixture(t *testing.T) (*topo.Deployment, *Prober) {
+	t.Helper()
+	dep, err := topo.Build(topo.Config{
+		Seed: 31, Scale: 0.00003, WindowWidth: 10,
+		MaxDevicesPerISP: 150, OnlyISPs: []int{13},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, New(xmap.NewSimDriver(dep.Engine, dep.Edge))
+}
+
+func TestProbeMatchesGroundTruth(t *testing.T) {
+	dep, p := fixture(t)
+	devs := dep.ISPs[0].Devices
+	withServices := 0
+	for _, dev := range devs {
+		res, err := p.ProbeDevice(dev.WANAddr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, svc := range services.All {
+			_, want := dev.Services[svc]
+			got := res.Results[svc].Alive
+			if want != got {
+				t.Errorf("device %s (%s) service %s: alive=%v, ground truth %v",
+					dev.WANAddr, dev.Vendor, svc, got, want)
+			}
+		}
+		if len(dev.Services) > 0 {
+			withServices++
+		}
+	}
+	if withServices == 0 {
+		t.Fatal("sample has no devices with services; enlarge fixture")
+	}
+}
+
+func TestSoftwareExtraction(t *testing.T) {
+	dep, p := fixture(t)
+	checked := map[services.ID]bool{}
+	for _, dev := range dep.ISPs[0].Devices {
+		for svc, sw := range dev.Services {
+			res, err := p.ProbeDevice(dev.WANAddr, []services.ID{svc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Results[svc]
+			if !got.Alive {
+				t.Errorf("%s on %s not alive", svc, dev.WANAddr)
+				continue
+			}
+			switch svc {
+			case services.SvcDNS, services.SvcFTP, services.SvcSSH, services.SvcHTTP80, services.SvcHTTP8080:
+				if got.Software != sw {
+					t.Errorf("%s software = %q, deployed %q", svc, got.Software, sw)
+				}
+			case services.SvcNTP:
+				if got.Software != "NTPv4" {
+					t.Errorf("NTP software = %q", got.Software)
+				}
+			}
+			checked[svc] = true
+		}
+	}
+	for _, svc := range []services.ID{services.SvcDNS, services.SvcHTTP8080} {
+		if !checked[svc] {
+			t.Errorf("fixture exposed no %s to verify", svc)
+		}
+	}
+}
+
+func TestVendorEvidence(t *testing.T) {
+	dep, p := fixture(t)
+	matched, withEvidence := 0, 0
+	for _, dev := range dep.ISPs[0].Devices {
+		if len(dev.Services) == 0 {
+			continue
+		}
+		res, err := p.ProbeDevice(dev.WANAddr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Vendor == "" {
+			continue
+		}
+		withEvidence++
+		if res.Vendor == dev.Vendor {
+			matched++
+		}
+	}
+	if withEvidence == 0 {
+		t.Skip("no vendor evidence in sample")
+	}
+	if matched*10 < withEvidence*8 {
+		t.Errorf("vendor evidence matched %d/%d", matched, withEvidence)
+	}
+}
+
+func TestLoginPageDetection(t *testing.T) {
+	dep, p := fixture(t)
+	for _, dev := range dep.ISPs[0].Devices {
+		if _, ok := dev.Services[services.SvcHTTP80]; !ok {
+			continue
+		}
+		res, err := p.ProbeDevice(dev.WANAddr, []services.ID{services.SvcHTTP80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Results[services.SvcHTTP80].LoginPage {
+			t.Errorf("management page on %s not flagged as login page", dev.WANAddr)
+		}
+		return
+	}
+	t.Skip("no HTTP-80 device in sample")
+}
+
+func TestDeadDeviceAllSilent(t *testing.T) {
+	dep, p := fixture(t)
+	var quiet *topo.Device
+	for _, dev := range dep.ISPs[0].Devices {
+		if len(dev.Services) == 0 {
+			quiet = dev
+			break
+		}
+	}
+	if quiet == nil {
+		t.Skip("every device has services")
+	}
+	res, err := p.ProbeDevice(quiet.WANAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AliveCount() != 0 {
+		t.Errorf("service-less device reported %d alive services", res.AliveCount())
+	}
+}
+
+func TestStripTelnetIAC(t *testing.T) {
+	in := []byte{255, 251, 1, 255, 251, 3, 'h', 'i'}
+	if got := stripTelnetIAC(in); got != "hi" {
+		t.Errorf("stripTelnetIAC = %q", got)
+	}
+}
+
+func TestCutBetween(t *testing.T) {
+	if v, ok := cutBetween("CN=Acme router,O=Acme", "O=", ","); !ok || v != "Acme" {
+		t.Errorf("cutBetween = %q,%v", v, ok)
+	}
+	if v, ok := cutBetween("CN=Acme router", "CN=", " router"); !ok || v != "Acme" {
+		t.Errorf("cutBetween = %q,%v", v, ok)
+	}
+	if _, ok := cutBetween("nothing", "O=", ","); ok {
+		t.Error("cutBetween matched absent marker")
+	}
+}
+
+func TestTelnetVendorParsing(t *testing.T) {
+	var res ServiceResult
+	banner := append([]byte{255, 251, 1}, []byte("HG6543C\r\nYouhua Tech login: ")...)
+	parseTelnet(banner, nil, &res)
+	if res.Vendor != "Youhua Tech" {
+		t.Errorf("vendor = %q", res.Vendor)
+	}
+	if !strings.Contains(res.Software, "HG6543C") {
+		t.Errorf("software = %q", res.Software)
+	}
+}
