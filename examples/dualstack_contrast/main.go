@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -21,7 +22,10 @@ import (
 
 const homes = 8
 
+var seed = flag.Int64("seed", 3, "simulation seed (same seed, same output)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "dualstack_contrast:", err)
 		os.Exit(1)
@@ -60,7 +64,7 @@ func scanIPv4World() error {
 	if err != nil {
 		return err
 	}
-	scanner, err := xmap.New(xmap.Config{Window: w, Probe: &xmap.ICMPEcho4Probe{}, Seed: []byte("v4")}, drv)
+	scanner, err := xmap.New(xmap.Config{Window: w, Probe: &xmap.ICMPEcho4Probe{}, Seed: []byte(fmt.Sprintf("v4-%d", *seed))}, drv)
 	if err != nil {
 		return err
 	}
@@ -84,7 +88,7 @@ func scanIPv4World() error {
 // world.
 func scanIPv6World() error {
 	dep, err := topo.Build(topo.Config{
-		Seed: 3, Scale: 0.0001, WindowWidth: 10,
+		Seed: *seed, Scale: 0.0001, WindowWidth: 10,
 		MaxDevicesPerISP: homes, OnlyISPs: []int{12},
 	})
 	if err != nil {
@@ -92,7 +96,7 @@ func scanIPv6World() error {
 	}
 	isp := dep.ISPs[0]
 	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
-	scanner, err := xmap.New(xmap.Config{Window: isp.Window, Seed: []byte("v6"), DedupExact: true}, drv)
+	scanner, err := xmap.New(xmap.Config{Window: isp.Window, Seed: []byte(fmt.Sprintf("v6-%d", *seed)), DedupExact: true}, drv)
 	if err != nil {
 		return err
 	}

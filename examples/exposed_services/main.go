@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -18,7 +19,10 @@ import (
 	"repro/internal/zgrab"
 )
 
+var seed = flag.Int64("seed", 13, "simulation seed (same seed, same output)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "exposed_services:", err)
 		os.Exit(1)
@@ -29,7 +33,7 @@ func run() error {
 	// China Unicom broadband: the second-most-exposed ISP in Table VII
 	// (24.6% of peripheries answer at least one service).
 	dep, err := topo.Build(topo.Config{
-		Seed:             13,
+		Seed:             *seed,
 		Scale:            0.001,
 		WindowWidth:      11,
 		MaxDevicesPerISP: 400,
@@ -43,7 +47,7 @@ func run() error {
 
 	// Discovery scan.
 	scanner, err := xmap.New(xmap.Config{
-		Window: isp.Window, Seed: []byte("svc"), DedupExact: true,
+		Window: isp.Window, Seed: []byte(fmt.Sprintf("svc-%d", *seed)), DedupExact: true,
 	}, drv)
 	if err != nil {
 		return err

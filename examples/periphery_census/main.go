@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,7 +18,10 @@ import (
 	"repro/internal/xmap"
 )
 
+var seed = flag.Int64("seed", 11, "simulation seed (same seed, same output)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "periphery_census:", err)
 		os.Exit(1)
@@ -28,7 +32,7 @@ func run() error {
 	// Three contrasting ISPs: an Indian /64-boundary mobile carrier, a
 	// US /56 broadband provider, and a Chinese /60 broadband provider.
 	dep, err := topo.Build(topo.Config{
-		Seed:             11,
+		Seed:             *seed,
 		Scale:            0.001,
 		WindowWidth:      10,
 		MaxDevicesPerISP: 200,
@@ -43,7 +47,7 @@ func run() error {
 	// bit-flipping around a discovered periphery.
 	fmt.Println("== Subnet boundary inference ==")
 	for _, isp := range dep.ISPs {
-		res, err := subnet.Infer(drv, isp.Window.Base, subnet.Options{Seed: 3, MaxPreliminary: 8192})
+		res, err := subnet.Infer(drv, isp.Window.Base, subnet.Options{Seed: *seed, MaxPreliminary: 8192})
 		if err != nil {
 			fmt.Printf("  %-16s inference failed: %v\n", isp.Spec.Name, err)
 			continue
@@ -57,7 +61,7 @@ func run() error {
 	for _, isp := range dep.ISPs {
 		scanner, err := xmap.New(xmap.Config{
 			Window:     isp.Window,
-			Seed:       []byte("census"),
+			Seed:       []byte(fmt.Sprintf("census-%d", *seed)),
 			DedupExact: true,
 		}, drv)
 		if err != nil {

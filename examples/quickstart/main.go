@@ -5,6 +5,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -12,7 +13,10 @@ import (
 	"repro/internal/xmap"
 )
 
+var seed = flag.Int64("seed", 7, "simulation seed (same seed, same output)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
@@ -23,7 +27,7 @@ func run() error {
 	// One ISP (China Mobile broadband), ~50 simulated home routers, each
 	// delegated a /60 from the provider block.
 	dep, err := topo.Build(topo.Config{
-		Seed:             7,
+		Seed:             *seed,
 		Scale:            0.0001,
 		WindowWidth:      10,
 		MaxDevicesPerISP: 50,
@@ -41,7 +45,7 @@ func run() error {
 	// WAN address.
 	scanner, err := xmap.New(xmap.Config{
 		Window: isp.Window,
-		Seed:   []byte("quickstart"),
+		Seed:   []byte(fmt.Sprintf("quickstart-%d", *seed)),
 	}, xmap.NewSimDriver(dep.Engine, dep.Edge))
 	if err != nil {
 		return err

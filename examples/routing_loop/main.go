@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,7 +17,10 @@ import (
 	"repro/internal/xmap"
 )
 
+var seed = flag.Int64("seed", 17, "simulation seed (same seed, same output)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "routing_loop:", err)
 		os.Exit(1)
@@ -26,7 +30,7 @@ func main() {
 func run() error {
 	// China Unicom broadband: 78.9% of its last hops loop (Table XI).
 	dep, err := topo.Build(topo.Config{
-		Seed:             17,
+		Seed:             *seed,
 		Scale:            0.0005,
 		WindowWidth:      10,
 		MaxDevicesPerISP: 300,
@@ -40,7 +44,7 @@ func run() error {
 
 	// Step 1: the measurement sweep (hop limit 32, then 32+2 to confirm).
 	det := loopscan.NewDetector(drv)
-	res, err := det.ScanWindows([]ipv6.Window{isp.Window}, []byte("loop-example"))
+	res, err := det.ScanWindows([]ipv6.Window{isp.Window}, []byte(fmt.Sprintf("loop-example-%d", *seed)))
 	if err != nil {
 		return err
 	}
@@ -80,7 +84,7 @@ func run() error {
 
 	// Step 4: the Table XII lab — every modelled router, latest
 	// firmware, loop-tested on WAN and LAN prefixes.
-	lab, err := topo.BuildLab(17)
+	lab, err := topo.BuildLab(*seed)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,81 @@
+package lpm
+
+import "repro/internal/ipv6"
+
+// Linear is a reference longest-prefix-match implementation backed by a
+// flat slice scanned on every lookup. It exists as the differential
+// oracle for Table: same API, obviously-correct O(n) semantics, so the
+// two can be run over identical inserts and queries and diffed.
+type Linear[V any] struct {
+	entries []linEntry[V]
+}
+
+type linEntry[V any] struct {
+	prefix ipv6.Prefix
+	val    V
+}
+
+// NewLinear returns an empty table.
+func NewLinear[V any]() *Linear[V] {
+	return &Linear[V]{}
+}
+
+// Len returns the number of installed prefixes.
+func (t *Linear[V]) Len() int { return len(t.entries) }
+
+// Insert installs or replaces the value for p.
+func (t *Linear[V]) Insert(p ipv6.Prefix, v V) {
+	for i := range t.entries {
+		if t.entries[i].prefix == p {
+			t.entries[i].val = v
+			return
+		}
+	}
+	t.entries = append(t.entries, linEntry[V]{prefix: p, val: v})
+}
+
+// Remove deletes the exact prefix p, reporting whether it was present.
+func (t *Linear[V]) Remove(p ipv6.Prefix) bool {
+	for i := range t.entries {
+		if t.entries[i].prefix == p {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the value of the longest installed prefix containing a.
+func (t *Linear[V]) Lookup(a ipv6.Addr) (V, bool) {
+	_, v, ok := t.LookupPrefix(a)
+	return v, ok
+}
+
+// LookupPrefix returns the matched prefix and its value.
+func (t *Linear[V]) LookupPrefix(a ipv6.Addr) (ipv6.Prefix, V, bool) {
+	var (
+		best     linEntry[V]
+		bestBits = -1
+	)
+	for _, e := range t.entries {
+		if e.prefix.Bits() > bestBits && e.prefix.Contains(a) {
+			best, bestBits = e, e.prefix.Bits()
+		}
+	}
+	if bestBits < 0 {
+		var zero V
+		return ipv6.Prefix{}, zero, false
+	}
+	return best.prefix, best.val, true
+}
+
+// Exact returns the value installed for exactly p.
+func (t *Linear[V]) Exact(p ipv6.Prefix) (V, bool) {
+	for _, e := range t.entries {
+		if e.prefix == p {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}

@@ -98,11 +98,38 @@ func (l *Link) TotalPackets() uint64 {
 	return l.stats[0].Packets + l.stats[1].Packets
 }
 
-// delivery is a queued packet arrival.
+// delivery is a queued packet arrival. due orders deliveries: it is the
+// enqueue sequence number, optionally pushed forward by a fault layer to
+// model reordering.
 type delivery struct {
 	to  *Iface
 	pkt []byte
+	due uint64
 }
+
+// FaultOutcome is a fault layer's decision for one transmission.
+type FaultOutcome struct {
+	// Drop discards the packet after link stats are counted, exactly
+	// like built-in link loss.
+	Drop bool
+	// Deliveries, when non-empty, replaces the single in-order delivery:
+	// one copy of the packet is enqueued per element, deferred past that
+	// many subsequently enqueued deliveries (0 = in order). A
+	// multi-element slice models duplication; a single positive element
+	// models reordering. Empty means one in-order delivery.
+	Deliveries []int
+}
+
+// FaultFunc inspects one link transmission and decides its fate. It is
+// called with the engine lock held and must not call back into the
+// engine. Built-in link loss is applied first; dropped packets are not
+// offered to the fault layer.
+type FaultFunc func(from *Iface, pkt []byte) FaultOutcome
+
+// TapFunc observes every link transmission, after loss and fault
+// decisions; dropped reports whether the packet was discarded. Taps run
+// with the engine lock held and must not call back into the engine.
+type TapFunc func(from *Iface, pkt []byte, dropped bool)
 
 // Engine owns the simulation: links, the event queue, and the virtual
 // pump. All methods are safe for concurrent use; the engine serializes
@@ -115,6 +142,12 @@ type Engine struct {
 	rng    *rand.Rand
 	steps  uint64
 	budget int
+	seq    uint64
+	fault  FaultFunc
+	tap    TapFunc
+	// disordered is set while any queued delivery was deferred, forcing
+	// the pump onto the ordered (min-due) pop path.
+	disordered bool
 }
 
 // DefaultEventBudget bounds a single Run; loop-attack packets terminate
@@ -140,6 +173,23 @@ func (e *Engine) Connect(a, b *Iface, loss float64) *Link {
 	e.links = append(e.links, l)
 	e.mu.Unlock()
 	return l
+}
+
+// SetFault installs (or, with nil, removes) a fault-injection layer
+// consulted on every link transmission. Simulation tests use it for
+// seeded loss, duplication, reordering and outage windows.
+func (e *Engine) SetFault(f FaultFunc) {
+	e.mu.Lock()
+	e.fault = f
+	e.mu.Unlock()
+}
+
+// SetTap installs (or, with nil, removes) an observer of every link
+// transmission. Invariant checkers hook in here.
+func (e *Engine) SetTap(t TapFunc) {
+	e.mu.Lock()
+	e.tap = t
+	e.mu.Unlock()
 }
 
 // Inject copies pkt and delivers it as if transmitted by from into its
@@ -172,8 +222,8 @@ func (e *Engine) Steps() uint64 {
 	return e.steps
 }
 
-// transmitLocked pushes pkt from iface onto its link (applying loss) and
-// enqueues the arrival at the peer.
+// transmitLocked pushes pkt from iface onto its link (applying loss and
+// the fault layer) and enqueues the arrival at the peer.
 func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 	l := from.link
 	if l == nil {
@@ -182,10 +232,52 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 	st := &l.stats[from.end]
 	st.Packets++
 	st.Bytes += uint64(len(pkt))
-	if l.loss > 0 && e.rng.Float64() < l.loss {
+	drop := l.loss > 0 && e.rng.Float64() < l.loss
+	var out FaultOutcome
+	if !drop && e.fault != nil {
+		out = e.fault(from, pkt)
+		drop = out.Drop
+	}
+	if e.tap != nil {
+		e.tap(from, pkt, drop)
+	}
+	if drop {
 		return
 	}
-	e.queue = append(e.queue, delivery{to: l.ends[1-from.end], pkt: pkt})
+	to := l.ends[1-from.end]
+	if len(out.Deliveries) == 0 {
+		e.enqueueLocked(to, pkt, 0)
+		return
+	}
+	for i, delay := range out.Deliveries {
+		cp := pkt
+		if i > 0 {
+			// Nodes may mutate or retain delivered packets, so every
+			// duplicate needs its own copy; it also crosses the link.
+			cp = append([]byte(nil), pkt...)
+			st.Packets++
+			st.Bytes += uint64(len(pkt))
+		}
+		e.enqueueLocked(to, cp, delay)
+	}
+}
+
+// enqueueLocked appends one delivery, deferred past delay subsequently
+// enqueued deliveries.
+func (e *Engine) enqueueLocked(to *Iface, pkt []byte, delay int) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	// Dues advance in steps of two so a deferred delivery can land
+	// strictly after the delay-th subsequent enqueue (the +1 breaks the
+	// tie against it).
+	due := 2 * e.seq
+	if delay > 0 {
+		e.disordered = true
+		due += 2*uint64(delay) + 1
+	}
+	e.queue = append(e.queue, delivery{to: to, pkt: pkt, due: due})
 }
 
 // runLocked pumps queued deliveries until the network is quiescent or the
@@ -193,8 +285,20 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 func (e *Engine) runLocked() int {
 	n := 0
 	for len(e.queue) > 0 && n < e.budget {
-		d := e.queue[0]
-		e.queue = e.queue[1:]
+		mi := 0
+		if e.disordered {
+			// Deferred deliveries break FIFO order: pop the smallest due
+			// (ties resolve to the earliest-enqueued, keeping the pump
+			// deterministic).
+			for i := 1; i < len(e.queue); i++ {
+				if e.queue[i].due < e.queue[mi].due {
+					mi = i
+				}
+			}
+		}
+		d := e.queue[mi]
+		copy(e.queue[mi:], e.queue[mi+1:])
+		e.queue = e.queue[:len(e.queue)-1]
 		n++
 		e.steps++
 		for _, em := range d.to.node.Handle(d.to, d.pkt) {
@@ -203,6 +307,9 @@ func (e *Engine) runLocked() int {
 	}
 	if len(e.queue) > 0 {
 		e.queue = e.queue[:0] // budget exceeded: drop the remainder
+	}
+	if len(e.queue) == 0 {
+		e.disordered = false
 	}
 	return n
 }

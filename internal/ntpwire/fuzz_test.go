@@ -1,0 +1,49 @@
+package ntpwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse exercises the NTP packet decoder on arbitrary bytes: any
+// input of at least PacketLen must decode, and whatever decodes must
+// survive a Marshal/Parse round trip bit-exactly over the first
+// PacketLen bytes.
+func FuzzParse(f *testing.F) {
+	q, err := NewClientQuery(0x83aa7e80_00000000).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(q)
+	r, err := NewServerReply(NewClientQuery(1), 2, 3).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(r)
+	f.Add(make([]byte, PacketLen))
+	f.Add(bytes.Repeat([]byte{0xff}, PacketLen+16))
+	f.Add([]byte{0x1b})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			if len(data) >= PacketLen {
+				t.Fatalf("Parse rejected a full-length packet: %v", err)
+			}
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal failed on a parsed packet %+v: %v", p, err)
+		}
+		if !bytes.Equal(out, data[:PacketLen]) {
+			t.Fatalf("round trip diverged:\n got %x\nwant %x", out, data[:PacketLen])
+		}
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-Parse failed: %v", err)
+		}
+		if *p2 != *p {
+			t.Fatalf("re-Parse diverged: %+v vs %+v", p2, p)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when the -update flag is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestTableGolden pins the exact table rendering (alignment, rule width,
+// trailing-space behaviour) of a Table VI-style vendor summary.
+func TestTableGolden(t *testing.T) {
+	tbl := &Table{
+		Title:   "Periphery by vendor (Table VI style)",
+		Headers: []string{"Vendor", "Devices", "Loop %"},
+	}
+	tbl.AddRow("Huawei", Count(12_345_678), Pct(12.3))
+	tbl.AddRow("ZTE", Count(987), Pct(0.5))
+	tbl.AddRow("Xiaomi", Count(-42), Pct(100))
+	tbl.AddRow("(unknown)", Count(0), Pct(7.05), "extra-cell")
+	checkGolden(t, "table", tbl.String())
+}
+
+// TestBarsGolden pins the bar chart scaling and label padding.
+func TestBarsGolden(t *testing.T) {
+	b := Bars{Title: "Loops per ISP"}
+	out := b.Render(
+		[]string{"China Unicom", "DT", "Sky", "(none)"},
+		[]int{789, 123, 10, 0},
+	)
+	checkGolden(t, "bars", out)
+}
+
+// TestBarsNarrowGolden pins the explicit-width path and the all-zero
+// divisor guard.
+func TestBarsNarrowGolden(t *testing.T) {
+	b := Bars{Title: "Narrow", Width: 10}
+	out := b.Render([]string{"a", "bb"}, []int{0, 0})
+	checkGolden(t, "bars_narrow", out)
+}
+
+// TestCountGolden pins the thousands separator across magnitudes and
+// signs.
+func TestCountGolden(t *testing.T) {
+	var out string
+	for _, v := range []int{0, 7, 999, 1000, 52_478_703, -1, -1234, -1_000_000} {
+		out += Count(v) + "\n"
+	}
+	checkGolden(t, "count", out)
+}

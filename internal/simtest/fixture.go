@@ -1,0 +1,134 @@
+package simtest
+
+import (
+	"fmt"
+
+	"repro/internal/ipv6"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/uint128"
+	"repro/internal/xmap"
+)
+
+// FixtureCPEs is the number of CPEs in the miniature ISP fixture.
+const FixtureCPEs = 5
+
+// ISPFixture is a miniature ISP topology for scan scenarios: scanner
+// edge, core router, one ISP router delegating /64s to FixtureCPEs CPEs
+// (the first also holding a LAN delegation elsewhere in the block).
+// It mirrors the xmap package's test fixture so the harness exercises
+// the same semantics end to end.
+type ISPFixture struct {
+	Eng     *netsim.Engine
+	Edge    *netsim.Edge
+	Drv     *xmap.SimDriver
+	Block   ipv6.Prefix
+	Window  ipv6.Window
+	WANs    []ipv6.Addr
+	ISPAddr ipv6.Addr
+	// Routes is every prefix installed anywhere in the topology, with a
+	// label for the forwarding decision; the LPM differential oracle
+	// replays lookups against these.
+	Routes []Route
+}
+
+// Route is one installed routing entry.
+type Route struct {
+	Prefix ipv6.Prefix
+	Label  string
+}
+
+// Truth returns the set of addresses a scan of the fixture window may
+// legitimately discover: the CPE WANs plus the ISP router (which
+// answers for unassigned space).
+func (f *ISPFixture) Truth() map[ipv6.Addr]bool {
+	truth := map[ipv6.Addr]bool{f.ISPAddr: true}
+	for _, w := range f.WANs {
+		truth[w] = true
+	}
+	return truth
+}
+
+// BuildISPFixture constructs the fixture. The engine's loss source is
+// seeded from seed, so two fixtures built with the same seed behave
+// identically.
+func BuildISPFixture(seed int64) (*ISPFixture, error) {
+	f := &ISPFixture{
+		Eng:     netsim.New(seed),
+		Block:   ipv6.MustParsePrefix("2001:db8::/56"),
+		ISPAddr: ipv6.MustParseAddr("2001:feed::2"),
+	}
+	f.Edge = netsim.NewEdge("scanner", ipv6.MustParseAddr("2001:beef::100"))
+	core := netsim.NewRouter("core", netsim.ErrorPolicy{})
+	isp := netsim.NewISPRouter("isp", f.Block, netsim.ErrorPolicy{})
+
+	coreScan := core.AddIface(ipv6.MustParseAddr("2001:beef::1"), "core:scan")
+	coreISP := core.AddIface(ipv6.MustParseAddr("2001:feed::1"), "core:isp")
+	ispUp := isp.AddIface(f.ISPAddr, "isp:up")
+	isp.SetUpstream(ispUp)
+	f.Eng.Connect(f.Edge.Iface(), coreScan, 0)
+	f.Eng.Connect(coreISP, ispUp, 0)
+	scanNet := ipv6.MustParsePrefix("2001:beef::/64")
+	core.AddRoute(f.Block, coreISP)
+	core.AddRoute(scanNet, coreScan)
+	f.Routes = append(f.Routes,
+		Route{Prefix: f.Block, Label: "core->isp"},
+		Route{Prefix: scanNet, Label: "core->scan"})
+
+	for i := 0; i < FixtureCPEs; i++ {
+		wanPrefix, err := f.Block.Sub(64, uint128.From64(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		wanAddr := ipv6.SLAAC(wanPrefix, 0x0211_22ff_fe00_0000|uint64(i))
+		cfg := netsim.CPEConfig{Name: "cpe", WANAddr: wanAddr, WANPrefix: wanPrefix}
+		if i == 0 {
+			lan, err := f.Block.Sub(64, uint128.From64(200))
+			if err != nil {
+				return nil, err
+			}
+			cfg.Delegated = lan
+		}
+		cpe := netsim.NewCPE(cfg)
+		down := isp.AddIface(ipv6.SLAAC(wanPrefix, 1), "isp:down")
+		f.Eng.Connect(down, cpe.WAN(), 0)
+		if err := isp.Delegate(wanPrefix, down); err != nil {
+			return nil, err
+		}
+		f.Routes = append(f.Routes, Route{Prefix: wanPrefix, Label: fmt.Sprintf("isp->cpe%d", i)})
+		if cfg.Delegated.Bits() > 0 {
+			if err := isp.Delegate(cfg.Delegated, down); err != nil {
+				return nil, err
+			}
+			f.Routes = append(f.Routes, Route{Prefix: cfg.Delegated, Label: fmt.Sprintf("isp->cpe%d:lan", i)})
+		}
+		f.WANs = append(f.WANs, wanAddr)
+	}
+
+	w, err := ipv6.NewWindow(f.Block, 64)
+	if err != nil {
+		return nil, err
+	}
+	f.Window = w
+	f.Drv = xmap.NewSimDriver(f.Eng, f.Edge)
+	return f, nil
+}
+
+// BuildLoopDeployment generates a small single-ISP deployment (China
+// Unicom's spec: delegated /60s with the WAN inside the delegation, the
+// paper's highest loop rate) for the routing-loop scenario.
+func BuildLoopDeployment(seed int64) (*topo.Deployment, error) {
+	return topo.Build(topo.Config{
+		Seed:             seed,
+		Scale:            0.0005,
+		WindowWidth:      8,
+		MaxDevicesPerISP: 40,
+		OnlyISPs:         []int{12},
+	})
+}
+
+// scanSeed derives the scan permutation/validation seed for a harness
+// seed.
+func scanSeed(seed int64) []byte {
+	return []byte(fmt.Sprintf("simtest-%d", seed))
+}

@@ -1,0 +1,140 @@
+package simtest
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// hopKey identifies one flow crossing one link direction.
+type hopKey struct {
+	key  uint64
+	from *netsim.Iface
+}
+
+// hopState tracks one flow on one link direction: the frontiers of the
+// strictly-decreasing hop-limit chains in flight, and every hop-limit
+// value ever observed (a 256-bit set).
+type hopState struct {
+	frontiers []uint8
+	seen      [4]uint64
+}
+
+func (s *hopState) sawBefore(h uint8) bool { return s.seen[h>>6]&(1<<(h&63)) != 0 }
+func (s *hopState) mark(h uint8)           { s.seen[h>>6] |= 1 << (h & 63) }
+
+// Invariants is a netsim tap checking, on every link crossing, the
+// packet-level properties the paper's measurements rest on:
+//
+//   - the packet parses and every layer checksum verifies on the wire;
+//   - hop limits strictly decrement: each walker of a flow re-crossing
+//     the same link direction must continue a strictly-decreasing
+//     chain. Duplicated (or legitimately retransmitted) packets are
+//     byte-identical and replay a suffix of an earlier walker's
+//     trajectory, so a crossing may instead open a new chain at a
+//     previously-observed value — but a hop limit above or off every
+//     known trajectory is a violation;
+//   - no flow circulates past the 255-crossing amplification cap of
+//     Section VI-A (scaled by how often the fault layer duplicated the
+//     flow, since each duplicate may circulate on its own).
+//
+// Install with iv.Attach(eng). Safe for concurrent use; violations
+// accumulate and are read at the end of a run.
+type Invariants struct {
+	mu sync.Mutex
+	// dupCount (optional) reports per-flow duplication by the fault
+	// layer, scaling the circulation cap.
+	dupCount    func(key uint64) int
+	chains      map[hopKey]*hopState
+	crossings   map[uint64]int
+	capReported map[uint64]bool
+	taps        int
+	violations  []string
+}
+
+// NewInvariants creates a checker; dupCount may be nil when no
+// duplication faults are in play.
+func NewInvariants(dupCount func(uint64) int) *Invariants {
+	return &Invariants{
+		dupCount:    dupCount,
+		chains:      map[hopKey]*hopState{},
+		crossings:   map[uint64]int{},
+		capReported: map[uint64]bool{},
+	}
+}
+
+// Attach installs the checker as the engine's tap.
+func (iv *Invariants) Attach(e *netsim.Engine) { e.SetTap(iv.Tap) }
+
+// Tap is the netsim.TapFunc: called for every link transmission,
+// including ones the loss/fault layer then discards.
+func (iv *Invariants) Tap(from *netsim.Iface, pkt []byte, dropped bool) {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	iv.taps++
+	if len(pkt) > 0 && pkt[0]>>4 == 4 {
+		return // IPv4 leg of a dual-stack topology: out of scope here
+	}
+	if _, err := wire.ParsePacket(pkt); err != nil {
+		iv.violationf("invalid packet on wire from %s: %v", from.Name(), err)
+		return
+	}
+	key := PacketKey(pkt)
+
+	iv.crossings[key]++
+	limit := 255
+	if iv.dupCount != nil {
+		limit *= 1 + iv.dupCount(key)
+	}
+	if iv.crossings[key] > limit && !iv.capReported[key] {
+		iv.capReported[key] = true
+		iv.violationf("flow %016x circulated past the %d-crossing amplification cap", key, limit)
+	}
+
+	h := pkt[7]
+	hk := hopKey{key: key, from: from}
+	st := iv.chains[hk]
+	if st == nil {
+		st = &hopState{}
+		iv.chains[hk] = st
+	}
+	// Extend the chain whose frontier is the smallest value still above
+	// h (tightest fit: if any assignment of crossings to decreasing
+	// chains exists, this greedy one finds it).
+	best := -1
+	for i, f := range st.frontiers {
+		if f > h && (best < 0 || f < st.frontiers[best]) {
+			best = i
+		}
+	}
+	switch {
+	case best >= 0:
+		st.frontiers[best] = h
+	case len(st.frontiers) == 0 || st.sawBefore(h):
+		st.frontiers = append(st.frontiers, h)
+	default:
+		iv.violationf("hop limit not decreasing on %s: frontiers %v then %d (flow %016x)",
+			from.Name(), st.frontiers, h, key)
+	}
+	st.mark(h)
+}
+
+// Taps returns how many transmissions the checker observed.
+func (iv *Invariants) Taps() int {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	return iv.taps
+}
+
+// Violations returns every invariant violation recorded so far.
+func (iv *Invariants) Violations() []string {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	return append([]string(nil), iv.violations...)
+}
+
+func (iv *Invariants) violationf(format string, args ...any) {
+	iv.violations = append(iv.violations, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,212 @@
+package simtest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ipv6"
+	"repro/internal/lpm"
+	"repro/internal/uint128"
+	"repro/internal/wire"
+	"repro/internal/xmap"
+)
+
+// recordingDriver wraps an xmap.Driver and records every probe's
+// destination address, feeding the route-lookup differential oracle
+// with exactly the addresses a real scan resolved.
+type recordingDriver struct {
+	xmap.Driver
+	dsts []ipv6.Addr
+}
+
+func (d *recordingDriver) Send(pkt []byte) error {
+	if len(pkt) >= 40 && pkt[0]>>4 == 6 {
+		d.dsts = append(d.dsts, ipv6.AddrFrom128(uint128.FromBytes(pkt[24:40])))
+	}
+	return d.Driver.Send(pkt)
+}
+
+// DiffRouteLookups runs every query address through an LPM trie and the
+// linear reference table loaded with the same routes, and reports any
+// disagreement — the trie-vs-linear differential oracle over a scan's
+// actual probe destinations.
+func DiffRouteLookups(routes []Route, queries []ipv6.Addr) []string {
+	trie := lpm.New[string]()
+	lin := lpm.NewLinear[string]()
+	for _, r := range routes {
+		trie.Insert(r.Prefix, r.Label)
+		lin.Insert(r.Prefix, r.Label)
+	}
+	var problems []string
+	if trie.Len() != lin.Len() {
+		problems = append(problems, fmt.Sprintf("route table sizes differ: trie %d, linear %d", trie.Len(), lin.Len()))
+	}
+	for _, a := range queries {
+		tp, tv, tok := trie.LookupPrefix(a)
+		lp, lv, lok := lin.LookupPrefix(a)
+		if tok != lok || tp != lp || tv != lv {
+			problems = append(problems, fmt.Sprintf(
+				"route lookup diverges for %s: trie (%s,%q,%v) vs linear (%s,%q,%v)",
+				a, tp, tv, tok, lp, lv, lok))
+		}
+	}
+	return problems
+}
+
+// RandomRouteOracle drives the trie and the linear table through the
+// same seeded random insert/remove/query workload and diffs every
+// answer.
+func RandomRouteOracle(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed ^ 0x10e7a8))
+	trie := lpm.New[int]()
+	lin := lpm.NewLinear[int]()
+	var problems []string
+
+	randAddr := func() ipv6.Addr {
+		return ipv6.AddrFrom128(uint128.New(rng.Uint64(), rng.Uint64()))
+	}
+	var inserted []ipv6.Prefix
+	for i := 0; i < 96; i++ {
+		p, err := ipv6.NewPrefix(randAddr(), 8+rng.Intn(113))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("prefix construction: %v", err))
+			continue
+		}
+		trie.Insert(p, i)
+		lin.Insert(p, i)
+		inserted = append(inserted, p)
+	}
+	for i := 0; i < 24 && len(inserted) > 0; i++ {
+		p := inserted[rng.Intn(len(inserted))]
+		tr, lr := trie.Remove(p), lin.Remove(p)
+		if tr != lr {
+			problems = append(problems, fmt.Sprintf("Remove(%s) diverges: trie %v, linear %v", p, tr, lr))
+		}
+	}
+	if trie.Len() != lin.Len() {
+		problems = append(problems, fmt.Sprintf("Len diverges: trie %d, linear %d", trie.Len(), lin.Len()))
+	}
+	for _, p := range inserted {
+		tv, tok := trie.Exact(p)
+		lv, lok := lin.Exact(p)
+		if tok != lok || tv != lv {
+			problems = append(problems, fmt.Sprintf("Exact(%s) diverges: trie (%d,%v), linear (%d,%v)", p, tv, tok, lv, lok))
+		}
+	}
+	var queries []ipv6.Addr
+	for i := 0; i < 128; i++ {
+		queries = append(queries, randAddr())
+	}
+	// Half the queries land inside installed prefixes so matches are
+	// exercised, not just misses.
+	for i := 0; i < 128 && len(inserted) > 0; i++ {
+		p := inserted[rng.Intn(len(inserted))]
+		host := uint128.New(rng.Uint64(), rng.Uint64())
+		if p.Bits() < 128 {
+			host = host.And(uint128.Max.Rsh(uint(p.Bits())))
+		} else {
+			host = uint128.Zero
+		}
+		queries = append(queries, ipv6.AddrFrom128(p.Addr().Uint128().Or(host)))
+	}
+	for _, a := range queries {
+		tp, tv, tok := trie.LookupPrefix(a)
+		lp, lv, lok := lin.LookupPrefix(a)
+		if tok != lok || tp != lp || tv != lv {
+			problems = append(problems, fmt.Sprintf(
+				"random lookup diverges for %s: trie (%s,%d,%v) vs linear (%s,%d,%v)",
+				a, tp, tv, tok, lp, lv, lok))
+		}
+	}
+	return problems
+}
+
+// RunUDPOracle runs the same seeded scan through the lock-step sim
+// driver and through the loopback UDP driver (bridged into an identical
+// topology) and diffs the responder sets — the sim-vs-real-socket
+// differential oracle. No faults are injected: the two legs must agree
+// exactly. Invariants stay attached on both engines; on the UDP leg the
+// tap fires on the responder goroutine, exercising the checker under
+// the race detector.
+func RunUDPOracle(seed int64) ([]string, error) {
+	var problems []string
+
+	simFix, err := BuildISPFixture(seed)
+	if err != nil {
+		return nil, err
+	}
+	simInv := NewInvariants(nil)
+	simInv.Attach(simFix.Eng)
+	simScanner, err := xmap.New(xmap.Config{Window: simFix.Window, Seed: scanSeed(seed), DedupExact: true}, simFix.Drv)
+	if err != nil {
+		return nil, err
+	}
+	simSet := map[ipv6.Addr]bool{}
+	if _, err := simScanner.Run(context.Background(), func(r xmap.Response) { simSet[r.Responder] = true }); err != nil {
+		return nil, err
+	}
+	problems = appendPrefixed(problems, "sim leg: ", simInv.Violations())
+
+	udpFix, err := BuildISPFixture(seed)
+	if err != nil {
+		return nil, err
+	}
+	udpInv := NewInvariants(nil)
+	udpInv.Attach(udpFix.Eng)
+	handler := func(pkt []byte) [][]byte {
+		udpFix.Eng.Inject(udpFix.Edge.Iface(), pkt)
+		return udpFix.Edge.Drain()
+	}
+	drv, err := xmap.NewUDPDriver(udpFix.Edge.Addr(), handler)
+	if err != nil {
+		return nil, err
+	}
+	defer drv.Close()
+	udpScanner, err := xmap.New(xmap.Config{
+		Window: udpFix.Window, Seed: scanSeed(seed), DedupExact: true, DrainEvery: 16,
+	}, drv)
+	if err != nil {
+		return nil, err
+	}
+	udpSet := map[ipv6.Addr]bool{}
+	if _, err := udpScanner.Run(context.Background(), func(r xmap.Response) { udpSet[r.Responder] = true }); err != nil {
+		return nil, err
+	}
+	// UDP delivery is asynchronous: stragglers may still be in flight
+	// after Run returns. Re-drain until the sets agree or we time out.
+	deadline := time.Now().Add(20 * time.Second)
+	for len(udpSet) < len(simSet) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		for _, raw := range drv.Recv() {
+			sum, err := wire.ParsePacket(raw)
+			if err != nil {
+				continue
+			}
+			if resp, ok := (&xmap.ICMPEchoProbe{}).Classify(sum, udpScanner.Validation); ok {
+				udpSet[resp.Responder] = true
+			}
+		}
+	}
+	problems = appendPrefixed(problems, "udp leg: ", udpInv.Violations())
+
+	for a := range simSet {
+		if !udpSet[a] {
+			problems = append(problems, fmt.Sprintf("udp driver missed responder %s", a))
+		}
+	}
+	for a := range udpSet {
+		if !simSet[a] {
+			problems = append(problems, fmt.Sprintf("udp driver found phantom responder %s", a))
+		}
+	}
+	return problems, nil
+}
+
+func appendPrefixed(dst []string, prefix string, src []string) []string {
+	for _, s := range src {
+		dst = append(dst, prefix+s)
+	}
+	return dst
+}

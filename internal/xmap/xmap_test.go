@@ -3,6 +3,8 @@ package xmap
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"testing"
@@ -180,7 +182,64 @@ func TestScanDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// countingDriver records how often each probe destination is sent and
+// never produces responses; it lets shard-coverage properties run over
+// windows far larger than any simulated topology.
+type countingDriver struct {
+	counts map[ipv6.Addr]int
+}
+
+func (d *countingDriver) Send(pkt []byte) error {
+	if len(pkt) >= 40 && pkt[0]>>4 == 6 {
+		d.counts[ipv6.AddrFrom128(uint128.FromBytes(pkt[24:40]))]++
+	}
+	return nil
+}
+func (d *countingDriver) Recv() [][]byte        { return nil }
+func (d *countingDriver) SourceAddr() ipv6.Addr { return ipv6.MustParseAddr("2001:beef::100") }
+
+// TestShardsTogetherCoverSpace is a property test: for random window
+// widths and shard counts, the shards' target sets must partition the
+// window — together complete (every address probed) and pairwise
+// disjoint (no address probed twice).
 func TestShardsTogetherCoverSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5ba2d))
+	base := ipv6.MustParsePrefix("2001:db8::/48")
+	for iter := 0; iter < 24; iter++ {
+		width := 1 + rng.Intn(10)
+		shards := 1 + rng.Intn(7)
+		seed := []byte(fmt.Sprintf("shard-seed-%d", iter))
+		w, err := ipv6.NewWindow(base, base.Bits()+width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv := &countingDriver{counts: map[ipv6.Addr]int{}}
+		var sentTotal uint64
+		for shard := 0; shard < shards; shard++ {
+			stats, _ := runScan(t, Config{
+				Window: w, Seed: seed,
+				ShardIndex: shard, Shards: shards,
+			}, drv)
+			sentTotal += stats.Sent
+		}
+		space := uint64(1) << width
+		if sentTotal != space {
+			t.Errorf("width=%d shards=%d: sent %d total probes, want %d", width, shards, sentTotal, space)
+		}
+		if uint64(len(drv.counts)) != space {
+			t.Errorf("width=%d shards=%d: %d distinct targets, want %d (incomplete cover)",
+				width, shards, len(drv.counts), space)
+		}
+		for a, n := range drv.counts {
+			if n != 1 {
+				t.Errorf("width=%d shards=%d: target %s probed %d times (overlapping shards)",
+					width, shards, a, n)
+			}
+		}
+	}
+
+	// End to end: sharded scans over the live fixture still find every
+	// responder exactly once across shards.
 	all := map[ipv6.Addr]bool{}
 	var sentTotal uint64
 	for shard := 0; shard < 4; shard++ {
