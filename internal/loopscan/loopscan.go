@@ -8,6 +8,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+	"hash"
 
 	"repro/internal/ipv6"
 	"repro/internal/netsim"
@@ -55,24 +56,35 @@ type CheckResult struct {
 	Verdict   Verdict
 }
 
-// Detector probes for loops through a scan driver.
+// Detector probes for loops through a scan driver. A Detector is not
+// safe for concurrent use: probes share reusable HMAC scratch state.
 type Detector struct {
 	drv xmap.Driver
 	// HopLimit is h (default DefaultHopLimit).
 	HopLimit uint8
 	seq      uint16
+
+	// idMac is keyed once and Reset per probe, keeping the validation-ID
+	// derivation off the per-probe allocation path (as in xmap.Scanner).
+	idMac  hash.Hash
+	macSum [sha256.Size]byte
+	macIn  [16]byte
 }
 
 // NewDetector creates a detector.
 func NewDetector(drv xmap.Driver) *Detector {
-	return &Detector{drv: drv, HopLimit: DefaultHopLimit}
+	return &Detector{
+		drv:      drv,
+		HopLimit: DefaultHopLimit,
+		idMac:    hmac.New(sha256.New, []byte("loopscan")),
+	}
 }
 
 // probe sends one echo request with the given hop limit and returns the
 // first matching ICMPv6 response.
 func (d *Detector) probe(dst ipv6.Addr, hopLimit uint8) (responder ipv6.Addr, icmpType uint8, ok bool, err error) {
 	d.seq++
-	id := validationID(dst)
+	id := d.validationID(dst)
 	pkt, err := wire.BuildEchoRequest(d.drv.SourceAddr(), dst, hopLimit, id, d.seq, nil)
 	if err != nil {
 		return ipv6.Addr{}, 0, false, err
@@ -102,11 +114,11 @@ func (d *Detector) probe(dst ipv6.Addr, hopLimit uint8) (responder ipv6.Addr, ic
 }
 
 // validationID derives the echo identifier from the target.
-func validationID(dst ipv6.Addr) uint16 {
-	mac := hmac.New(sha256.New, []byte("loopscan"))
-	b := dst.Bytes()
-	mac.Write(b[:])
-	s := mac.Sum(nil)
+func (d *Detector) validationID(dst ipv6.Addr) uint16 {
+	d.idMac.Reset()
+	d.macIn = dst.Bytes()
+	d.idMac.Write(d.macIn[:])
+	s := d.idMac.Sum(d.macSum[:0])
 	return uint16(s[0])<<8 | uint16(s[1])
 }
 
@@ -173,6 +185,11 @@ func (r *ScanResult) VulnerableHops() []*HopInfo {
 // pseudo-random host address, loop-checked per CheckAddr.
 func (d *Detector) ScanWindows(windows []ipv6.Window, seed []byte) (*ScanResult, error) {
 	res := &ScanResult{Hops: make(map[ipv6.Addr]*HopInfo)}
+	// One keyed HMAC and staging/digest scratch for the whole sweep
+	// instead of fresh allocations per target.
+	mac := hmac.New(sha256.New, seed)
+	var sum [sha256.Size]byte
+	in := make([]byte, 16)
 	for _, w := range windows {
 		size, ok := w.Size()
 		if !ok {
@@ -192,7 +209,7 @@ func (d *Detector) ScanWindows(windows []ipv6.Window, seed []byte) (*ScanResult,
 			if err != nil {
 				return nil, err
 			}
-			dst := targetIn(sub, seed)
+			dst := targetInMac(sub, mac, in, sum[:0])
 			res.Targets++
 			cr, err := d.CheckAddr(dst)
 			if err != nil {
@@ -222,10 +239,24 @@ func (d *Detector) ScanWindows(windows []ipv6.Window, seed []byte) (*ScanResult,
 
 // targetIn derives the pseudo-random in-prefix host address.
 func targetIn(sub ipv6.Prefix, seed []byte) ipv6.Addr {
-	mac := hmac.New(sha256.New, seed)
+	return targetInMac(sub, hmac.New(sha256.New, seed), nil, nil)
+}
+
+// targetInMac is targetIn against a reusable keyed HMAC. in (len 16)
+// stages the address bytes and scratch receives the digest; passing
+// both hoisted buffers keeps the per-target call allocation-free, since
+// a local array written through the hash.Hash interface would be forced
+// to the heap. Either may be nil.
+func targetInMac(sub ipv6.Prefix, mac hash.Hash, in, scratch []byte) ipv6.Addr {
+	mac.Reset()
 	b := sub.Addr().Bytes()
-	mac.Write(b[:])
-	sum := mac.Sum(nil)
+	if len(in) >= 16 {
+		copy(in, b[:])
+		mac.Write(in[:16])
+	} else {
+		mac.Write(b[:])
+	}
+	sum := mac.Sum(scratch)
 	host := uint128.FromBytes(sum[:16])
 	hostBits := uint(128 - sub.Bits())
 	if hostBits < 128 {

@@ -16,7 +16,24 @@ import (
 type Table[V any] struct {
 	root *node[V]
 	size int
+
+	// small mirrors the trie, sorted longest-prefix-first, while the
+	// table holds at most smallMax entries; forwarding tables in the
+	// simulator are almost always tiny, and a linear scan over a few
+	// prefixes beats a 32–128-step trie walk. Once the table outgrows
+	// smallMax the mirror is dropped for good (overflowed), and lookups
+	// fall back to the trie. The mirror is only mutated by Insert and
+	// Remove, so concurrent read-only lookups stay safe.
+	small      []smallEntry[V]
+	overflowed bool
 }
+
+type smallEntry[V any] struct {
+	p ipv6.Prefix
+	v V
+}
+
+const smallMax = 16
 
 type node[V any] struct {
 	child [2]*node[V]
@@ -47,6 +64,31 @@ func (t *Table[V]) Insert(p ipv6.Prefix, v V) {
 		t.size++
 	}
 	n.val, n.set = v, true
+	t.smallInsert(p, v)
+}
+
+func (t *Table[V]) smallInsert(p ipv6.Prefix, v V) {
+	if t.overflowed {
+		return
+	}
+	for i := range t.small {
+		if t.small[i].p == p {
+			t.small[i].v = v
+			return
+		}
+	}
+	if len(t.small) == smallMax {
+		t.overflowed = true
+		t.small = nil
+		return
+	}
+	pos := 0
+	for pos < len(t.small) && t.small[pos].p.Bits() >= p.Bits() {
+		pos++
+	}
+	t.small = append(t.small, smallEntry[V]{})
+	copy(t.small[pos+1:], t.small[pos:])
+	t.small[pos] = smallEntry[V]{p: p, v: v}
 }
 
 // Remove deletes the exact prefix p, reporting whether it was present.
@@ -67,12 +109,27 @@ func (t *Table[V]) Remove(p ipv6.Prefix) bool {
 	var zero V
 	n.val, n.set = zero, false
 	t.size--
+	for i := range t.small {
+		if t.small[i].p == p {
+			t.small = append(t.small[:i], t.small[i+1:]...)
+			break
+		}
+	}
 	return true
 }
 
 // Lookup returns the value of the longest installed prefix containing a,
 // and ok=false if no prefix matches.
 func (t *Table[V]) Lookup(a ipv6.Addr) (V, bool) {
+	if !t.overflowed {
+		for i := range t.small {
+			if t.small[i].p.Contains(a) {
+				return t.small[i].v, true
+			}
+		}
+		var zero V
+		return zero, false
+	}
 	var (
 		best  V
 		found bool

@@ -71,6 +71,7 @@ type CPE struct {
 	stack     LocalStack
 	gate      errorGate
 	hasLAN    bool
+	sc        emitScratch
 
 	loopCount map[ipv6.Addr]int
 
@@ -139,11 +140,10 @@ func (c *CPE) Delegated() ipv6.Prefix { return c.delegated }
 // Handle implements Node, realizing the routing table of the paper's
 // Figure 4 — correct or flawed depending on Behavior.
 func (c *CPE) Handle(in *Iface, pkt []byte) []Emission {
-	hdr, _, err := wire.ParseIPv6(pkt)
-	if err != nil {
+	dst, ok := wire.ForwardDst(pkt)
+	if !ok {
 		return nil
 	}
-	dst := hdr.Dst
 
 	// Local delivery: WAN address, LAN interface address.
 	if dst == c.wan.addr || (c.lanAddr != (ipv6.Addr{}) && dst == c.lanAddr) {
@@ -151,7 +151,7 @@ func (c *CPE) Handle(in *Iface, pkt []byte) []Emission {
 	}
 	// A LAN host the subscriber actually operates: answers pings.
 	if c.hosts[dst] {
-		return hostEcho(in, dst, pkt)
+		return hostEcho(&c.sc, in, dst, pkt)
 	}
 
 	if !decrementHopLimit(pkt) {
@@ -182,7 +182,7 @@ func (c *CPE) Handle(in *Iface, pkt []byte) []Emission {
 	default:
 		// Default route: egress toward the ISP.
 		c.CountForwarded++
-		return []Emission{{Out: c.wan, Pkt: pkt}}
+		return c.sc.emit(c.wan, pkt)
 	}
 }
 
@@ -202,7 +202,7 @@ func (c *CPE) loopForward(in *Iface, dst ipv6.Addr, pkt []byte) []Emission {
 		}
 	}
 	c.CountForwarded++
-	return []Emission{{Out: c.wan, Pkt: pkt}}
+	return c.sc.emit(c.wan, pkt)
 }
 
 // inSubnet reports whether dst falls in an operated subnet.
@@ -217,12 +217,7 @@ func (c *CPE) inSubnet(dst ipv6.Addr) bool {
 
 // deliverLocal hands the packet to the device stack.
 func (c *CPE) deliverLocal(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
-	replies := c.stack.HandleLocal(self, pkt)
-	out := make([]Emission, 0, len(replies))
-	for _, r := range replies {
-		out = append(out, Emission{Out: in, Pkt: r})
-	}
-	return out
+	return c.sc.emitAll(in, c.stack.HandleLocal(self, pkt))
 }
 
 func (c *CPE) emitError(in *Iface, invoking []byte, typ, code uint8) []Emission {
@@ -231,19 +226,19 @@ func (c *CPE) emitError(in *Iface, invoking []byte, typ, code uint8) []Emission 
 	}
 	// RFC 4443 source selection: the error leaves the WAN interface, so
 	// it carries the WAN address — this is what exposes the periphery.
-	out := icmpError(c.wan.addr, invoking, typ, code)
+	out := icmpError(in, c.wan.addr, invoking, typ, code)
 	if out == nil {
 		c.gate.generated--
 		return nil
 	}
-	return []Emission{{Out: in, Pkt: out}}
+	return c.sc.emit(in, out)
 }
 
 // hostEcho answers a ping to an existing LAN host on its behalf (the
 // host is modelled inside the CPE rather than as a separate node).
-func hostEcho(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
-	s, err := wire.ParsePacket(pkt)
-	if err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
+func hostEcho(sc *emitScratch, in *Iface, self ipv6.Addr, pkt []byte) []Emission {
+	var s wire.Summary
+	if err := s.Parse(pkt); err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
 		return nil
 	}
 	e, err := wire.ParseEcho(s.ICMP.Body)
@@ -254,7 +249,7 @@ func hostEcho(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
 	if err != nil {
 		return nil
 	}
-	return []Emission{{Out: in, Pkt: reply}}
+	return sc.emit(in, reply)
 }
 
 // UE is a user-equipment periphery (paper Figure 1b): a device holding a
@@ -266,6 +261,7 @@ type UE struct {
 	prefix ipv6.Prefix
 	stack  LocalStack
 	gate   errorGate
+	sc     emitScratch
 }
 
 var _ Node = (*UE)(nil)
@@ -291,35 +287,30 @@ func (u *UE) Addr() ipv6.Addr { return u.ifc.addr }
 
 // Handle implements Node.
 func (u *UE) Handle(in *Iface, pkt []byte) []Emission {
-	hdr, _, err := wire.ParseIPv6(pkt)
-	if err != nil {
+	dst, ok := wire.ForwardDst(pkt)
+	if !ok {
 		return nil
 	}
-	if hdr.Dst == u.ifc.addr {
-		replies := u.stack.HandleLocal(u.ifc.addr, pkt)
-		out := make([]Emission, 0, len(replies))
-		for _, r := range replies {
-			out = append(out, Emission{Out: in, Pkt: r})
-		}
-		return out
+	if dst == u.ifc.addr {
+		return u.sc.emitAll(in, u.stack.HandleLocal(u.ifc.addr, pkt))
 	}
 	if !decrementHopLimit(pkt) {
 		if !u.gate.allow() {
 			return nil
 		}
-		if e := icmpError(u.ifc.addr, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit); e != nil {
-			return []Emission{{Out: in, Pkt: e}}
+		if e := icmpError(in, u.ifc.addr, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit); e != nil {
+			return u.sc.emit(in, e)
 		}
 		u.gate.generated--
 		return nil
 	}
-	if u.prefix.Contains(hdr.Dst) {
+	if u.prefix.Contains(dst) {
 		// Nonexistent address within the UE prefix.
 		if !u.gate.allow() {
 			return nil
 		}
-		if e := icmpError(u.ifc.addr, pkt, wire.ICMPDestUnreach, wire.UnreachAddress); e != nil {
-			return []Emission{{Out: in, Pkt: e}}
+		if e := icmpError(in, u.ifc.addr, pkt, wire.ICMPDestUnreach, wire.UnreachAddress); e != nil {
+			return u.sc.emit(in, e)
 		}
 		u.gate.generated--
 		return nil

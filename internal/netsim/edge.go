@@ -15,8 +15,9 @@ type Edge struct {
 
 	mu  sync.Mutex
 	buf [][]byte
-	// notify, when non-nil, is closed-and-replaced on each arrival so a
-	// blocked reader can wake without polling.
+	// notify is created lazily by Wait and closed on the next arrival,
+	// so the hot delivery path pays for a channel only when a reader is
+	// actually blocked.
 	notify chan struct{}
 }
 
@@ -24,7 +25,7 @@ var _ Node = (*Edge)(nil)
 
 // NewEdge creates an edge node whose interface has the given address.
 func NewEdge(name string, addr ipv6.Addr) *Edge {
-	e := &Edge{name: name, notify: make(chan struct{})}
+	e := &Edge{name: name}
 	e.ifc = NewIface(e, addr, name+":if")
 	return e
 }
@@ -35,6 +36,17 @@ func (e *Edge) Name() string { return e.name }
 // Iface returns the edge interface to connect into the topology.
 func (e *Edge) Iface() *Iface { return e.ifc }
 
+// AddIface returns an additional interface with the edge's address, so
+// one vantage can attach into several shards of an EngineGroup (an
+// interface can only be connected inside a single engine).
+func (e *Edge) AddIface(name string) *Iface {
+	return NewIface(e, e.ifc.addr, name)
+}
+
+// RetainsPackets implements PacketRetainer: delivered buffers are
+// handed to the driver through Drain and must never be recycled.
+func (e *Edge) RetainsPackets() bool { return true }
+
 // Addr returns the edge's address (the scanner's source address).
 func (e *Edge) Addr() ipv6.Addr { return e.ifc.addr }
 
@@ -42,8 +54,10 @@ func (e *Edge) Addr() ipv6.Addr { return e.ifc.addr }
 func (e *Edge) Handle(_ *Iface, pkt []byte) []Emission {
 	e.mu.Lock()
 	e.buf = append(e.buf, pkt)
-	close(e.notify)
-	e.notify = make(chan struct{})
+	if e.notify != nil {
+		close(e.notify)
+		e.notify = nil
+	}
 	e.mu.Unlock()
 	return nil
 }
@@ -69,5 +83,8 @@ func (e *Edge) Pending() int {
 func (e *Edge) Wait() <-chan struct{} {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.notify == nil {
+		e.notify = make(chan struct{})
+	}
 	return e.notify
 }

@@ -1,0 +1,25 @@
+package netsim
+
+// emitScratch is embedded in node types so Handle can return its
+// (almost always single-element) Emission slice without allocating.
+// Reuse is safe because the engine consumes the returned slice before
+// the node's next Handle call, and every emitting node belongs to
+// exactly one engine — the Edge, which attaches to several shards of an
+// EngineGroup, never emits.
+type emitScratch struct{ ems []Emission }
+
+// emit returns the reused slice holding a single emission.
+func (s *emitScratch) emit(out *Iface, pkt []byte) []Emission {
+	s.ems = append(s.ems[:0], Emission{Out: out, Pkt: pkt})
+	return s.ems
+}
+
+// emitAll returns the reused slice sending every packet out the same
+// interface.
+func (s *emitScratch) emitAll(out *Iface, pkts [][]byte) []Emission {
+	s.ems = s.ems[:0]
+	for _, p := range pkts {
+		s.ems = append(s.ems, Emission{Out: out, Pkt: p})
+	}
+	return s.ems
+}

@@ -16,7 +16,8 @@ import (
 )
 
 // Emission is a packet a node wants to transmit out of one of its
-// interfaces.
+// interfaces. Ownership of Pkt passes to the engine, which may recycle
+// the buffer once it has been consumed.
 type Emission struct {
 	Out *Iface
 	Pkt []byte
@@ -27,8 +28,24 @@ type Node interface {
 	// Name identifies the node in diagnostics.
 	Name() string
 	// Handle processes a packet that arrived on in and returns the
-	// packets to transmit. Implementations may retain or mutate pkt.
+	// packets to transmit. Implementations may mutate pkt in place and
+	// may pass it on inside an Emission (the whole slice, not a
+	// re-slice), but must not keep a reference past the call unless
+	// they implement PacketRetainer: the engine recycles delivered
+	// buffers.
 	Handle(in *Iface, pkt []byte) []Emission
+}
+
+// PacketRetainer marks nodes whose Handle keeps delivered packet
+// buffers past the call (the Edge does: it hands them to the driver via
+// Drain). The engine never recycles buffers delivered to such nodes.
+type PacketRetainer interface {
+	RetainsPackets() bool
+}
+
+func retainsPackets(n Node) bool {
+	r, ok := n.(PacketRetainer)
+	return ok && r.RetainsPackets()
 }
 
 // Iface is one end of a point-to-point link, bound to a node and holding
@@ -39,6 +56,9 @@ type Iface struct {
 	name string
 	link *Link
 	end  int // which end of link this iface is (0 or 1)
+	// eng is set by Connect; node handlers use it to build reply packets
+	// into pooled buffers (they run with the engine lock held).
+	eng *Engine
 }
 
 // NewIface creates an unbound interface for node with the given unicast
@@ -98,13 +118,15 @@ func (l *Link) TotalPackets() uint64 {
 	return l.stats[0].Packets + l.stats[1].Packets
 }
 
-// delivery is a queued packet arrival. due orders deliveries: it is the
-// enqueue sequence number, optionally pushed forward by a fault layer to
-// model reordering.
+// delivery is a queued packet arrival. due orders deliveries: it is
+// derived from the enqueue sequence number, optionally pushed forward
+// by a fault layer to model reordering; seq breaks due ties in favor of
+// the earliest enqueue.
 type delivery struct {
 	to  *Iface
 	pkt []byte
 	due uint64
+	seq uint64
 }
 
 // FaultOutcome is a fault layer's decision for one transmission.
@@ -122,22 +144,25 @@ type FaultOutcome struct {
 
 // FaultFunc inspects one link transmission and decides its fate. It is
 // called with the engine lock held and must not call back into the
-// engine. Built-in link loss is applied first; dropped packets are not
-// offered to the fault layer.
+// engine or retain pkt. Built-in link loss is applied first; dropped
+// packets are not offered to the fault layer.
 type FaultFunc func(from *Iface, pkt []byte) FaultOutcome
 
 // TapFunc observes every link transmission, after loss and fault
 // decisions; dropped reports whether the packet was discarded. Taps run
-// with the engine lock held and must not call back into the engine.
+// with the engine lock held and must not call back into the engine or
+// retain pkt (copy what you need: buffers are recycled).
 type TapFunc func(from *Iface, pkt []byte, dropped bool)
 
-// Engine owns the simulation: links, the event queue, and the virtual
-// pump. All methods are safe for concurrent use; the engine serializes
-// internally, so a run is deterministic for a given seed and injection
-// order.
+// Engine owns one simulation shard: links, the event queue, and the
+// virtual pump. All methods are safe for concurrent use; the engine
+// serializes internally, so a run is deterministic for a given seed and
+// injection order. For multi-core scaling across disjoint subtrees, see
+// EngineGroup.
 type Engine struct {
 	mu     sync.Mutex
-	queue  []delivery
+	fifo   ring  // FIFO fast path
+	ordq   dheap // ordered path, used only while disordered
 	links  []*Link
 	rng    *rand.Rand
 	steps  uint64
@@ -148,11 +173,25 @@ type Engine struct {
 	// disordered is set while any queued delivery was deferred, forcing
 	// the pump onto the ordered (min-due) pop path.
 	disordered bool
+
+	// pool is the packet-buffer freelist. Buffers never escape the
+	// engine's serialization domain, so a plain slice under mu beats
+	// sync.Pool (which would allocate a boxed header per Put).
+	pool [][]byte
+	// owner identifies the buffer of the delivery currently inside
+	// Handle; ownerReused is set when the node re-emits that buffer, in
+	// which case the pump must not recycle it.
+	owner       *byte
+	ownerReused bool
 }
 
 // DefaultEventBudget bounds a single Run; loop-attack packets terminate
 // via hop limit well before this.
 const DefaultEventBudget = 1 << 22
+
+// maxPooledBuffers bounds the freelist so a one-off burst does not pin
+// memory forever.
+const maxPooledBuffers = 256
 
 // New creates an engine with a deterministic random source for loss
 // decisions.
@@ -169,6 +208,7 @@ func (e *Engine) Connect(a, b *Iface, loss float64) *Link {
 	l := &Link{ends: [2]*Iface{a, b}, loss: loss}
 	a.link, a.end = l, 0
 	b.link, b.end = l, 1
+	a.eng, b.eng = e, e
 	e.mu.Lock()
 	e.links = append(e.links, l)
 	e.mu.Unlock()
@@ -198,18 +238,21 @@ func (e *Engine) SetTap(t TapFunc) {
 func (e *Engine) Inject(from *Iface, pkt []byte) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	cp := append([]byte(nil), pkt...)
+	cp := e.getBufLocked(len(pkt))
+	copy(cp, pkt)
 	e.transmitLocked(from, cp)
 	return e.runLocked()
 }
 
 // InjectBatch is Inject for multiple packets from the same interface,
-// pumping once at the end.
+// pumping once at the end: one lock acquisition and one quiescence run
+// per batch instead of per packet.
 func (e *Engine) InjectBatch(from *Iface, pkts [][]byte) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, pkt := range pkts {
-		cp := append([]byte(nil), pkt...)
+		cp := e.getBufLocked(len(pkt))
+		copy(cp, pkt)
 		e.transmitLocked(from, cp)
 	}
 	return e.runLocked()
@@ -222,8 +265,67 @@ func (e *Engine) Steps() uint64 {
 	return e.steps
 }
 
+// getBufLocked returns a packet buffer of length n, reusing a pooled
+// buffer when one fits.
+func (e *Engine) getBufLocked(n int) []byte {
+	if l := len(e.pool); l > 0 {
+		b := e.pool[l-1]
+		e.pool[l-1] = nil
+		e.pool = e.pool[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small: let it go and allocate fresh below, so the pool
+		// self-cleans when the workload's packet size grows.
+	}
+	const minBuf = 128
+	if n < minBuf {
+		return make([]byte, n, minBuf)
+	}
+	return make([]byte, n)
+}
+
+// putBufLocked returns a buffer to the freelist.
+func (e *Engine) putBufLocked(b []byte) {
+	if cap(b) == 0 || len(e.pool) >= maxPooledBuffers {
+		return
+	}
+	e.pool = append(e.pool, b[:0])
+}
+
+// ReleaseBufs returns packet buffers to the engine's freelist. Callers
+// that drain a retaining node (an Edge) use it to hand exhausted buffers
+// back instead of leaving them to the garbage collector; the buffers
+// must no longer be referenced.
+func (e *Engine) ReleaseBufs(pkts [][]byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range pkts {
+		e.putBufLocked(p)
+	}
+}
+
+// bufBase identifies a packet buffer by the address of its first
+// element (nil for empty buffers, which are never pooled).
+func bufBase(b []byte) *byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return &b[0]
+}
+
+// discardLocked recycles a dropped packet's buffer unless it is the
+// delivery currently being handled — that one is reclaimed by runLocked
+// after the node returns, and may still be re-emitted.
+func (e *Engine) discardLocked(pkt []byte) {
+	if b := bufBase(pkt); b != nil && b != e.owner {
+		e.putBufLocked(pkt)
+	}
+}
+
 // transmitLocked pushes pkt from iface onto its link (applying loss and
-// the fault layer) and enqueues the arrival at the peer.
+// the fault layer) and enqueues the arrival at the peer. The engine
+// owns pkt from here on.
 func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 	l := from.link
 	if l == nil {
@@ -242,6 +344,7 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 		e.tap(from, pkt, drop)
 	}
 	if drop {
+		e.discardLocked(pkt)
 		return
 	}
 	to := l.ends[1-from.end]
@@ -252,9 +355,10 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 	for i, delay := range out.Deliveries {
 		cp := pkt
 		if i > 0 {
-			// Nodes may mutate or retain delivered packets, so every
-			// duplicate needs its own copy; it also crosses the link.
-			cp = append([]byte(nil), pkt...)
+			// Nodes may mutate delivered packets, so every duplicate
+			// needs its own copy; it also crosses the link.
+			cp = e.getBufLocked(len(pkt))
+			copy(cp, pkt)
 			st.Packets++
 			st.Bytes += uint64(len(pkt))
 		}
@@ -262,7 +366,7 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 	}
 }
 
-// enqueueLocked appends one delivery, deferred past delay subsequently
+// enqueueLocked adds one delivery, deferred past delay subsequently
 // enqueued deliveries.
 func (e *Engine) enqueueLocked(to *Iface, pkt []byte, delay int) {
 	if delay < 0 {
@@ -274,42 +378,62 @@ func (e *Engine) enqueueLocked(to *Iface, pkt []byte, delay int) {
 	// tie against it).
 	due := 2 * e.seq
 	if delay > 0 {
-		e.disordered = true
 		due += 2*uint64(delay) + 1
+		if !e.disordered {
+			// FIFO no longer holds: migrate the ring into the heap.
+			e.disordered = true
+			for e.fifo.len() > 0 {
+				e.ordq.push(e.fifo.pop())
+			}
+		}
 	}
-	e.queue = append(e.queue, delivery{to: to, pkt: pkt, due: due})
+	if b := bufBase(pkt); b != nil && b == e.owner {
+		e.ownerReused = true
+	}
+	d := delivery{to: to, pkt: pkt, due: due, seq: e.seq}
+	if e.disordered {
+		e.ordq.push(d)
+	} else {
+		e.fifo.push(d)
+	}
+}
+
+// queuedLocked returns the number of pending deliveries.
+func (e *Engine) queuedLocked() int {
+	return e.fifo.len() + e.ordq.len()
 }
 
 // runLocked pumps queued deliveries until the network is quiescent or the
 // event budget is exhausted, returning events processed.
 func (e *Engine) runLocked() int {
 	n := 0
-	for len(e.queue) > 0 && n < e.budget {
-		mi := 0
+	for e.queuedLocked() > 0 && n < e.budget {
+		var d delivery
 		if e.disordered {
-			// Deferred deliveries break FIFO order: pop the smallest due
-			// (ties resolve to the earliest-enqueued, keeping the pump
-			// deterministic).
-			for i := 1; i < len(e.queue); i++ {
-				if e.queue[i].due < e.queue[mi].due {
-					mi = i
-				}
+			d = e.ordq.pop()
+			if e.ordq.len() == 0 {
+				e.disordered = false
 			}
+		} else {
+			d = e.fifo.pop()
 		}
-		d := e.queue[mi]
-		copy(e.queue[mi:], e.queue[mi+1:])
-		e.queue = e.queue[:len(e.queue)-1]
 		n++
 		e.steps++
+		e.owner, e.ownerReused = bufBase(d.pkt), false
 		for _, em := range d.to.node.Handle(d.to, d.pkt) {
 			e.transmitLocked(em.Out, em.Pkt)
 		}
+		if e.owner != nil && !e.ownerReused && !retainsPackets(d.to.node) {
+			e.putBufLocked(d.pkt)
+		}
+		e.owner = nil
 	}
-	if len(e.queue) > 0 {
-		e.queue = e.queue[:0] // budget exceeded: drop the remainder
+	if e.queuedLocked() > 0 {
+		// Budget exceeded: drop the remainder. The buffers are left to
+		// the garbage collector — this path only fires on runaway loops.
+		e.fifo.reset()
+		e.ordq.reset()
 	}
-	if len(e.queue) == 0 {
-		e.disordered = false
-	}
+	e.disordered = false
 	return n
 }

@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// benchNet is edge <-> core <-> responder: two hops each way, so one
+// probe costs four events — enough to exercise the queue and the pool.
+func buildBenchNet(b *testing.B) (*Engine, *Edge, ipv6.Addr) {
+	b.Helper()
+	eng := New(1)
+	edge := NewEdge("e", ipv6.MustParseAddr("2001:beef::100"))
+	core := NewRouter("core", ErrorPolicy{})
+	dst := NewRouter("dst", ErrorPolicy{})
+	coreScan := core.AddIface(ipv6.MustParseAddr("2001:beef::1"), "core:scan")
+	coreDst := core.AddIface(ipv6.MustParseAddr("2001:face::1"), "core:dst")
+	dstUp := dst.AddIface(ipv6.MustParseAddr("2001:100::1"), "dst:up")
+	eng.Connect(edge.Iface(), coreScan, 0)
+	eng.Connect(coreDst, dstUp, 0)
+	core.AddRoute(ipv6.MustParsePrefix("2001:100::/32"), coreDst)
+	core.AddRoute(ipv6.MustParsePrefix("2001:beef::/64"), coreScan)
+	return eng, edge, dstUp.Addr()
+}
+
+// BenchmarkEnginePump measures the event pump on the FIFO fast path
+// (ordered) and with the fault layer deferring deliveries so the pump
+// runs on the heap (disordered).
+func BenchmarkEnginePump(b *testing.B) {
+	run := func(b *testing.B, disorder bool) {
+		eng, edge, dst := buildBenchNet(b)
+		if disorder {
+			flip := false
+			eng.SetFault(func(from *Iface, pkt []byte) FaultOutcome {
+				flip = !flip
+				if flip {
+					return FaultOutcome{Deliveries: []int{2}}
+				}
+				return FaultOutcome{}
+			})
+		}
+		pkt, err := wire.BuildEchoRequest(edge.Addr(), dst, 64, 7, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Inject(edge.Iface(), pkt)
+			if i%256 == 0 {
+				b.StopTimer()
+				edge.Drain() // keep retained replies from dominating memory
+				b.StartTimer()
+			}
+		}
+		b.StopTimer()
+		edge.Drain()
+	}
+	b.Run("ordered", func(b *testing.B) { run(b, false) })
+	b.Run("disordered", func(b *testing.B) { run(b, true) })
+}

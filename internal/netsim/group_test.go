@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// groupNet is a two-shard fixture: one edge attached to both shards,
+// each shard holding one echo-answering router that owns a /32.
+type groupNet struct {
+	grp   *EngineGroup
+	edge  *Edge
+	addrs []ipv6.Addr // router address per shard
+}
+
+func buildGroupNet(t *testing.T, shards int) *groupNet {
+	t.Helper()
+	n := &groupNet{
+		grp:  NewEngineGroup(1, shards),
+		edge: NewEdge("scanner", ipv6.MustParseAddr("2001:beef::100")),
+	}
+	for s := 0; s < shards; s++ {
+		prefix := ipv6.MustParsePrefix(fmt.Sprintf("2001:%d00::/32", s+1))
+		addr := ipv6.SLAAC(prefix, 1)
+		r := NewRouter(fmt.Sprintf("r%d", s), ErrorPolicy{})
+		rif := r.AddIface(addr, "r:up")
+		edgeIf := n.edge.Iface()
+		if s > 0 {
+			edgeIf = n.edge.AddIface(fmt.Sprintf("scanner:if%d", s))
+		}
+		n.grp.Shard(s).Connect(edgeIf, rif, 0)
+		n.grp.SetEntry(s, edgeIf)
+		n.grp.Route(prefix, s)
+		n.addrs = append(n.addrs, addr)
+	}
+	return n
+}
+
+func echoTo(t *testing.T, dst ipv6.Addr, seq uint16) []byte {
+	t.Helper()
+	pkt, err := wire.BuildEchoRequest(ipv6.MustParseAddr("2001:beef::100"), dst, 64, 7, seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// TestGroupRoutesByDestination: an injection reaches the shard owning
+// the destination prefix and only that shard.
+func TestGroupRoutesByDestination(t *testing.T) {
+	n := buildGroupNet(t, 4)
+	for s, addr := range n.addrs {
+		before := make([]uint64, 4)
+		for i := range before {
+			before[i] = n.grp.Shard(i).Steps()
+		}
+		n.grp.Inject(echoTo(t, addr, uint16(s)))
+		replies := n.edge.Drain()
+		if len(replies) != 1 {
+			t.Fatalf("shard %d: %d replies, want 1", s, len(replies))
+		}
+		sum, err := wire.ParsePacket(replies[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.IP.Src != addr {
+			t.Errorf("reply from %s, want %s", sum.IP.Src, addr)
+		}
+		for i := range before {
+			moved := n.grp.Shard(i).Steps() - before[i]
+			if i == s && moved == 0 {
+				t.Errorf("owning shard %d processed no events", i)
+			}
+			if i != s && moved != 0 {
+				t.Errorf("foreign shard %d processed %d events", i, moved)
+			}
+		}
+	}
+	if got := n.grp.Steps(); got == 0 {
+		t.Error("group Steps() = 0")
+	}
+}
+
+// TestGroupRouteMissFallsToShardZero: unrouted and non-IPv6 injections
+// land on shard 0 instead of being dropped.
+func TestGroupRouteMissFallsToShardZero(t *testing.T) {
+	n := buildGroupNet(t, 2)
+	before := n.grp.Shard(0).Steps()
+	n.grp.Inject(echoTo(t, ipv6.MustParseAddr("2001:dead::1"), 1))
+	if n.grp.Shard(0).Steps() == before {
+		t.Error("unrouted destination did not reach shard 0")
+	}
+	if n.grp.shardForPacket([]byte{0x40, 0x00}) != 0 {
+		t.Error("malformed packet not routed to shard 0")
+	}
+}
+
+// TestGroupInjectBatchPartitions: one batch fans out to every owning
+// shard and all replies come back.
+func TestGroupInjectBatchPartitions(t *testing.T) {
+	n := buildGroupNet(t, 4)
+	var batch [][]byte
+	for rep := 0; rep < 3; rep++ {
+		for s, addr := range n.addrs {
+			batch = append(batch, echoTo(t, addr, uint16(rep*4+s)))
+		}
+	}
+	if events := n.grp.InjectBatch(batch); events == 0 {
+		t.Fatal("batch processed no events")
+	}
+	replies := n.edge.Drain()
+	if len(replies) != len(batch) {
+		t.Fatalf("%d replies to a %d-packet batch", len(replies), len(batch))
+	}
+	perShard := map[ipv6.Addr]int{}
+	for _, r := range replies {
+		sum, err := wire.ParsePacket(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perShard[sum.IP.Src]++
+	}
+	for _, addr := range n.addrs {
+		if perShard[addr] != 3 {
+			t.Errorf("router %s answered %d times, want 3", addr, perShard[addr])
+		}
+	}
+}
+
+// TestGroupTapSeesEveryShard: a group-installed tap observes crossings
+// on all shards.
+func TestGroupTapSeesEveryShard(t *testing.T) {
+	n := buildGroupNet(t, 2)
+	seen := map[ipv6.Addr]int{}
+	n.grp.SetTap(func(from *Iface, pkt []byte, dropped bool) {
+		if len(pkt) >= 40 {
+			seen[ipv6.AddrFromBytes(pkt[24:40])]++
+		}
+	})
+	for _, addr := range n.addrs {
+		n.grp.Inject(echoTo(t, addr, 1))
+	}
+	for _, addr := range n.addrs {
+		if seen[addr] == 0 {
+			t.Errorf("tap never saw traffic to %s", addr)
+		}
+	}
+	n.grp.SetTap(nil)
+}
+
+// TestGroupShardZeroMatchesSingleEngine: shard 0 of a group uses
+// exactly the group seed, so its loss stream replays a plain engine's —
+// the property that keeps seeded goldens valid when a deployment moves
+// onto a group of one.
+func TestGroupShardZeroMatchesSingleEngine(t *testing.T) {
+	run := func(eng *Engine) []int {
+		edge := NewEdge("e", ipv6.MustParseAddr("2001:beef::100"))
+		r := NewRouter("r", ErrorPolicy{})
+		rif := r.AddIface(ipv6.MustParseAddr("2001:100::1"), "r:up")
+		eng.Connect(edge.Iface(), rif, 0.4)
+		var got []int
+		for i := 0; i < 200; i++ {
+			pkt, err := wire.BuildEchoRequest(edge.Addr(), rif.Addr(), 64, 7, uint16(i), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Inject(edge.Iface(), pkt)
+			got = append(got, len(edge.Drain()))
+		}
+		return got
+	}
+	single := run(New(99))
+	sharded := run(NewEngineGroup(99, 3).Shard(0))
+	for i := range single {
+		if single[i] != sharded[i] {
+			t.Fatalf("loss streams diverge at injection %d: %d vs %d", i, single[i], sharded[i])
+		}
+	}
+}

@@ -17,8 +17,16 @@ type ISPRouter struct {
 	upstream *Iface
 	ifs      []*Iface
 	addrs    map[ipv6.Addr]struct{}
+	// addrList holds the distinct interface addresses. Provider edges
+	// share one provider-side address across all subscriber links
+	// (topo's downAddr), so this stays tiny even with thousands of
+	// interfaces — isLocal scans it linearly instead of hashing a
+	// 16-byte map key per transit packet. isLocal falls back to the
+	// map if a topology ever gives every interface its own address.
+	addrList []ipv6.Addr
 	delegs   []*delegTable
 	gate     errorGate
+	sc       emitScratch
 
 	// CountForwarded tallies transit packets for amplification
 	// measurements.
@@ -54,7 +62,10 @@ func (r *ISPRouter) Block() ipv6.Prefix { return r.block }
 func (r *ISPRouter) AddIface(addr ipv6.Addr, name string) *Iface {
 	ifc := NewIface(r, addr, name)
 	r.ifs = append(r.ifs, ifc)
-	r.addrs[addr] = struct{}{}
+	if _, ok := r.addrs[addr]; !ok {
+		r.addrs[addr] = struct{}{}
+		r.addrList = append(r.addrList, addr)
+	}
 	return ifc
 }
 
@@ -96,8 +107,8 @@ func (r *ISPRouter) Delegate(p ipv6.Prefix, out *Iface) error {
 // lookup resolves dst against the delegation tables.
 func (r *ISPRouter) lookup(dst ipv6.Addr) (*Iface, bool) {
 	for _, t := range r.delegs {
-		idx, err := r.block.SubIndex(dst, t.subLen)
-		if err != nil {
+		idx, ok := r.block.SubIndexIn(dst, t.subLen)
+		if !ok {
 			return nil, false // not in block at all
 		}
 		if idx.Hi != 0 {
@@ -110,8 +121,19 @@ func (r *ISPRouter) lookup(dst ipv6.Addr) (*Iface, bool) {
 	return nil, false
 }
 
-// isLocal reports whether dst is one of the router's interface addresses.
+// isLocal reports whether dst is one of the router's interface
+// addresses. The distinct-address list is normally a couple of entries
+// (see addrList), so a linear scan beats hashing; degenerate
+// topologies with many distinct addresses use the map.
 func (r *ISPRouter) isLocal(dst ipv6.Addr) bool {
+	if len(r.addrList) <= 8 {
+		for _, a := range r.addrList {
+			if a == dst {
+				return true
+			}
+		}
+		return false
+	}
 	_, ok := r.addrs[dst]
 	return ok
 }
@@ -122,27 +144,27 @@ func (r *ISPRouter) isLocal(dst ipv6.Addr) bool {
 // discovery strategy exploits at the periphery, here occurring one hop
 // earlier for unassigned space.
 func (r *ISPRouter) Handle(in *Iface, pkt []byte) []Emission {
-	hdr, _, err := wire.ParseIPv6(pkt)
-	if err != nil {
+	dst, ok := wire.ForwardDst(pkt)
+	if !ok {
 		return nil
 	}
-	if r.isLocal(hdr.Dst) {
-		return respondLocalEcho(in, hdr.Dst, pkt)
+	if r.isLocal(dst) {
+		return respondLocalEcho(&r.sc, in, dst, pkt)
 	}
 	if !decrementHopLimit(pkt) {
 		return r.emitError(in, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit)
 	}
-	if out, ok := r.lookup(hdr.Dst); ok {
+	if out, ok := r.lookup(dst); ok {
 		r.CountForwarded++
-		return []Emission{{Out: out, Pkt: pkt}}
+		return r.sc.emit(out, pkt)
 	}
-	if r.block.Contains(hdr.Dst) {
+	if r.block.Contains(dst) {
 		// Unassigned space within the block.
 		return r.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
 	}
 	if r.upstream != nil && in != r.upstream {
 		r.CountForwarded++
-		return []Emission{{Out: r.upstream, Pkt: pkt}}
+		return r.sc.emit(r.upstream, pkt)
 	}
 	return r.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
 }
@@ -151,12 +173,12 @@ func (r *ISPRouter) emitError(in *Iface, invoking []byte, typ, code uint8) []Emi
 	if !r.gate.allow() {
 		return nil
 	}
-	out := icmpError(in.addr, invoking, typ, code)
+	out := icmpError(in, in.addr, invoking, typ, code)
 	if out == nil {
 		r.gate.generated--
 		return nil
 	}
-	return []Emission{{Out: in, Pkt: out}}
+	return r.sc.emit(in, out)
 }
 
 // DelegationCount returns the number of installed delegations (for

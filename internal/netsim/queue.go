@@ -1,0 +1,113 @@
+package netsim
+
+// The engine's event queue has two regimes. While deliveries are in
+// FIFO order (no fault layer deferring anything) pops come from a ring
+// buffer in O(1) — the common case, and the scan hot path. The moment a
+// deferred delivery is enqueued the ring's contents migrate into a
+// binary min-heap ordered by (due, seq) and pops cost O(log n) until
+// the queue drains, after which the engine falls back to the ring.
+
+// ring is a growable FIFO ring buffer of deliveries.
+type ring struct {
+	buf  []delivery
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) push(d delivery) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = d
+	r.n++
+}
+
+// pop removes and returns the oldest delivery. It must not be called on
+// an empty ring.
+func (r *ring) pop() delivery {
+	d := r.buf[r.head]
+	r.buf[r.head] = delivery{} // release the pkt reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return d
+}
+
+// grow doubles capacity (kept a power of two so indexing is a mask).
+func (r *ring) grow() {
+	nb := make([]delivery, max(16, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+// reset drops all queued deliveries but keeps the backing array.
+func (r *ring) reset() {
+	for i := range r.buf {
+		r.buf[i] = delivery{}
+	}
+	r.head, r.n = 0, 0
+}
+
+// dheap is a binary min-heap of deliveries ordered by (due, seq): the
+// seq tie-break reproduces the old linear scan's earliest-enqueued-wins
+// rule, so reordered replays stay bit-identical.
+type dheap struct {
+	d []delivery
+}
+
+func dless(a, b delivery) bool {
+	return a.due < b.due || (a.due == b.due && a.seq < b.seq)
+}
+
+func (h *dheap) len() int { return len(h.d) }
+
+func (h *dheap) push(d delivery) {
+	h.d = append(h.d, d)
+	i := len(h.d) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !dless(h.d[i], h.d[p]) {
+			break
+		}
+		h.d[i], h.d[p] = h.d[p], h.d[i]
+		i = p
+	}
+}
+
+// pop removes and returns the smallest delivery. It must not be called
+// on an empty heap.
+func (h *dheap) pop() delivery {
+	top := h.d[0]
+	last := len(h.d) - 1
+	h.d[0] = h.d[last]
+	h.d[last] = delivery{} // release the pkt reference
+	h.d = h.d[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h.d) && dless(h.d[l], h.d[s]) {
+			s = l
+		}
+		if r < len(h.d) && dless(h.d[r], h.d[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.d[i], h.d[s] = h.d[s], h.d[i]
+		i = s
+	}
+	return top
+}
+
+// reset drops all queued deliveries but keeps the backing array.
+func (h *dheap) reset() {
+	for i := range h.d {
+		h.d[i] = delivery{}
+	}
+	h.d = h.d[:0]
+}

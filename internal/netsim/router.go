@@ -28,8 +28,11 @@ func decrementHopLimit(pkt []byte) bool {
 }
 
 // icmpError builds an ICMPv6 error packet from the given source address
-// in response to the invoking packet, or nil if policy forbids one.
-func icmpError(src ipv6.Addr, invoking []byte, typ, code uint8) []byte {
+// in response to the invoking packet, or nil if policy forbids one. The
+// error is built into a buffer borrowed from the engine pool of the
+// interface it arrived on (node handlers run with the engine lock held);
+// the buffer re-enters the pool through the normal delivery lifecycle.
+func icmpError(in *Iface, src ipv6.Addr, invoking []byte, typ, code uint8) []byte {
 	if isICMPError(invoking) {
 		return nil
 	}
@@ -37,14 +40,16 @@ func icmpError(src ipv6.Addr, invoking []byte, typ, code uint8) []byte {
 	if err != nil {
 		return nil
 	}
-	var (
-		out []byte
-	)
+	var scratch []byte
+	if in != nil && in.eng != nil {
+		scratch = in.eng.getBufLocked(wire.ErrorLen(invoking))
+	}
+	var out []byte
 	switch typ {
 	case wire.ICMPDestUnreach:
-		out, err = wire.BuildDestUnreach(src, hdr.Src, wire.MaxHopLimit, code, invoking)
+		out, err = wire.AppendDestUnreach(scratch, src, hdr.Src, wire.MaxHopLimit, code, invoking)
 	case wire.ICMPTimeExceeded:
-		out, err = wire.BuildTimeExceeded(src, hdr.Src, wire.MaxHopLimit, invoking)
+		out, err = wire.AppendTimeExceeded(scratch, src, hdr.Src, wire.MaxHopLimit, invoking)
 	default:
 		return nil
 	}
@@ -107,8 +112,9 @@ type Router struct {
 	name  string
 	table *lpm.Table[Route]
 	ifs   []*Iface
-	addrs map[ipv6.Addr]struct{}
+	addrs []ipv6.Addr // interface addresses; linear scan beats a map at router arity
 	gate  errorGate
+	sc    emitScratch
 
 	// CountForwarded tallies transit packets, used by the loop-attack
 	// experiments to measure amplification.
@@ -122,7 +128,6 @@ func NewRouter(name string, policy ErrorPolicy) *Router {
 	return &Router{
 		name:  name,
 		table: lpm.New[Route](),
-		addrs: make(map[ipv6.Addr]struct{}),
 		gate:  errorGate{policy: policy},
 	}
 }
@@ -135,7 +140,7 @@ func (r *Router) Name() string { return r.name }
 func (r *Router) AddIface(addr ipv6.Addr, name string) *Iface {
 	ifc := NewIface(r, addr, name)
 	r.ifs = append(r.ifs, ifc)
-	r.addrs[addr] = struct{}{}
+	r.addrs = append(r.addrs, addr)
 	return ifc
 }
 
@@ -151,28 +156,32 @@ func (r *Router) AddRejectRoute(p ipv6.Prefix) {
 
 // isLocal reports whether dst is one of the router's interface addresses.
 func (r *Router) isLocal(dst ipv6.Addr) bool {
-	_, ok := r.addrs[dst]
-	return ok
+	for _, a := range r.addrs {
+		if a == dst {
+			return true
+		}
+	}
+	return false
 }
 
 // Handle implements Node.
 func (r *Router) Handle(in *Iface, pkt []byte) []Emission {
-	hdr, _, err := wire.ParseIPv6(pkt)
-	if err != nil {
+	dst, ok := wire.ForwardDst(pkt)
+	if !ok {
 		return nil
 	}
-	if r.isLocal(hdr.Dst) {
-		return respondLocalEcho(in, hdr.Dst, pkt)
+	if r.isLocal(dst) {
+		return respondLocalEcho(&r.sc, in, dst, pkt)
 	}
 	if !decrementHopLimit(pkt) {
 		return r.emitError(in, pkt, wire.ICMPTimeExceeded, wire.TimeExceedHopLimit)
 	}
-	route, ok := r.table.Lookup(hdr.Dst)
+	route, ok := r.table.Lookup(dst)
 	if !ok || route.Kind == RouteReject {
 		return r.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
 	}
 	r.CountForwarded++
-	return []Emission{{Out: route.Out, Pkt: pkt}}
+	return r.sc.emit(route.Out, pkt)
 }
 
 // emitError generates an ICMPv6 error from the incoming interface's
@@ -181,20 +190,20 @@ func (r *Router) emitError(in *Iface, invoking []byte, typ, code uint8) []Emissi
 	if !r.gate.allow() {
 		return nil
 	}
-	out := icmpError(in.addr, invoking, typ, code)
+	out := icmpError(in, in.addr, invoking, typ, code)
 	if out == nil {
 		r.gate.generated-- // nothing was sent; refund the budget
 		return nil
 	}
-	return []Emission{{Out: in, Pkt: out}}
+	return r.sc.emit(in, out)
 }
 
 // respondLocalEcho answers an ICMPv6 Echo Request addressed to self with
 // an Echo Reply out the arrival interface. Non-echo local traffic is
 // silently dropped (core routers in this simulator expose no services).
-func respondLocalEcho(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
-	s, err := wire.ParsePacket(pkt)
-	if err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
+func respondLocalEcho(sc *emitScratch, in *Iface, self ipv6.Addr, pkt []byte) []Emission {
+	var s wire.Summary
+	if err := s.Parse(pkt); err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
 		return nil
 	}
 	e, err := wire.ParseEcho(s.ICMP.Body)
@@ -205,5 +214,5 @@ func respondLocalEcho(in *Iface, self ipv6.Addr, pkt []byte) []Emission {
 	if err != nil {
 		return nil
 	}
-	return []Emission{{Out: in, Pkt: reply}}
+	return sc.emit(in, reply)
 }

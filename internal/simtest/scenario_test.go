@@ -55,6 +55,10 @@ func TestScenarios(t *testing.T) {
 				problems, err := RunUDPOracle(seed)
 				report(t, "sim-vs-udp", problems, err)
 			})
+			t.Run("oracle-sharded", func(t *testing.T) {
+				problems, err := RunShardOracle(seed, 4)
+				report(t, "sharded-vs-single", problems, err)
+			})
 		})
 	}
 }
@@ -83,7 +87,7 @@ func TestProfilesCoverFaultClasses(t *testing.T) {
 // nullNode satisfies netsim.Node for taps exercised outside an engine.
 type nullNode struct{}
 
-func (nullNode) Name() string                                  { return "null" }
+func (nullNode) Name() string                                          { return "null" }
 func (nullNode) Handle(in *netsim.Iface, pkt []byte) []netsim.Emission { return nil }
 
 func testIface(name string) *netsim.Iface {

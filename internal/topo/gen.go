@@ -36,6 +36,14 @@ type Config struct {
 	// periphery stops emitting ICMPv6 errors for probes entirely
 	// (re-evaluating RFC 4890's advice), which defeats discovery.
 	FilterPings bool
+	// Shards splits the simulated Internet across this many independent
+	// engine shards (a netsim.EngineGroup with a replicated core/border
+	// spine); 0 or 1 builds the classic single-engine deployment.
+	// Subscriber prefixes are assigned to shards by contiguous window
+	// chunk, so concurrent scanners pump disjoint serialization domains.
+	// With more than one shard, inject through Deployment.Group (or
+	// xmap.NewGroupDriver), which routes each probe to the owning shard.
+	Shards int
 }
 
 // DefaultScale is 1/1024 of the paper's population.
@@ -67,33 +75,59 @@ func (d *Device) Vulnerable() bool { return d.VulnWAN || d.VulnLAN }
 
 // ISPDeployment is one generated ISP block.
 type ISPDeployment struct {
-	Spec    *ISPSpec
-	Block   ipv6.Prefix
-	Router  *netsim.ISPRouter
+	Spec   *ISPSpec
+	Block  ipv6.Prefix
+	Router *netsim.ISPRouter
+	// Routers holds one ISP-router replica per engine shard (all with
+	// the same name, block and interface addresses); Routers[0] ==
+	// Router. A replica serves the subscribers whose window chunks its
+	// shard owns and answers unreachable for the rest of the block.
+	Routers []*netsim.ISPRouter
 	Window  ipv6.Window
 	Devices []*Device
 
 	downAddr ipv6.Addr // shared provider-side address of subscriber links
 	// clonedMACs is the pool future devices may clone from.
 	clonedMACs []ipv6.MAC
+	// shards/shardShift map a window sub-prefix index to its owning
+	// shard: shard = (idx >> shardShift) % shards.
+	shards     int
+	shardShift int
+}
+
+// shardOf returns the engine shard owning window sub-prefix index idx.
+func (isp *ISPDeployment) shardOf(idx uint64) int {
+	if isp.shards <= 1 {
+		return 0
+	}
+	return int(idx>>isp.shardShift) % isp.shards
 }
 
 // Deployment is the full simulated Internet of the Table I ISPs.
 type Deployment struct {
+	// Engine is shard 0 — the whole deployment in a classic build.
 	Engine *netsim.Engine
-	Edge   *netsim.Edge
-	Core   *netsim.Router
+	// Group is the sharded execution substrate; always non-nil (a group
+	// of one when Config.Shards <= 1). With more than one shard, inject
+	// through the group so probes reach the shard owning their
+	// destination.
+	Group *netsim.EngineGroup
+	Edge  *netsim.Edge
+	// Core is shard 0's core router (each shard replicates the spine).
+	Core *netsim.Router
 	// Border is the transit hop between core and the ISPs; its presence
 	// fixes the hop-limit parity so looping packets expire at the CPE
 	// (whose Time Exceeded then exposes the periphery address), matching
-	// the path lengths the paper observes.
+	// the path lengths the paper observes. Shard 0's replica.
 	Border *netsim.Router
 	ISPs   []*ISPDeployment
 	Geo    *registry.GeoDB
 	OUI    *registry.OUIDB
 
-	byWAN      map[ipv6.Addr]*Device
-	coreBorder *netsim.Iface
+	byWAN       map[ipv6.Addr]*Device
+	cores       []*netsim.Router
+	borders     []*netsim.Router
+	coreBorders []*netsim.Iface
 }
 
 // ScannerAddr is the vantage address of every generated deployment.
@@ -135,24 +169,51 @@ func Build(cfg Config) (*Deployment, error) {
 	if cfg.WindowWidth < 4 || cfg.WindowWidth > 28 {
 		return nil, fmt.Errorf("topo: window width %d out of [4,28]", cfg.WindowWidth)
 	}
+	nshards := cfg.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	if shardBitsFor(nshards) > cfg.WindowWidth {
+		return nil, fmt.Errorf("topo: %d shards exceed window width %d", nshards, cfg.WindowWidth)
+	}
 
 	dep := &Deployment{
-		Engine: netsim.New(cfg.Seed),
-		Geo:    registry.NewGeoDB(),
-		OUI:    registry.NewOUIDB(),
-		byWAN:  make(map[ipv6.Addr]*Device),
+		Group: netsim.NewEngineGroup(cfg.Seed, nshards),
+		Geo:   registry.NewGeoDB(),
+		OUI:   registry.NewOUIDB(),
+		byWAN: make(map[ipv6.Addr]*Device),
 	}
+	dep.Engine = dep.Group.Shard(0)
 	dep.Edge = netsim.NewEdge("scanner", ScannerAddr)
-	dep.Core = netsim.NewRouter("core", netsim.ErrorPolicy{})
-	dep.Border = netsim.NewRouter("border", netsim.ErrorPolicy{})
-	coreScan := dep.Core.AddIface(ipv6.MustParseAddr("2001:beef::1"), "core:scan")
-	dep.Engine.Connect(dep.Edge.Iface(), coreScan, 0)
-	dep.Core.AddRoute(ipv6.MustParsePrefix("2001:beef::/64"), coreScan)
-	coreBorder := dep.Core.AddIface(ipv6.MustParseAddr("2001:face::1"), "core:border")
-	borderUp := dep.Border.AddIface(ipv6.MustParseAddr("2001:face::2"), "border:up")
-	dep.Engine.Connect(coreBorder, borderUp, 0)
-	dep.Border.AddRoute(ipv6.MustParsePrefix("::/0"), borderUp)
-	dep.coreBorder = coreBorder
+	scanNet := ipv6.MustParsePrefix("2001:beef::/64")
+	// Replicate the core/border spine per shard: the same addresses on
+	// disjoint engines, so a probe's path length — and therefore every
+	// hop-limit observation — is identical whichever shard serves it.
+	for s := 0; s < nshards; s++ {
+		suffix := ""
+		if s > 0 {
+			suffix = fmt.Sprintf("%d", s)
+		}
+		eng := dep.Group.Shard(s)
+		core := netsim.NewRouter("core"+suffix, netsim.ErrorPolicy{})
+		border := netsim.NewRouter("border"+suffix, netsim.ErrorPolicy{})
+		edgeIf := dep.Edge.Iface()
+		if s > 0 {
+			edgeIf = dep.Edge.AddIface(fmt.Sprintf("scanner:if%d", s))
+		}
+		coreScan := core.AddIface(ipv6.MustParseAddr("2001:beef::1"), "core:scan"+suffix)
+		eng.Connect(edgeIf, coreScan, 0)
+		core.AddRoute(scanNet, coreScan)
+		coreBorder := core.AddIface(ipv6.MustParseAddr("2001:face::1"), "core:border"+suffix)
+		borderUp := border.AddIface(ipv6.MustParseAddr("2001:face::2"), "border:up"+suffix)
+		eng.Connect(coreBorder, borderUp, 0)
+		border.AddRoute(ipv6.MustParsePrefix("::/0"), borderUp)
+		dep.Group.SetEntry(s, edgeIf)
+		dep.cores = append(dep.cores, core)
+		dep.borders = append(dep.borders, border)
+		dep.coreBorders = append(dep.coreBorders, coreBorder)
+	}
+	dep.Core, dep.Border = dep.cores[0], dep.borders[0]
 
 	want := func(index int) bool {
 		if len(cfg.OnlyISPs) == 0 {
@@ -188,20 +249,12 @@ func buildISP(dep *Deployment, spec *ISPSpec, cfg Config) (*ISPDeployment, error
 	block := BlockFor(spec)
 	dep.Geo.Add(block, registry.GeoEntry{ASN: spec.ASN, Country: spec.Country})
 
-	router := netsim.NewISPRouter(spec.Name, block, netsim.ErrorPolicy{})
 	// Core <-> ISP link: addresses carved from a dedicated /64 of the
 	// ISP block's tail, outside any scan window.
 	linkNet, err := block.Sub(64, maxIndex(block, 64))
 	if err != nil {
 		return nil, err
 	}
-	borderIf := dep.Border.AddIface(ipv6.SLAAC(linkNet, 1), fmt.Sprintf("border:isp%d", spec.Index))
-	ispUp := router.AddIface(ipv6.SLAAC(linkNet, 2), "isp:up")
-	dep.Engine.Connect(borderIf, ispUp, 0)
-	dep.Border.AddRoute(block, borderIf)
-	dep.Core.AddRoute(block, dep.coreBorder)
-	router.SetUpstream(ispUp)
-
 	// Subscriber-facing links are unnumbered: every down interface
 	// shares one provider-side address, as on a real BNG.
 	downAddr := ipv6.SLAAC(linkNet, 3)
@@ -216,7 +269,40 @@ func buildISP(dep *Deployment, spec *ISPSpec, cfg Config) (*ISPDeployment, error
 		return nil, err
 	}
 
-	isp := &ISPDeployment{Spec: spec, Block: block, Router: router, Window: window, downAddr: downAddr}
+	nshards := dep.Group.NumShards()
+	isp := &ISPDeployment{
+		Spec: spec, Block: block, Window: window, downAddr: downAddr,
+		shards:     nshards,
+		shardShift: cfg.WindowWidth - shardBitsFor(nshards),
+	}
+	for s := 0; s < nshards; s++ {
+		router := netsim.NewISPRouter(spec.Name, block, netsim.ErrorPolicy{})
+		borderIf := dep.borders[s].AddIface(ipv6.SLAAC(linkNet, 1), fmt.Sprintf("border:isp%d", spec.Index))
+		ispUp := router.AddIface(ipv6.SLAAC(linkNet, 2), "isp:up")
+		dep.Group.Shard(s).Connect(borderIf, ispUp, 0)
+		dep.borders[s].AddRoute(block, borderIf)
+		dep.cores[s].AddRoute(block, dep.coreBorders[s])
+		router.SetUpstream(ispUp)
+		isp.Routers = append(isp.Routers, router)
+	}
+	isp.Router = isp.Routers[0]
+
+	// Shard routing: the block falls back to shard 0 (link-net and
+	// unassigned space outside the window answer identically on every
+	// replica); the window splits into contiguous chunks assigned
+	// round-robin, matching shardOf. Per-device overrides below pin
+	// prefixes that land outside the device's primary chunk.
+	dep.Group.Route(block, 0)
+	if nshards > 1 {
+		shardBits := shardBitsFor(nshards)
+		for c := 0; c < 1<<shardBits; c++ {
+			chunk, err := winBase.Sub(winBase.Bits()+shardBits, uint128.From64(uint64(c)))
+			if err != nil {
+				return nil, err
+			}
+			dep.Group.Route(chunk, c%nshards)
+		}
+	}
 
 	n := int(float64(spec.PaperLastHops)*cfg.Scale + 0.5)
 	if n < 1 {
@@ -269,6 +355,16 @@ const routerIID = 0xffff_ffff_ffff_fffe
 func maxIndex(p ipv6.Prefix, bits int) uint128.Uint128 {
 	n, _ := p.NumSub(bits)
 	return n.Sub64(1)
+}
+
+// shardBitsFor returns ceil(log2(n)): the window bits consumed by shard
+// chunking.
+func shardBitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
 }
 
 func pickVendor(rng *rand.Rand, shares []VendorWeight) string {
@@ -381,22 +477,28 @@ func buildDevice(
 
 	switch {
 	case spec.DelegLen == 64 && dev.IsUE:
-		prefix, err := isp.Window.Sub(uint128.From64(takeIdx()))
+		idx := takeIdx()
+		shard := isp.shardOf(idx)
+		router := isp.Routers[shard]
+		prefix, err := isp.Window.Sub(uint128.From64(idx))
 		if err != nil {
 			return nil, err
 		}
 		dev.Model = modelShared64
 		dev.WANAddr = ipv6.SLAAC(prefix, iid)
 		ue := netsim.NewUE(name, dev.WANAddr, prefix, stack, policy)
-		down := isp.Router.AddIface(isp.downAddr, name+":bs")
-		dev.AccessLink = dep.Engine.Connect(down, ue.Iface(), 0)
-		if err := isp.Router.Delegate(prefix, down); err != nil {
+		down := router.AddIface(isp.downAddr, name+":bs")
+		dev.AccessLink = dep.Group.Shard(shard).Connect(down, ue.Iface(), 0)
+		if err := router.Delegate(prefix, down); err != nil {
 			return nil, err
 		}
 		dev.UE = ue
 
 	case spec.DelegLen == 64:
-		wanPrefix, err := isp.Window.Sub(uint128.From64(takeIdx()))
+		idx := takeIdx()
+		shard := isp.shardOf(idx)
+		router := isp.Routers[shard]
+		wanPrefix, err := isp.Window.Sub(uint128.From64(idx))
 		if err != nil {
 			return nil, err
 		}
@@ -413,6 +515,11 @@ func buildDevice(
 				return nil, err
 			}
 			cpeCfg.Delegated = lan
+			if isp.shards > 1 {
+				// The LAN /64 may fall in another shard's chunk; pin it
+				// to the shard holding the CPE.
+				dep.Group.Route(lan, shard)
+			}
 		}
 		if vulnerable {
 			dev.VulnWAN = true
@@ -422,20 +529,23 @@ func buildDevice(
 		}
 		cpeCfg.Behavior = behaviorFor(dev)
 		cpe := netsim.NewCPE(cpeCfg)
-		down := isp.Router.AddIface(isp.downAddr, name+":down")
-		dev.AccessLink = dep.Engine.Connect(down, cpe.WAN(), 0)
-		if err := isp.Router.Delegate(wanPrefix, down); err != nil {
+		down := router.AddIface(isp.downAddr, name+":down")
+		dev.AccessLink = dep.Group.Shard(shard).Connect(down, cpe.WAN(), 0)
+		if err := router.Delegate(wanPrefix, down); err != nil {
 			return nil, err
 		}
 		if cpeCfg.Delegated.Bits() > 0 {
-			if err := isp.Router.Delegate(cpeCfg.Delegated, down); err != nil {
+			if err := router.Delegate(cpeCfg.Delegated, down); err != nil {
 				return nil, err
 			}
 		}
 		dev.CPE = cpe
 
 	default: // DelegLen < 64: delegated model
-		deleg, err := isp.Window.Sub(uint128.From64(takeIdx()))
+		idx := takeIdx()
+		shard := isp.shardOf(idx)
+		router := isp.Routers[shard]
+		deleg, err := isp.Window.Sub(uint128.From64(idx))
 		if err != nil {
 			return nil, err
 		}
@@ -461,6 +571,11 @@ func buildDevice(
 			if err != nil {
 				return nil, err
 			}
+			if isp.shards > 1 {
+				// Outside the window, so outside chunk routing: pin the
+				// WAN /64 to the shard holding the CPE.
+				dep.Group.Route(wanPrefix, shard)
+			}
 		}
 		dev.Model = modelDelegated
 		dev.WANAddr = ipv6.SLAAC(wanPrefix, iid)
@@ -482,13 +597,13 @@ func buildDevice(
 		}
 		cpeCfg.Behavior = behaviorFor(dev)
 		cpe := netsim.NewCPE(cpeCfg)
-		down := isp.Router.AddIface(isp.downAddr, name+":down")
-		dev.AccessLink = dep.Engine.Connect(down, cpe.WAN(), 0)
-		if err := isp.Router.Delegate(deleg, down); err != nil {
+		down := router.AddIface(isp.downAddr, name+":down")
+		dev.AccessLink = dep.Group.Shard(shard).Connect(down, cpe.WAN(), 0)
+		if err := router.Delegate(deleg, down); err != nil {
 			return nil, err
 		}
 		if !spec.WANInsideDelegation {
-			if err := isp.Router.Delegate(wanPrefix, down); err != nil {
+			if err := router.Delegate(wanPrefix, down); err != nil {
 				return nil, err
 			}
 		}

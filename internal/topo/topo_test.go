@@ -2,6 +2,7 @@ package topo
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"repro/internal/ipv6"
@@ -93,6 +94,86 @@ func TestOnlyISPsFilter(t *testing.T) {
 	}
 	if len(dep.ISPs) != 1 || dep.ISPs[0].Spec.Index != 13 {
 		t.Fatalf("ISPs = %+v", dep.ISPs)
+	}
+}
+
+// TestShardedBuildMatchesSingle: the same seed built onto a 4-shard
+// EngineGroup must expose the identical periphery — a parallel scan
+// through the group driver discovers exactly the single-engine
+// responder set, with every shard carrying traffic.
+func TestShardedBuildMatchesSingle(t *testing.T) {
+	scan := func(dep *Deployment, parallel bool) map[ipv6.Addr]bool {
+		t.Helper()
+		found := map[ipv6.Addr]bool{}
+		var mu sync.Mutex
+		for _, isp := range dep.ISPs {
+			cfg := xmap.Config{Window: isp.Window, Seed: []byte("shard-eq")}
+			handler := func(r xmap.Response) {
+				mu.Lock()
+				found[r.Responder] = true
+				mu.Unlock()
+			}
+			if parallel {
+				drv := xmap.NewGroupDriver(dep.Group, dep.Edge)
+				if _, err := xmap.ScanParallel(context.Background(), cfg, drv, 4, handler); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				s, err := xmap.New(cfg, xmap.NewSimDriver(dep.Engine, dep.Edge))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Run(context.Background(), handler); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return found
+	}
+
+	cfg := Config{Seed: 9, Scale: 0.0001, WindowWidth: 8, MaxDevicesPerISP: 30, OnlyISPs: []int{1, 12, 13}}
+	single, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	sharded, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Group.NumShards() != 4 {
+		t.Fatalf("group has %d shards", sharded.Group.NumShards())
+	}
+
+	a, b := scan(single, false), scan(sharded, true)
+	for addr := range a {
+		if !b[addr] {
+			t.Errorf("sharded deployment missing responder %s", addr)
+		}
+	}
+	for addr := range b {
+		if !a[addr] {
+			t.Errorf("sharded deployment has extra responder %s", addr)
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if sharded.Group.Shard(s).Steps() == 0 {
+			t.Errorf("shard %d processed no events; work not spread", s)
+		}
+	}
+	// Ground truth still resolves on the sharded build.
+	for _, dev := range sharded.Devices() {
+		if !b[dev.WANAddr] {
+			t.Errorf("device %s not discovered on sharded build", dev.WANAddr)
+		}
+	}
+}
+
+// TestShardedBuildValidation: more shards than window chunks is a
+// configuration error, not a silent misroute.
+func TestShardedBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Seed: 1, Scale: 0.0001, WindowWidth: 4, MaxDevicesPerISP: 4, Shards: 32}); err == nil {
+		t.Error("32 shards accepted on a 4-bit window")
 	}
 }
 

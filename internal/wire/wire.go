@@ -83,19 +83,40 @@ func ParseIPv6(b []byte) (IPv6Header, []byte, error) {
 	return h, b[HeaderLen : HeaderLen+plen], nil
 }
 
+// ForwardDst extracts just the destination address of an IPv6 packet,
+// applying the same version/length validation as ParseIPv6. Transit
+// nodes route on the destination alone, and skipping the rest of the
+// header materialization matters on the per-hop fast path.
+func ForwardDst(b []byte) (ipv6.Addr, bool) {
+	if len(b) < HeaderLen || b[0]>>4 != 6 {
+		return ipv6.Addr{}, false
+	}
+	if len(b)-HeaderLen < int(binary.BigEndian.Uint16(b[4:6])) {
+		return ipv6.Addr{}, false
+	}
+	return ipv6.AddrFromBytes(b[24:40]), true
+}
+
 // Checksum computes the Internet checksum (RFC 1071) of the upper-layer
 // packet body over the IPv6 pseudo-header (RFC 8200 section 8.1).
 func Checksum(src, dst ipv6.Addr, proto uint8, body []byte) uint16 {
+	// Accumulate 32-bit words: 2^16 ≡ 1 (mod 65535), so the end-around
+	// fold below reduces a sum of 32-bit words to the same value as the
+	// RFC's 16-bit word sum, at half the loop iterations.
 	var sum uint64
 	s, d := src.Bytes(), dst.Bytes()
-	for i := 0; i < 16; i += 2 {
-		sum += uint64(binary.BigEndian.Uint16(s[i : i+2]))
-		sum += uint64(binary.BigEndian.Uint16(d[i : i+2]))
+	for i := 0; i < 16; i += 4 {
+		sum += uint64(binary.BigEndian.Uint32(s[i : i+4]))
+		sum += uint64(binary.BigEndian.Uint32(d[i : i+4]))
 	}
 	sum += uint64(len(body)) // upper-layer packet length
 	sum += uint64(proto)     // next header
 
-	for len(body) >= 2 {
+	for len(body) >= 4 {
+		sum += uint64(binary.BigEndian.Uint32(body[:4]))
+		body = body[4:]
+	}
+	if len(body) >= 2 {
 		sum += uint64(binary.BigEndian.Uint16(body[:2]))
 		body = body[2:]
 	}

@@ -24,6 +24,24 @@ type Driver interface {
 	SourceAddr() ipv6.Addr
 }
 
+// BatchSender is an optional Driver capability: a burst of probes
+// enters the packet layer in one call, amortizing per-entry overhead
+// (for the simulator drivers, one engine lock acquisition and one
+// quiescence pump per batch instead of per probe). It returns the
+// number of packets transmitted. The driver must not retain the packet
+// slices after SendBatch returns — callers recycle them.
+type BatchSender interface {
+	SendBatch(pkts [][]byte) (int, error)
+}
+
+// Releaser is an optional Driver capability: hand packet buffers
+// obtained from Recv back to the packet layer once the caller has fully
+// processed them, letting the simulator engines reuse the memory. The
+// caller must drop every reference into the released buffers.
+type Releaser interface {
+	Release(pkts [][]byte)
+}
+
 // SimDriver runs the scanner against a netsim topology through an edge
 // node.
 type SimDriver struct {
@@ -45,11 +63,60 @@ func (d *SimDriver) Send(pkt []byte) error {
 	return nil
 }
 
+// SendBatch implements BatchSender.
+func (d *SimDriver) SendBatch(pkts [][]byte) (int, error) {
+	d.eng.InjectBatch(d.edge.Iface(), pkts)
+	return len(pkts), nil
+}
+
 // Recv implements Driver.
 func (d *SimDriver) Recv() [][]byte { return d.edge.Drain() }
 
+// Release implements Releaser.
+func (d *SimDriver) Release(pkts [][]byte) { d.eng.ReleaseBufs(pkts) }
+
 // SourceAddr implements Driver.
 func (d *SimDriver) SourceAddr() ipv6.Addr { return d.edge.Addr() }
+
+// GroupDriver runs the scanner against a sharded netsim.EngineGroup:
+// every probe is routed to the engine shard owning its destination
+// prefix, so concurrent senders (ScanParallel) pump disjoint
+// serialization domains in parallel instead of convoying on one engine
+// lock. All shards deliver responses to the same edge.
+type GroupDriver struct {
+	grp  *netsim.EngineGroup
+	edge *netsim.Edge
+}
+
+var _ Driver = (*GroupDriver)(nil)
+var _ BatchSender = (*GroupDriver)(nil)
+
+// NewGroupDriver wires a driver to the engine group at the given edge.
+// The edge must be attached to every shard (topo.Build deployments are).
+func NewGroupDriver(grp *netsim.EngineGroup, edge *netsim.Edge) *GroupDriver {
+	return &GroupDriver{grp: grp, edge: edge}
+}
+
+// Send implements Driver.
+func (d *GroupDriver) Send(pkt []byte) error {
+	d.grp.Inject(pkt)
+	return nil
+}
+
+// SendBatch implements BatchSender.
+func (d *GroupDriver) SendBatch(pkts [][]byte) (int, error) {
+	d.grp.InjectBatch(pkts)
+	return len(pkts), nil
+}
+
+// Recv implements Driver.
+func (d *GroupDriver) Recv() [][]byte { return d.edge.Drain() }
+
+// Release implements Releaser.
+func (d *GroupDriver) Release(pkts [][]byte) { d.grp.ReleaseBufs(pkts) }
+
+// SourceAddr implements Driver.
+func (d *GroupDriver) SourceAddr() ipv6.Addr { return d.edge.Addr() }
 
 // ChanDriver is a test driver connecting the scanner to a handler
 // function: every sent packet is answered by fn (nil = drop).

@@ -6,7 +6,26 @@ import (
 	"sync"
 
 	"repro/internal/ipv6"
+	"repro/internal/perm"
 )
+
+// dedupStripes splits ScanParallel's cross-shard responder dedup into
+// independently locked stripes so concurrent scanner goroutines rarely
+// contend; a power of two keeps stripe selection a mask.
+const dedupStripes = 16
+
+// dedupStripe is one lock-striped slice of the seen-responder set.
+type dedupStripe struct {
+	mu   sync.Mutex
+	seen map[ipv6.Addr]struct{}
+	dups uint64
+}
+
+// stripeFor maps a responder to its dedup stripe.
+func stripeFor(a ipv6.Addr) int {
+	u := a.Uint128()
+	return int((u.Lo ^ u.Hi ^ u.Lo>>17 ^ u.Hi>>31) & (dedupStripes - 1))
+}
 
 // ScanParallel splits the window into shards (Config.Shards is
 // overridden) and runs one scanner goroutine per shard against the same
@@ -14,29 +33,52 @@ import (
 // handler receives each responder exactly once across all shards; it is
 // invoked from multiple goroutines through an internal lock, so it needs
 // no synchronization of its own. The driver must be safe for concurrent
-// use (both bundled drivers are).
+// use (all bundled drivers are); against a sharded deployment, use a
+// GroupDriver so the senders pump disjoint engine shards.
+//
+// Stats.Duplicates sums the per-scanner duplicate counts (a responder
+// answering twice within one shard's drains) and the cross-shard ones
+// (a responder first seen by another shard).
 func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handler Handler) (Stats, error) {
 	if shards <= 0 {
 		shards = 1
 	}
 	cfg.Shards = shards
+	// Build the permutation once; it is immutable and every shard
+	// scanner iterates its own slice of the same cycle.
+	if cfg.cycle == nil && cfg.Window.To != 0 {
+		if size, ok := cfg.Window.Size(); ok {
+			if cyc, err := perm.NewCycle(size, seedOrDefault(cfg.Seed)); err == nil {
+				cfg.cycle = cyc
+			}
+			// On error, fall through: New reports it with context.
+		}
+	}
 
+	var stripes [dedupStripes]dedupStripe
+	for i := range stripes {
+		stripes[i].seen = make(map[ipv6.Addr]struct{})
+	}
 	var (
-		mu       sync.Mutex
-		seen     = make(map[ipv6.Addr]struct{})
-		total    Stats
-		firstErr error
+		mu        sync.Mutex // guards total / firstErr
+		handlerMu sync.Mutex // serializes handler invocations
+		total     Stats
+		firstErr  error
 	)
 	dedupHandler := func(r Response) {
-		mu.Lock()
-		defer mu.Unlock()
-		if _, ok := seen[r.Responder]; ok {
-			total.Duplicates++
+		st := &stripes[stripeFor(r.Responder)]
+		st.mu.Lock()
+		if _, ok := st.seen[r.Responder]; ok {
+			st.dups++
+			st.mu.Unlock()
 			return
 		}
-		seen[r.Responder] = struct{}{}
+		st.seen[r.Responder] = struct{}{}
+		st.mu.Unlock()
 		if handler != nil {
+			handlerMu.Lock()
 			handler(r)
+			handlerMu.Unlock()
 		}
 	}
 
@@ -59,6 +101,7 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 			total.SendErrors += stats.SendErrors
 			total.Received += stats.Received
 			total.Invalid += stats.Invalid
+			total.Duplicates += stats.Duplicates
 			total.Blocked += stats.Blocked
 			if stats.Elapsed > total.Elapsed {
 				total.Elapsed = stats.Elapsed
@@ -70,8 +113,11 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 	}
 	wg.Wait()
 
+	for i := range stripes {
+		total.Unique += uint64(len(stripes[i].seen))
+		total.Duplicates += stripes[i].dups
+	}
 	mu.Lock()
-	total.Unique = uint64(len(seen))
 	err := firstErr
 	mu.Unlock()
 	if err != nil && !errors.Is(err, context.Canceled) {

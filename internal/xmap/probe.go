@@ -78,6 +78,14 @@ type ProbeModule interface {
 	Classify(sum *wire.Summary, validate Validator) (Response, bool)
 }
 
+// AppendProbeModule is an optional ProbeModule capability: build the
+// probe into buf when its capacity suffices, so the scanner can recycle
+// probe buffers through a batch-sending driver (which, per the
+// BatchSender contract, does not retain them).
+type AppendProbeModule interface {
+	AppendProbe(buf []byte, src, dst ipv6.Addr, val uint32) ([]byte, error)
+}
+
 // ICMPEchoProbe is the icmp6_echoscan module — the paper's discovery
 // workhorse. The validation value rides in the echo identifier and
 // sequence fields.
@@ -90,6 +98,7 @@ type ICMPEchoProbe struct {
 }
 
 var _ ProbeModule = (*ICMPEchoProbe)(nil)
+var _ AppendProbeModule = (*ICMPEchoProbe)(nil)
 
 // Name implements ProbeModule.
 func (p *ICMPEchoProbe) Name() string { return "icmp6_echoscan" }
@@ -104,6 +113,11 @@ func (p *ICMPEchoProbe) hopLimit() uint8 {
 // MakeProbe implements ProbeModule.
 func (p *ICMPEchoProbe) MakeProbe(src, dst ipv6.Addr, val uint32) ([]byte, error) {
 	return wire.BuildEchoRequest(src, dst, p.hopLimit(), uint16(val>>16), uint16(val), p.Data)
+}
+
+// AppendProbe implements AppendProbeModule.
+func (p *ICMPEchoProbe) AppendProbe(buf []byte, src, dst ipv6.Addr, val uint32) ([]byte, error) {
+	return wire.AppendEchoRequest(buf, src, dst, p.hopLimit(), uint16(val>>16), uint16(val), p.Data)
 }
 
 // Classify implements ProbeModule.

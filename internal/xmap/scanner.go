@@ -5,6 +5,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+	"hash"
 	"time"
 
 	"repro/internal/ipv6"
@@ -47,6 +48,12 @@ type Config struct {
 	// DedupExact uses an exact map for responder dedup instead of the
 	// default Bloom filter — the ablation knob of DESIGN.md.
 	DedupExact bool
+
+	// cycle, when set, is a pre-built permutation shared between the
+	// scanners of one ScanParallel call (a Cycle is immutable, and its
+	// construction — safe-prime search, generator selection — is the
+	// dominant per-scanner setup cost).
+	cycle *perm.Cycle
 }
 
 // Stats summarizes a finished scan.
@@ -74,7 +81,9 @@ func (s Stats) HitRate() float64 {
 // Handler consumes one first-seen responder.
 type Handler func(Response)
 
-// Scanner executes scans against a Driver.
+// Scanner executes scans against a Driver. A Scanner is not safe for
+// concurrent use: Validation, TargetFor and Run share reusable HMAC
+// scratch state (ScanParallel gives each goroutine its own Scanner).
 type Scanner struct {
 	cfg   Config
 	drv   Driver
@@ -83,6 +92,48 @@ type Scanner struct {
 	block *lpm.Table[bool]
 	allow *lpm.Table[bool]
 	dedup dedupSet
+
+	// iidMac is keyed once at construction and Reset per use: Go's HMAC
+	// caches the marshaled keyed state after the first Sum, so the
+	// per-target path allocates nothing. One digest per sub-prefix feeds
+	// both the target IID (bytes 0:16) and the validation value (bytes
+	// 16:20); lastSub caches it so the send path — TargetFor immediately
+	// followed by Validation on the resulting target — computes the HMAC
+	// once, not twice.
+	iidMac  hash.Hash
+	macSum  [sha256.Size]byte
+	lastSub ipv6.Addr
+	haveSub bool
+	// macIn stages address bytes for the HMACs: writing a local array
+	// through the hash.Hash interface would force a heap copy per call.
+	macIn [16]byte
+	// validate is the bound Validation method, constructed once —
+	// passing s.Validation at a call site would allocate a closure per
+	// packet.
+	validate Validator
+	batch    [][]byte
+	// free holds probe buffers whose batch has been sent (BatchSender
+	// does not retain them); recycle stages drained receive buffers for
+	// return to a Releaser driver. Together they make the steady-state
+	// probe loop allocation-free against the simulator drivers.
+	free    [][]byte
+	recycle [][]byte
+	// sum is the receive path's reusable packet decoder.
+	sum wire.Summary
+}
+
+// labelIID prefixes the per-sub HMAC input, hoisted to avoid a
+// string-to-bytes conversion per target.
+var labelIID = []byte("iid")
+
+// defaultSeed is applied when Config.Seed is empty.
+var defaultSeed = []byte("xmap-default-seed")
+
+func seedOrDefault(seed []byte) []byte {
+	if len(seed) == 0 {
+		return defaultSeed
+	}
+	return seed
 }
 
 // New validates the configuration and prepares a scanner.
@@ -108,18 +159,22 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 	if cfg.ProbesPerTarget > 16 {
 		return nil, fmt.Errorf("xmap: %d probes per target is unreasonable", cfg.ProbesPerTarget)
 	}
-	if len(cfg.Seed) == 0 {
-		cfg.Seed = []byte("xmap-default-seed")
-	}
+	cfg.Seed = seedOrDefault(cfg.Seed)
 	size, ok := cfg.Window.Size()
 	if !ok {
 		return nil, fmt.Errorf("xmap: window %s too large", cfg.Window)
 	}
-	cycle, err := perm.NewCycle(size, cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("xmap: building permutation: %w", err)
+	cycle := cfg.cycle
+	if cycle == nil {
+		var err error
+		cycle, err = perm.NewCycle(size, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("xmap: building permutation: %w", err)
+		}
 	}
 	s := &Scanner{cfg: cfg, drv: drv, cycle: cycle}
+	s.iidMac = hmac.New(sha256.New, cfg.Seed)
+	s.validate = s.Validation
 	s.probe = cfg.Probe
 	if s.probe == nil {
 		s.probe = &ICMPEchoProbe{}
@@ -139,7 +194,13 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 	if cfg.DedupExact {
 		s.dedup = make(mapDedup)
 	} else {
-		bf, err := newBloomDedup(size)
+		// A sharded scanner only probes its slice of the space, so its
+		// filter needs capacity for that slice, not the whole window.
+		shardSpace := size
+		if cfg.Shards > 1 {
+			shardSpace, _ = size.Add64(uint64(cfg.Shards) - 1).Div64(uint64(cfg.Shards))
+		}
+		bf, err := newBloomDedup(shardSpace)
 		if err != nil {
 			return nil, fmt.Errorf("xmap: sizing dedup filter: %w", err)
 		}
@@ -159,15 +220,33 @@ func (s *Scanner) ResponderCounts() map[ipv6.Addr]uint64 {
 	return nil
 }
 
+// subDigest computes (or returns the cached) keyed digest for one
+// sub-prefix base address.
+func (s *Scanner) subDigest(sub ipv6.Addr) []byte {
+	if !s.haveSub || sub != s.lastSub {
+		s.iidMac.Reset()
+		s.iidMac.Write(labelIID)
+		s.macIn = sub.Bytes()
+		s.iidMac.Write(s.macIn[:])
+		s.iidMac.Sum(s.macSum[:0])
+		s.lastSub, s.haveSub = sub, true
+	}
+	return s.macSum[:]
+}
+
 // Validation derives the stateless validation value for dst, exposed so
 // cooperating tools (the loop scanner) can pre-compute expected values.
+// The value is bound to the sub-prefix containing dst (a scan probes one
+// address per sub, so this loses no discrimination) and comes from the
+// same keyed digest that generates the target IID — halving HMAC work on
+// the send path.
 func (s *Scanner) Validation(dst ipv6.Addr) uint32 {
-	mac := hmac.New(sha256.New, s.cfg.Seed)
-	mac.Write([]byte("validate"))
-	b := dst.Bytes()
-	mac.Write(b[:])
-	sum := mac.Sum(nil)
-	return uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	p, err := ipv6.NewPrefix(dst, s.cfg.Window.To)
+	if err != nil {
+		return 0
+	}
+	sum := s.subDigest(p.Addr())
+	return uint32(sum[16])<<24 | uint32(sum[17])<<16 | uint32(sum[18])<<8 | uint32(sum[19])
 }
 
 // TargetFor returns the probe address for a window index: the sub-prefix
@@ -182,11 +261,7 @@ func (s *Scanner) TargetFor(idx uint128.Uint128) (ipv6.Addr, error) {
 	if hostBits == 0 {
 		return sub.Addr(), nil
 	}
-	mac := hmac.New(sha256.New, s.cfg.Seed)
-	mac.Write([]byte("iid"))
-	b := sub.Addr().Bytes()
-	mac.Write(b[:])
-	sum := mac.Sum(nil)
+	sum := s.subDigest(sub.Addr())
 	host := uint128.FromBytes(sum[:16])
 	if hostBits < 128 {
 		host = host.And(uint128.Max.Rsh(128 - hostBits))
@@ -199,6 +274,10 @@ func (s *Scanner) TargetFor(idx uint128.Uint128) (ipv6.Addr, error) {
 
 // Run executes the scan, invoking handler for each first-seen responder.
 // It honors ctx cancellation between probes.
+//
+// When the driver implements BatchSender and no rate limit is set
+// (pacing is inherently per-probe), probes accumulate and flush once
+// per DrainEvery window, amortizing driver entry across the burst.
 func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	var stats Stats
 	start := time.Now()
@@ -209,9 +288,42 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	if s.cfg.Rate > 0 {
 		limiter = newRateLimiter(s.cfg.Rate)
 	}
+	batcher, _ := s.drv.(BatchSender)
+	if limiter != nil {
+		batcher = nil
+	}
+	// Probe-buffer recycling needs both the append-building probe module
+	// and the batch driver's no-retention guarantee.
+	appender, _ := s.probe.(AppendProbeModule)
+	if batcher == nil {
+		appender = nil
+	}
+	flush := func() {
+		if batcher == nil || len(s.batch) == 0 {
+			return
+		}
+		sent, err := batcher.SendBatch(s.batch)
+		stats.Sent += uint64(sent)
+		if err != nil {
+			stats.SendErrors += uint64(len(s.batch) - sent)
+		}
+		if appender != nil {
+			for i, p := range s.batch {
+				// ProbesPerTarget copies are the same slice appended
+				// consecutively; recycle each buffer once.
+				if i > 0 && len(p) > 0 && len(s.batch[i-1]) > 0 && &p[0] == &s.batch[i-1][0] {
+					continue
+				}
+				s.free = append(s.free, p)
+			}
+		}
+		clear(s.batch)
+		s.batch = s.batch[:0]
+	}
 
 	for {
 		if err := ctx.Err(); err != nil {
+			flush()
 			stats.Elapsed = time.Since(start)
 			return stats, err
 		}
@@ -224,17 +336,33 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		}
 		target, err := s.TargetFor(idx)
 		if err != nil {
+			flush()
 			return stats, err
 		}
 		if s.skipTarget(target) {
 			stats.Blocked++
 			continue
 		}
-		pkt, err := s.probe.MakeProbe(src, target, s.Validation(target))
+		var pkt []byte
+		if appender != nil {
+			var buf []byte
+			if l := len(s.free); l > 0 {
+				buf, s.free[l-1] = s.free[l-1], nil
+				s.free = s.free[:l-1]
+			}
+			pkt, err = appender.AppendProbe(buf, src, target, s.Validation(target))
+		} else {
+			pkt, err = s.probe.MakeProbe(src, target, s.Validation(target))
+		}
 		if err != nil {
+			flush()
 			return stats, fmt.Errorf("xmap: building probe for %s: %w", target, err)
 		}
 		for copyN := 0; copyN < s.cfg.ProbesPerTarget; copyN++ {
+			if batcher != nil {
+				s.batch = append(s.batch, pkt)
+				continue
+			}
 			if limiter != nil {
 				limiter.wait()
 			}
@@ -246,9 +374,11 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		}
 		stats.Targets++
 		if stats.Targets%uint64(s.cfg.DrainEvery) == 0 {
+			flush()
 			s.drain(&stats, handler)
 		}
 	}
+	flush()
 	// Final drains: catch stragglers (a real driver may deliver late).
 	for i := 0; i < 3; i++ {
 		s.drain(&stats, handler)
@@ -273,23 +403,23 @@ func (s *Scanner) skipTarget(a ipv6.Addr) bool {
 }
 
 // drain pumps the receive path through classification, validation and
-// dedup.
+// dedup. Buffers that no Response retains (only KindUDPData keeps a
+// Payload reference) go back to a Releaser driver afterwards.
 func (s *Scanner) drain(stats *Stats, handler Handler) {
 	rawMod, isRaw := s.probe.(RawProbeModule)
+	releaser, _ := s.drv.(Releaser)
 	for _, raw := range s.drv.Recv() {
 		var (
 			resp Response
 			ok   bool
 		)
 		if isRaw {
-			resp, ok = rawMod.ClassifyRaw(raw, s.Validation)
-		} else {
-			sum, err := wire.ParsePacket(raw)
-			if err != nil {
-				stats.Invalid++
-				continue
-			}
-			resp, ok = s.probe.Classify(sum, s.Validation)
+			resp, ok = rawMod.ClassifyRaw(raw, s.validate)
+		} else if err := s.sum.Parse(raw); err == nil {
+			resp, ok = s.probe.Classify(&s.sum, s.validate)
+		}
+		if releaser != nil && resp.Payload == nil {
+			s.recycle = append(s.recycle, raw)
 		}
 		if !ok {
 			stats.Invalid++
@@ -306,6 +436,13 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 		if handler != nil {
 			handler(resp)
 		}
+	}
+	if releaser != nil && len(s.recycle) > 0 {
+		// Deferred past the loop: s.sum still references the most
+		// recently parsed buffer until the next Parse.
+		releaser.Release(s.recycle)
+		clear(s.recycle)
+		s.recycle = s.recycle[:0]
 	}
 }
 

@@ -1,0 +1,163 @@
+package xmap
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/uint128"
+)
+
+// sendOnlyDriver hides SimDriver's BatchSender capability so tests can
+// force the per-probe send path.
+type sendOnlyDriver struct {
+	d *SimDriver
+}
+
+func (s *sendOnlyDriver) Send(pkt []byte) error { return s.d.Send(pkt) }
+func (s *sendOnlyDriver) Recv() [][]byte        { return s.d.Recv() }
+func (s *sendOnlyDriver) SourceAddr() ipv6.Addr { return s.d.SourceAddr() }
+
+// TestScanBatchedMatchesUnbatched: the BatchSender fast path must be
+// invisible in results — same responders, same send count.
+func TestScanBatchedMatchesUnbatched(t *testing.T) {
+	fPlain := buildFixture(t)
+	statsPlain, plain := runScan(t,
+		Config{Window: window(t, fPlain), Seed: []byte("batch"), DedupExact: true},
+		&sendOnlyDriver{d: fPlain.drv})
+
+	fBatch := buildFixture(t)
+	statsBatch, batched := runScan(t,
+		Config{Window: window(t, fBatch), Seed: []byte("batch"), DedupExact: true},
+		fBatch.drv)
+
+	if statsPlain.Sent != statsBatch.Sent {
+		t.Errorf("sent: plain %d, batched %d", statsPlain.Sent, statsBatch.Sent)
+	}
+	if statsPlain.Unique != statsBatch.Unique {
+		t.Errorf("unique: plain %d, batched %d", statsPlain.Unique, statsBatch.Unique)
+	}
+	set := func(rs []Response) map[ipv6.Addr]bool {
+		m := map[ipv6.Addr]bool{}
+		for _, r := range rs {
+			m[r.Responder] = true
+		}
+		return m
+	}
+	a, b := set(plain), set(batched)
+	for addr := range a {
+		if !b[addr] {
+			t.Errorf("batched scan missed %s", addr)
+		}
+	}
+	if len(a) != len(b) {
+		t.Errorf("responder sets differ: %d vs %d", len(a), len(b))
+	}
+}
+
+// TestScanBatchRespectsMaxTargets: the flush path must not lose probes
+// accumulated before an early exit.
+func TestScanBatchRespectsMaxTargets(t *testing.T) {
+	f := buildFixture(t)
+	stats, _ := runScan(t, Config{
+		Window: window(t, f), Seed: []byte("mt"), MaxTargets: 10, DrainEvery: 64,
+	}, f.drv)
+	if stats.Targets != 10 {
+		t.Errorf("targets = %d, want 10", stats.Targets)
+	}
+	if stats.Sent != 10 {
+		t.Errorf("sent = %d, want 10 (batch not flushed on MaxTargets exit?)", stats.Sent)
+	}
+}
+
+// TestScanParallelSumsShardDuplicates pins the accounting identity the
+// old code violated by dropping per-scanner duplicate counts: every
+// validated response is first-seen exactly once, so
+// Received == Unique + Duplicates must hold across shards.
+func TestScanParallelSumsShardDuplicates(t *testing.T) {
+	f := buildFixture(t)
+	// The ISP router answers unreachable for all ~250 unassigned
+	// sub-prefixes, so each shard's scanner records many duplicates of
+	// its own, and the first shard to see the ISP makes the others
+	// record cross-shard ones.
+	stats, err := ScanParallel(context.Background(),
+		Config{Window: window(t, f), Seed: []byte("dup")}, f.drv, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Duplicates == 0 {
+		t.Fatal("no duplicates recorded on a window dominated by one responder")
+	}
+	if got := stats.Unique + stats.Duplicates; got != stats.Received {
+		t.Errorf("Unique(%d) + Duplicates(%d) = %d, want Received(%d)",
+			stats.Unique, stats.Duplicates, got, stats.Received)
+	}
+}
+
+// TestScanParallelHandlerSerialized: the documented contract — the
+// handler needs no synchronization of its own — must survive the
+// striped dedup rework.
+func TestScanParallelHandlerSerialized(t *testing.T) {
+	f := buildFixture(t)
+	inHandler := 0
+	var maxSeen int
+	var mu sync.Mutex // only to make the race detector's job honest
+	_, err := ScanParallel(context.Background(),
+		Config{Window: window(t, f), Seed: []byte("ser")}, f.drv, 4,
+		func(r Response) {
+			mu.Lock()
+			inHandler++
+			if inHandler > maxSeen {
+				maxSeen = inHandler
+			}
+			mu.Unlock()
+			mu.Lock()
+			inHandler--
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 1 {
+		t.Errorf("handler ran %d-way concurrent; contract promises serialization", maxSeen)
+	}
+}
+
+// TestValidationAndTargetForStable: the reusable HMAC state must not
+// leak between calls — interleaved Validation/TargetFor calls on one
+// scanner agree with a fresh scanner computing each value in isolation.
+func TestValidationAndTargetForStable(t *testing.T) {
+	f := buildFixture(t)
+	cfg := Config{Window: window(t, f), Seed: []byte("stable")}
+	s1, err := New(cfg, f.drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i++ {
+		target, err := s1.TargetFor(uint128.From64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		val := s1.Validation(target)
+
+		fresh, err := New(cfg, f.drv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTarget, err := fresh.TargetFor(uint128.From64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if target != wantTarget {
+			t.Fatalf("idx %d: target %s, fresh scanner says %s", i, target, wantTarget)
+		}
+		fresh2, err := New(cfg, f.drv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fresh2.Validation(target); val != want {
+			t.Fatalf("idx %d: validation %08x, fresh scanner says %08x", i, val, want)
+		}
+	}
+}

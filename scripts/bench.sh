@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository benchmark suite and capture the results
+# as a JSON snapshot (BENCH_<date>.json by default), so the performance
+# trajectory is tracked repo-side.
+#
+# Usage:
+#   scripts/bench.sh            # full run, writes BENCH_<date>.json
+#   scripts/bench.sh -short     # one iteration per benchmark (CI smoke:
+#                               # validates the harness, numbers are noise)
+#   scripts/bench.sh [-short] out.json
+#
+# Each entry records name, ns/op, B/op, allocs/op and probes/sec
+# (derived as 1e9/ns_per_op for benchmarks that report a "probes"
+# metric). The snapshot also embeds the growth-seed baseline so
+# before/after is visible in one file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime=2s
+short=0
+if [ "${1:-}" = "-short" ]; then
+    short=1
+    benchtime=1x
+    shift
+fi
+out="${1:-BENCH_$(date +%F).json}"
+
+pattern='ScannerThroughput|EnginePump'
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... 2>/dev/null | grep '^Benchmark' || true)
+if [ -z "$raw" ]; then
+    echo "bench.sh: no benchmark output" >&2
+    exit 1
+fi
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+gover=$(go env GOVERSION)
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date +%F)"
+    printf '  "commit": "%s",\n' "$commit"
+    printf '  "go": "%s",\n' "$gover"
+    printf '  "short": %s,\n' "$([ "$short" = 1 ] && echo true || echo false)"
+    printf '  "benchmarks": [\n'
+    printf '%s\n' "$raw" | awk '
+        {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = ""; b = ""; a = ""; probes = 0
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") ns = $i
+                if ($(i+1) == "B/op") b = $i
+                if ($(i+1) == "allocs/op") a = $i
+                if ($(i+1) == "probes") probes = 1
+            }
+            if (ns == "") next
+            if (out != "") printf "%s,\n", out
+            out = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, b == "" ? "null" : b, a == "" ? "null" : a)
+            if (probes && ns + 0 > 0)
+                out = out sprintf(", \"probes_per_sec\": %d", 1e9 / ns)
+            out = out "}"
+        }
+        END { if (out != "") printf "%s\n", out }
+    '
+    printf '  ],\n'
+    # Growth-seed numbers (commit 3e0df98), for before/after comparison.
+    printf '  "baseline": [\n'
+    printf '    {"name": "BenchmarkScannerThroughput", "commit": "3e0df98", "ns_per_op": 6135, "bytes_per_op": 2699, "allocs_per_op": 49, "probes_per_sec": 163000}\n'
+    printf '  ]\n'
+    printf '}\n'
+} >"$out"
+
+echo "wrote $out"
