@@ -12,13 +12,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/ipv6"
@@ -55,6 +58,12 @@ func run() error {
 		maxTgt   = flag.Uint64("max-targets", 0, "stop after this many probes (0 = all)")
 		quiet    = flag.Bool("quiet", false, "suppress the summary on stderr")
 		metaF    = flag.String("metadata", "", "write JSON scan metadata to this file ('-' for stderr)")
+		parallel = flag.Int("parallel", 1, "run this many shard scanners concurrently in this process")
+		retries  = flag.Int("retries", 0, "re-probe unanswered targets up to this many times with backoff")
+		aimd     = flag.Bool("aimd", false, "adapt the send window to the reply rate (AIMD)")
+		ckptF    = flag.String("checkpoint", "", "write a resumable scan checkpoint to this file (periodically, on SIGINT/SIGTERM, and on exit)")
+		ckptN    = flag.Uint64("checkpoint-every", 4096, "targets between periodic checkpoints")
+		resumeF  = flag.Bool("resume", false, "resume the scan recorded in the -checkpoint file")
 	)
 	flag.Parse()
 
@@ -132,7 +141,7 @@ func run() error {
 		}
 	}
 
-	scanner, err := xmap.New(xmap.Config{
+	cfg := xmap.Config{
 		Window:          window,
 		Probe:           probe,
 		Seed:            []byte(fmt.Sprintf("xmap-cli-%d", *seed)),
@@ -142,17 +151,60 @@ func run() error {
 		MaxTargets:      *maxTgt,
 		ProbesPerTarget: *probesN,
 		Blocklist:       blocklist,
-	}, xmap.NewSimDriver(dep.Engine, dep.Edge))
-	if err != nil {
-		return err
+		Retries:         *retries,
+		AIMD:            *aimd,
 	}
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+
+	// SIGINT/SIGTERM cancel the scan; with -checkpoint set, the exit path
+	// writes a final resumable state first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var writeErr error
-	stats, err := scanner.Run(context.Background(), func(r xmap.Response) {
+	handler := func(r xmap.Response) {
 		if werr := out.Write(r); werr != nil && writeErr == nil {
 			writeErr = werr
 		}
-	})
+	}
+
+	var (
+		stats   xmap.Stats
+		scanner *xmap.Scanner
+	)
+	if *ckptF == "" && !*resumeF && *parallel <= 1 {
+		// Distributed single-shard mode: -shards/-shard pick one slice of
+		// the permutation, exactly as before.
+		scanner, err = xmap.New(cfg, drv)
+		if err != nil {
+			return err
+		}
+		stats, err = scanner.Run(ctx, handler)
+	} else {
+		// Crash-safe and/or multi-shard-in-process mode via ScanParallel.
+		if *shards != 1 || *shard != 0 {
+			return fmt.Errorf("-shards/-shard cannot combine with -parallel/-checkpoint; use -parallel for local sharding")
+		}
+		if *resumeF && *ckptF == "" {
+			return fmt.Errorf("-resume needs -checkpoint to name the file")
+		}
+		cfg.CheckpointPath = *ckptF
+		if *ckptF != "" {
+			cfg.CheckpointEvery = *ckptN
+		}
+		if *resumeF {
+			ck, lerr := xmap.LoadCheckpoint(*ckptF)
+			if lerr != nil {
+				return fmt.Errorf("loading checkpoint: %w", lerr)
+			}
+			cfg.ResumeFrom = ck
+		}
+		stats, err = xmap.ScanParallel(ctx, cfg, drv, *parallel, handler)
+	}
+	if errors.Is(err, context.Canceled) && *ckptF != "" {
+		fmt.Fprintf(os.Stderr, "xmap: interrupted; resumable checkpoint written to %s (resume with -resume)\n", *ckptF)
+		err = nil
+	}
 	if err != nil {
 		return err
 	}
@@ -166,8 +218,21 @@ func run() error {
 		fmt.Fprintf(os.Stderr,
 			"scanned %s: sent %d, received %d, unique responders %d, hit rate %.4f%%, elapsed %s\n",
 			window, stats.Sent, stats.Received, stats.Unique, 100*stats.HitRate(), stats.Elapsed)
+		if stats.Retried > 0 || stats.RateDown > 0 {
+			fmt.Fprintf(os.Stderr,
+				"reliability: retried %d, retry-dropped %d, exhausted %d, abandoned %d, aimd up/down %d/%d\n",
+				stats.Retried, stats.RetryDropped, stats.RetryExhausted, stats.RetryAbandoned,
+				stats.RateUp, stats.RateDown)
+		}
 	}
 	if *metaF != "" {
+		if scanner == nil {
+			// ScanParallel path: build an equivalent scanner for metadata.
+			scanner, err = xmap.New(cfg, drv)
+			if err != nil {
+				return err
+			}
+		}
 		md := scanner.BuildMetadata(stats, time.Now())
 		w := io.Writer(os.Stderr)
 		if *metaF != "-" {

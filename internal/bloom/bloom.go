@@ -1,29 +1,42 @@
 // Package bloom implements a Bloom filter sized for response
 // deduplication at scan scale, as ZMap-family scanners use to suppress
-// duplicate replies without storing every responder address.
+// duplicate replies without storing every responder address. The filter
+// is fully serializable (Marshal/Unmarshal), so a crashed scan resumes
+// with its dedup state intact.
 package bloom
 
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/maphash"
 	"math"
+	"math/rand"
 )
 
 // Filter is a Bloom filter over 16-byte keys (IPv6 addresses). Not safe
-// for concurrent use; the scanner owns one per receive loop.
+// for concurrent use; the scanner owns one per receive loop. Hashing
+// uses explicit uint64 seeds (not hash/maphash, whose seeds are opaque),
+// so a marshaled filter round-trips bit-exactly across processes.
 type Filter struct {
 	bits  []uint64
 	nbits uint64
 	k     int
-	seed1 maphash.Seed
-	seed2 maphash.Seed
+	seed1 uint64
+	seed2 uint64
 	count uint64 // inserted keys (approximate population)
 }
 
 // New creates a filter dimensioned for n expected insertions at the given
-// false-positive rate p (0 < p < 1).
+// false-positive rate p (0 < p < 1), with hash seeds drawn from the
+// global math/rand source. Use NewSeeded when replay determinism
+// matters.
 func New(n uint64, p float64) (*Filter, error) {
+	return NewSeeded(n, p, rand.Uint64())
+}
+
+// NewSeeded is New with the hash seeds derived deterministically from
+// seed: two filters built with equal parameters behave identically,
+// insert for insert.
+func NewSeeded(n uint64, p float64, seed uint64) (*Filter, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("bloom: zero capacity")
 	}
@@ -43,21 +56,39 @@ func New(n uint64, p float64) (*Filter, error) {
 		bits:  make([]uint64, (m+63)/64),
 		nbits: (m + 63) / 64 * 64,
 		k:     k,
-		seed1: maphash.MakeSeed(),
-		seed2: maphash.MakeSeed(),
+		seed1: mix64(seed ^ 0x736565642d6f6e65), // "seed-one"
+		seed2: mix64(seed ^ 0x736565642d74776f), // "seed-two"
 	}, nil
+}
+
+// mix64 is the splitmix64 finalizer, a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashBytes hashes key under seed, eight bytes at a time.
+func hashBytes(seed uint64, key []byte) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for len(key) >= 8 {
+		h = mix64(h ^ binary.BigEndian.Uint64(key))
+		key = key[8:]
+	}
+	if len(key) > 0 {
+		var tail [8]byte
+		copy(tail[:], key)
+		h = mix64(h ^ binary.BigEndian.Uint64(tail[:]) ^ uint64(len(key)))
+	}
+	return mix64(h)
 }
 
 // hashes derives k bit positions by double hashing (Kirsch-Mitzenmacher).
 func (f *Filter) hashes(key []byte) (h1, h2 uint64) {
-	var mh maphash.Hash
-	mh.SetSeed(f.seed1)
-	mh.Write(key)
-	h1 = mh.Sum64()
-	mh.SetSeed(f.seed2)
-	mh.Write(key)
-	h2 = mh.Sum64() | 1 // odd stride
-	return h1, h2
+	return hashBytes(f.seed1, key), hashBytes(f.seed2, key) | 1 // odd stride
 }
 
 // Add inserts key.
@@ -111,4 +142,72 @@ func (f *Filter) FillRatio() float64 {
 		}
 	}
 	return float64(ones) / float64(f.nbits)
+}
+
+// Serialized format: magic "BF" + version 1, then the filter parameters
+// and the raw bit words, all big-endian. The header is fixed-size so the
+// decoder can bound-check the payload before allocating.
+const (
+	marshalMagic   = 0x42460001 // "BF" 0x0001
+	marshalHdrLen  = 4 + 4 + 8 + 8 + 8 + 8
+	maxMarshalBits = uint64(1) << 36 // 8 GiB of filter; beyond this is corruption
+)
+
+// MarshaledSize returns the exact byte length Marshal will produce.
+func (f *Filter) MarshaledSize() int { return marshalHdrLen + len(f.bits)*8 }
+
+// AppendMarshal appends the serialized filter to dst and returns the
+// extended slice.
+func (f *Filter) AppendMarshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, marshalMagic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.k))
+	dst = binary.BigEndian.AppendUint64(dst, f.nbits)
+	dst = binary.BigEndian.AppendUint64(dst, f.seed1)
+	dst = binary.BigEndian.AppendUint64(dst, f.seed2)
+	dst = binary.BigEndian.AppendUint64(dst, f.count)
+	for _, w := range f.bits {
+		dst = binary.BigEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// Marshal serializes the filter.
+func (f *Filter) Marshal() []byte {
+	return f.AppendMarshal(make([]byte, 0, f.MarshaledSize()))
+}
+
+// Unmarshal reconstructs a filter serialized by Marshal. Malformed,
+// truncated or version-skewed input yields an error, never a panic, and
+// never an oversized allocation.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < marshalHdrLen {
+		return nil, fmt.Errorf("bloom: truncated header: %d bytes", len(data))
+	}
+	if magic := binary.BigEndian.Uint32(data[0:4]); magic != marshalMagic {
+		return nil, fmt.Errorf("bloom: bad magic/version %#08x", magic)
+	}
+	k := binary.BigEndian.Uint32(data[4:8])
+	nbits := binary.BigEndian.Uint64(data[8:16])
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("bloom: hash count %d out of [1,64]", k)
+	}
+	if nbits == 0 || nbits%64 != 0 || nbits > maxMarshalBits {
+		return nil, fmt.Errorf("bloom: bit count %d invalid", nbits)
+	}
+	words := int(nbits / 64)
+	if got, want := len(data)-marshalHdrLen, words*8; got != want {
+		return nil, fmt.Errorf("bloom: payload %d bytes, want %d", got, want)
+	}
+	f := &Filter{
+		bits:  make([]uint64, words),
+		nbits: nbits,
+		k:     int(k),
+		seed1: binary.BigEndian.Uint64(data[16:24]),
+		seed2: binary.BigEndian.Uint64(data[24:32]),
+		count: binary.BigEndian.Uint64(data[32:40]),
+	}
+	for i := range f.bits {
+		f.bits[i] = binary.BigEndian.Uint64(data[marshalHdrLen+i*8:])
+	}
+	return f, nil
 }

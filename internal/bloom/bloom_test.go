@@ -120,3 +120,117 @@ func BenchmarkContains(b *testing.B) {
 		f.ContainsUint64Pair(uint64(i), uint64(i))
 	}
 }
+
+func TestSeededDeterminism(t *testing.T) {
+	build := func(seed uint64) *Filter {
+		f, err := NewSeeded(1000, 0.01, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			f.AddUint64Pair(uint64(i), uint64(i)*2654435761)
+		}
+		return f
+	}
+	a, b := build(7), build(7)
+	for i := 0; i < 2000; i++ {
+		if a.ContainsUint64Pair(uint64(i), uint64(i)) != b.ContainsUint64Pair(uint64(i), uint64(i)) {
+			t.Fatalf("same-seed filters disagree on key %d", i)
+		}
+	}
+	if !bytesEqual(a.Marshal(), b.Marshal()) {
+		t.Error("same-seed filters marshal differently")
+	}
+	c := build(8)
+	if bytesEqual(a.Marshal(), c.Marshal()) {
+		t.Error("different seeds produced identical filters")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMarshalRoundTrip: a decoded filter answers every query exactly as
+// the original, and re-marshals to the identical bytes.
+func TestMarshalRoundTrip(t *testing.T) {
+	f, err := NewSeeded(5000, 0.001, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		f.AddUint64Pair(rng.Uint64(), rng.Uint64())
+	}
+	enc := f.Marshal()
+	if len(enc) != f.MarshaledSize() {
+		t.Fatalf("marshal %d bytes, MarshaledSize says %d", len(enc), f.MarshaledSize())
+	}
+	g, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() {
+		t.Errorf("count %d, want %d", g.Count(), f.Count())
+	}
+	probe := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		hi, lo := probe.Uint64(), probe.Uint64()
+		if !g.ContainsUint64Pair(hi, lo) {
+			t.Fatalf("decoded filter lost key %d", i)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		hi, lo := rng.Uint64(), rng.Uint64()
+		if f.ContainsUint64Pair(hi, lo) != g.ContainsUint64Pair(hi, lo) {
+			t.Fatalf("decoded filter diverges on fresh key %d", i)
+		}
+	}
+	if !bytesEqual(enc, g.Marshal()) {
+		t.Error("re-marshal not bit-identical")
+	}
+}
+
+// TestUnmarshalRejectsMalformed: every corruption class errors cleanly.
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	f, err := NewSeeded(100, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AddUint64Pair(1, 2)
+	good := f.Marshal()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:8],
+		"truncated":   good[:len(good)-1],
+		"oversized":   append(append([]byte{}, good...), 0),
+		"bad magic":   append([]byte{0xde, 0xad, 0xbe, 0xef}, good[4:]...),
+		"version up":  append([]byte{0x42, 0x46, 0x00, 0x02}, good[4:]...),
+		"zero hashes": append(append(append([]byte{}, good[:4]...), 0, 0, 0, 0), good[8:]...),
+	}
+	// Huge bit count must be rejected before any allocation.
+	huge := append([]byte{}, good...)
+	for i := 8; i < 16; i++ {
+		huge[i] = 0xff
+	}
+	cases["huge nbits"] = huge
+	// Bit count not a multiple of 64.
+	odd := append([]byte{}, good...)
+	odd[15] |= 1
+	cases["odd nbits"] = odd
+
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s input accepted", name)
+		}
+	}
+}

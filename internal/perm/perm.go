@@ -120,6 +120,7 @@ type Iterator struct {
 	cur       uint128.Uint128 // current group element
 	step      uint128.Uint128 // g^nshards
 	remaining uint128.Uint128 // group elements left to visit in this shard
+	consumed  uint128.Uint128 // group elements visited (skips included)
 	first     bool
 }
 
@@ -158,12 +159,44 @@ func (it *Iterator) Next() (uint128.Uint128, bool) {
 			it.cur = it.cur.MulMod(it.step, it.c.prime)
 		}
 		it.remaining = it.remaining.Sub64(1)
+		it.consumed = it.consumed.Add64(1)
 		v := it.cur.Sub64(1)
 		if v.Cmp(it.c.size) < 0 {
 			return v, true
 		}
 		// Out-of-range group element (v in [N, p-2]); skip, like ZMap.
 	}
+}
+
+// Consumed returns the number of group elements this iterator has
+// visited, counting out-of-range skips. The value is a resumable cursor:
+// Cycle.ShardAt(i, n, consumed) reconstructs an iterator that continues
+// exactly where this one stands.
+func (it *Iterator) Consumed() uint128.Uint128 { return it.consumed }
+
+// ShardAt returns the Shard(i, n) iterator fast-forwarded past the first
+// consumed group elements — the checkpoint/resume entry point. The walk
+// position is recomputed with one modular exponentiation, so resuming
+// deep into a scan costs O(log consumed), not O(consumed).
+func (c *Cycle) ShardAt(i, n int, consumed uint128.Uint128) *Iterator {
+	it := c.Shard(i, n)
+	if consumed.IsZero() {
+		return it
+	}
+	if it.remaining.Cmp(consumed) <= 0 {
+		// Cursor at or past the end: the shard is exhausted.
+		it.remaining = uint128.Zero
+		it.consumed = consumed
+		it.first = false
+		return it
+	}
+	// After k visits the current element is start·g^i·step^(k-1); Next
+	// multiplies by step once more before returning element k+1.
+	it.cur = it.cur.MulMod(it.step.ExpMod(consumed.Sub64(1), c.prime), c.prime)
+	it.remaining = it.remaining.Sub(consumed)
+	it.consumed = consumed
+	it.first = false
+	return it
 }
 
 // Sequential is the ablation baseline: iterate [0, size) in order.

@@ -283,3 +283,99 @@ func BenchmarkCycleNext48(b *testing.B) {
 		}
 	}
 }
+
+// TestShardAtResumesExactly: for every shard layout and cut point, an
+// iterator fast-forwarded with ShardAt produces exactly the values the
+// original iterator had left — the property checkpoint/resume depends on.
+func TestShardAtResumesExactly(t *testing.T) {
+	c, err := NewCycle(uint128.From64(300), []byte("resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 4} {
+		for sh := 0; sh < shards; sh++ {
+			ref := c.Shard(sh, shards)
+			var values []uint128.Uint128
+			var cursors []uint128.Uint128
+			for {
+				cursors = append(cursors, ref.Consumed())
+				v, ok := ref.Next()
+				if !ok {
+					break
+				}
+				values = append(values, v)
+			}
+			// Resume from the cursor before every k-th value and from
+			// the exhausted cursor.
+			for k := 0; k <= len(values); k++ {
+				var cur uint128.Uint128
+				if k < len(cursors) {
+					cur = cursors[k]
+				} else {
+					cur = ref.Consumed()
+				}
+				it := c.ShardAt(sh, shards, cur)
+				for j := k; j < len(values); j++ {
+					v, ok := it.Next()
+					if !ok {
+						t.Fatalf("shard %d/%d resumed at %d: exhausted at %d, want %d values",
+							sh, shards, k, j, len(values))
+					}
+					if v != values[j] {
+						t.Fatalf("shard %d/%d resumed at %d: value %d = %s, want %s",
+							sh, shards, k, j, v, values[j])
+					}
+				}
+				if v, ok := it.Next(); ok {
+					t.Fatalf("shard %d/%d resumed at %d: extra value %s", sh, shards, k, v)
+				}
+			}
+		}
+	}
+}
+
+// TestShardAtPastEnd: a cursor at or beyond the shard's group walk yields
+// an exhausted iterator, not a wrapped one.
+func TestShardAtPastEnd(t *testing.T) {
+	c, err := NewCycle(uint128.From64(50), []byte("resume-end"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := c.Shard(0, 2)
+	for {
+		if _, ok := ref.Next(); !ok {
+			break
+		}
+	}
+	for _, cur := range []uint128.Uint128{ref.Consumed(), ref.Consumed().Add64(7)} {
+		it := c.ShardAt(0, 2, cur)
+		if v, ok := it.Next(); ok {
+			t.Fatalf("cursor %s past end yielded %s", cur, v)
+		}
+	}
+}
+
+// TestConsumedCountsSkips: the cursor advances on out-of-range group
+// elements too, so it indexes the group walk, not the emitted values.
+func TestConsumedCountsSkips(t *testing.T) {
+	// Size 40 -> prime 47: 6 of the 46 group elements are skipped.
+	c, err := NewCycle(uint128.From64(40), []byte("skips"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := c.Iterate()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 40 {
+		t.Fatalf("emitted %d values, want 40", n)
+	}
+	want := c.Prime().Sub64(1)
+	if it.Consumed() != want {
+		t.Fatalf("consumed %s group elements, want %s", it.Consumed(), want)
+	}
+}

@@ -59,6 +59,25 @@ func TestScenarios(t *testing.T) {
 				problems, err := RunShardOracle(seed, 4)
 				report(t, "sharded-vs-single", problems, err)
 			})
+			t.Run("oracle-resume", func(t *testing.T) {
+				for _, p := range Profiles {
+					if !p.Lossless() {
+						continue
+					}
+					problems, err := RunResumeOracle(seed, p)
+					report(t, "kill-and-resume/"+p.Name, problems, err)
+				}
+			})
+			t.Run("oracle-adaptive", func(t *testing.T) {
+				for _, name := range []string{"loss", "ratelimit", "flap"} {
+					p, ok := ProfileByName(name)
+					if !ok {
+						t.Fatalf("profile %s missing", name)
+					}
+					problems, err := RunAdaptiveOracle(seed, p)
+					report(t, "adaptive-vs-blind/"+name, problems, err)
+				}
+			})
 		})
 	}
 }

@@ -1,0 +1,64 @@
+package xmap
+
+// aimdController adapts the scanner's send window — the burst of probes
+// between receive drains, the simulator-visible notion of send rate — by
+// additive increase, multiplicative decrease over the reply rate. Real
+// networks signal overload the same way ICMPv6 rate limiting (RFC 4443
+// §2.4) does: replies stop coming back. Each drain closes a measurement
+// window; a reply ratio collapsing below half of the recent best marks
+// the window lossy and halves the send window, while a clean window
+// grows it linearly back toward the cap. Against a wall-clock rate
+// limiter the same decisions scale the pacing interval, so AIMD governs
+// both operation modes with one signal.
+type aimdController struct {
+	window   int     // current probes per drain window
+	min, max int     // window bounds
+	step     int     // additive increase per clean window
+	best     float64 // decaying best reply ratio observed
+	ups      uint64  // clean-window (additive-increase) decisions
+	downs    uint64  // lossy-window (multiplicative-decrease) decisions
+}
+
+// aimdMinSample is the fewest probes a window needs before its reply
+// ratio is trusted; tiny windows are pure noise.
+const aimdMinSample = 8
+
+// bestDecay lets the baseline forget a lucky early window, so a
+// permanently degraded path stops reading as lossy.
+const bestDecay = 0.995
+
+func newAIMD(initial int) *aimdController {
+	a := &aimdController{window: initial, min: 16, max: 4 * initial, step: 8}
+	if a.min > initial {
+		a.min = initial
+	}
+	return a
+}
+
+// update closes a measurement window of sent probes and recv validated
+// replies, and returns the next send window.
+func (a *aimdController) update(sent, recv uint64) int {
+	if sent < aimdMinSample {
+		return a.window
+	}
+	ratio := float64(recv) / float64(sent)
+	if ratio > a.best {
+		a.best = ratio
+	} else {
+		a.best *= bestDecay
+	}
+	if a.best > 0 && ratio < a.best/2 {
+		a.downs++
+		a.window /= 2
+		if a.window < a.min {
+			a.window = a.min
+		}
+		return a.window
+	}
+	a.ups++
+	a.window += a.step
+	if a.window > a.max {
+		a.window = a.max
+	}
+	return a.window
+}

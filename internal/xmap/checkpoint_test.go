@@ -1,0 +1,259 @@
+package xmap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ipv6"
+	"repro/internal/uint128"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	c := &Checkpoint{
+		Shards: 3,
+		Responders: []ipv6.Addr{
+			ipv6.MustParseAddr("2001:db8::1"),
+			ipv6.MustParseAddr("2001:db8:0:42:a:b:c:d"),
+		},
+	}
+	for i := range c.Digest {
+		c.Digest[i] = byte(i * 7)
+	}
+	dedup := mapDedup{ipv6.MustParseAddr("2001:db8::1"): 3}
+	c.States = []ShardState{
+		{
+			Shard:    0,
+			Consumed: uint128.New(0, 1234),
+			Stats: Stats{
+				Targets: 1234, Sent: 1300, Received: 40, Unique: 6,
+				Retried: 66, RetryDropped: 1, RateDown: 2,
+				Elapsed: 3 * time.Second,
+			},
+			DedupKind: dedupKindExact,
+			Dedup:     dedup.appendState(nil),
+			Retry:     []byte{0, 0, 0, 0},
+		},
+		{Shard: 2, Done: true, Consumed: uint128.New(1, 0)},
+	}
+	return c
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := sampleCheckpoint()
+	data := c.Marshal()
+	got, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != c.Digest || got.Shards != c.Shards {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Responders) != 2 || got.Responders[1] != c.Responders[1] {
+		t.Fatalf("responders mismatch: %v", got.Responders)
+	}
+	if len(got.States) != 2 {
+		t.Fatalf("states mismatch: %d", len(got.States))
+	}
+	for i := range c.States {
+		w, g := c.States[i], got.States[i]
+		if g.Shard != w.Shard || g.Done != w.Done || g.Consumed != w.Consumed ||
+			g.Stats != w.Stats || g.DedupKind != w.DedupKind ||
+			!bytes.Equal(g.Dedup, w.Dedup) || !bytes.Equal(g.Retry, w.Retry) {
+			t.Fatalf("state %d: got %+v, want %+v", i, g, w)
+		}
+	}
+	if !bytes.Equal(got.Marshal(), data) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+}
+
+func TestUnmarshalCheckpointRejectsMalformed(t *testing.T) {
+	good := sampleCheckpoint().Marshal()
+	cases := map[string][]byte{
+		"empty":      {},
+		"header":     good[:10],
+		"bad magic":  append([]byte{0xde, 0xad, 0xbe, 0xef}, good[4:]...),
+		"version up": append([]byte{0x58, 0x43, 0x50, 0x02}, good[4:]...),
+		"trailing":   append(append([]byte{}, good...), 1, 2, 3),
+	}
+	// Every truncation point must error, never panic.
+	for i := 0; i < len(good); i += 7 {
+		if _, err := UnmarshalCheckpoint(good[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalCheckpoint(data); err == nil {
+			t.Errorf("%s input accepted", name)
+		}
+	}
+	// Absurd counts must not allocate: claim 2^32-1 responders.
+	huge := append([]byte{}, good[:40]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff)
+	if _, err := UnmarshalCheckpoint(huge); err == nil {
+		t.Error("absurd responder count accepted")
+	}
+	// Duplicate shard states.
+	dup := sampleCheckpoint()
+	dup.States[1].Shard = 0
+	if _, err := UnmarshalCheckpoint(dup.Marshal()); err == nil {
+		t.Error("duplicate shard state accepted")
+	}
+	// State for a shard outside the shard count.
+	oob := sampleCheckpoint()
+	oob.States[1].Shard = 3
+	if _, err := UnmarshalCheckpoint(oob.Marshal()); err == nil {
+		t.Error("out-of-range shard state accepted")
+	}
+}
+
+func TestCheckpointFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scan.ckpt")
+	c := sampleCheckpoint()
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second version; the file must read back as one
+	// complete checkpoint and no temp litter may remain.
+	c.States[0].Stats.Targets = 9999
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.States[0].Stats.Targets != 9999 {
+		t.Fatalf("stale checkpoint read back: %+v", got.States[0].Stats)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestConfigDigestSensitivity(t *testing.T) {
+	f := buildFixture(t)
+	base := Config{Window: window(t, f), Seed: []byte("digest")}
+	d0 := ConfigDigest(base, 4)
+	if d0 != ConfigDigest(base, 4) {
+		t.Fatal("digest is not deterministic")
+	}
+	// Operational knobs may change freely across a resume.
+	ops := base
+	ops.Rate = 1000
+	ops.MaxTargets = 7
+	ops.Retries = 3
+	ops.DrainEvery = 8
+	if ConfigDigest(ops, 4) != d0 {
+		t.Error("operational knobs changed the digest")
+	}
+	// Identity parameters must not.
+	seed := base
+	seed.Seed = []byte("other")
+	shard := ConfigDigest(base, 8)
+	exact := base
+	exact.DedupExact = true
+	for name, d := range map[string][32]byte{
+		"seed":  ConfigDigest(seed, 4),
+		"shard": shard,
+		"dedup": ConfigDigest(exact, 4),
+	} {
+		if d == d0 {
+			t.Errorf("%s change kept the digest", name)
+		}
+	}
+}
+
+func TestCheckpointVerify(t *testing.T) {
+	f := buildFixture(t)
+	cfg := Config{Window: window(t, f), Seed: []byte("verify")}
+	c := &Checkpoint{Digest: ConfigDigest(cfg, 2), Shards: 2}
+	if err := c.Verify(cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(cfg, 4); err == nil {
+		t.Error("shard-count skew accepted")
+	}
+	cfg.Seed = []byte("different")
+	if err := c.Verify(cfg, 2); err == nil {
+		t.Error("digest mismatch accepted")
+	}
+}
+
+func TestDedupStateRoundTrip(t *testing.T) {
+	// Exact map.
+	m := mapDedup{}
+	for i := 0; i < 50; i++ {
+		a := ipv6.AddrFrom128(uint128.New(0x2001_0db8, uint64(i*17)))
+		m[a] = uint64(i + 1)
+	}
+	restored, err := dedupFromState(dedupKindExact, m.appendState(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := restored.(mapDedup)
+	if len(rm) != len(m) {
+		t.Fatalf("restored %d entries, want %d", len(rm), len(m))
+	}
+	for a, c := range m {
+		if rm[a] != c {
+			t.Fatalf("count for %s = %d, want %d", a, rm[a], c)
+		}
+	}
+	// Bloom filter: restored filter must agree on membership.
+	bd, err := newBloomDedup(uint128.From64(4096), []byte("bloomseed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []ipv6.Addr
+	for i := 0; i < 200; i++ {
+		a := ipv6.AddrFrom128(uint128.New(0xfd00, uint64(i*31)))
+		addrs = append(addrs, a)
+		bd.add(a)
+	}
+	rb, err := dedupFromState(dedupKindBloom, bd.appendState(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		if !rb.seen(a) {
+			t.Fatalf("restored filter lost %s", a)
+		}
+	}
+	// Kind skew.
+	if _, err := dedupFromState(dedupKindBloom, m.appendState(nil)); err == nil {
+		t.Error("map state accepted as a bloom filter")
+	}
+	if _, err := dedupFromState(99, nil); err == nil {
+		t.Error("unknown dedup kind accepted")
+	}
+}
+
+// FuzzUnmarshalCheckpoint: the decoder must never panic, and anything it
+// accepts must re-marshal to a decodable equivalent.
+func FuzzUnmarshalCheckpoint(f *testing.F) {
+	f.Add(sampleCheckpoint().Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x58, 0x43, 0x50, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalCheckpoint(c.Marshal())
+		if err != nil {
+			t.Fatalf("accepted checkpoint did not re-decode: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), c.Marshal()) {
+			t.Fatal("re-marshal is not stable")
+		}
+	})
+}

@@ -39,11 +39,25 @@ func stripeFor(a ipv6.Addr) int {
 // Stats.Duplicates sums the per-scanner duplicate counts (a responder
 // answering twice within one shard's drains) and the cross-shard ones
 // (a responder first seen by another shard).
+//
+// With Config.CheckpointPath set, every shard's periodic and exit
+// checkpoint states are assembled into one file (atomically replaced on
+// each update) together with the cross-shard responder set. With
+// Config.ResumeFrom set, the checkpoint — digest-verified against this
+// configuration — restores every shard's cursor, statistics, dedup and
+// retry state, and the handler is never re-invoked for responders the
+// interrupted scan already reported.
 func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handler Handler) (Stats, error) {
 	if shards <= 0 {
 		shards = 1
 	}
 	cfg.Shards = shards
+	if cfg.ResumeFrom != nil {
+		if err := cfg.ResumeFrom.Verify(cfg, shards); err != nil {
+			var zero Stats
+			return zero, err
+		}
+	}
 	// Build the permutation once; it is immutable and every shard
 	// scanner iterates its own slice of the same cycle.
 	if cfg.cycle == nil && cfg.Window.To != 0 {
@@ -58,6 +72,37 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 	var stripes [dedupStripes]dedupStripe
 	for i := range stripes {
 		stripes[i].seen = make(map[ipv6.Addr]struct{})
+	}
+	if cfg.ResumeFrom != nil {
+		// Preseed the cross-shard dedup with responders the interrupted
+		// scan already reported: re-probed targets must not re-emit, and
+		// the final Unique count stays cumulative.
+		for _, a := range cfg.ResumeFrom.Responders {
+			stripes[stripeFor(a)].seen[a] = struct{}{}
+		}
+	}
+	var ckpt *Checkpointer
+	if cfg.CheckpointPath != "" {
+		ckpt = NewCheckpointer(cfg.CheckpointPath, ConfigDigest(cfg, shards), shards)
+		ckpt.SetResponders(func() []ipv6.Addr {
+			var out []ipv6.Addr
+			for i := range stripes {
+				st := &stripes[i]
+				st.mu.Lock()
+				for a := range st.seen {
+					out = append(out, a)
+				}
+				st.mu.Unlock()
+			}
+			return out
+		})
+		if cfg.ResumeFrom != nil {
+			// Carry forward states of shards that may finish before their
+			// first fresh checkpoint (or that were already done).
+			for _, st := range cfg.ResumeFrom.States {
+				ckpt.Update(st)
+			}
+		}
 	}
 	var (
 		mu        sync.Mutex // guards total / firstErr
@@ -86,6 +131,25 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 	for i := 0; i < shards; i++ {
 		shardCfg := cfg
 		shardCfg.ShardIndex = i
+		shardCfg.CheckpointPath = ""
+		shardCfg.ResumeFrom = nil
+		if cfg.ResumeFrom != nil {
+			if st, ok := cfg.ResumeFrom.StateFor(i); ok {
+				stCopy := *st
+				shardCfg.Resume = &stCopy
+			}
+		}
+		if userSink := cfg.OnCheckpoint; ckpt != nil || userSink != nil {
+			sink := ckpt
+			shardCfg.OnCheckpoint = func(st ShardState) {
+				if sink != nil {
+					sink.Update(st)
+				}
+				if userSink != nil {
+					userSink(st)
+				}
+			}
+		}
 		scanner, err := New(shardCfg, drv)
 		if err != nil {
 			return total, err
@@ -103,6 +167,12 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 			total.Invalid += stats.Invalid
 			total.Duplicates += stats.Duplicates
 			total.Blocked += stats.Blocked
+			total.Retried += stats.Retried
+			total.RetryDropped += stats.RetryDropped
+			total.RetryExhausted += stats.RetryExhausted
+			total.RetryAbandoned += stats.RetryAbandoned
+			total.RateUp += stats.RateUp
+			total.RateDown += stats.RateDown
 			if stats.Elapsed > total.Elapsed {
 				total.Elapsed = stats.Elapsed
 			}
@@ -118,6 +188,13 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 		total.Duplicates += stripes[i].dups
 	}
 	mu.Lock()
+	if ckpt != nil {
+		// Rewrite once more so the file's responder set includes every
+		// shard's final emissions, and surface any write failure.
+		if err := ckpt.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	err := firstErr
 	mu.Unlock()
 	if err != nil && !errors.Is(err, context.Canceled) {

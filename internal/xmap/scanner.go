@@ -48,6 +48,43 @@ type Config struct {
 	// DedupExact uses an exact map for responder dedup instead of the
 	// default Bloom filter — the ablation knob of DESIGN.md.
 	DedupExact bool
+	// Retries re-probes each target that stays unanswered past its
+	// timeout, up to this many extra probes with exponential backoff
+	// (0 = off). Unlike ProbesPerTarget, which sends blind copies to
+	// everyone, retries spend probes only on the silent fraction.
+	Retries int
+	// RetryRing bounds the retry scheduler's memory: at most this many
+	// targets are tracked at once; overflow is dropped and counted in
+	// Stats.RetryDropped (default 1024).
+	RetryRing int
+	// RetryTimeout is the probe-clock delay (in probes sent) before an
+	// unanswered target's first retry; retry k waits RetryTimeout<<k
+	// (default 2*DrainEvery).
+	RetryTimeout int
+	// AIMD adapts the send window — probes between receive drains — to
+	// the observed reply rate: additive increase on clean windows,
+	// multiplicative decrease when the reply ratio collapses (the
+	// back-pressure signal of ICMPv6 rate limiting, RFC 4443 §2.4).
+	AIMD bool
+	// CooldownDrains bounds the drain phase at scan end, when stragglers
+	// and pending retries are collected (default 3, or 8 with retries).
+	CooldownDrains int
+	// CheckpointEvery emits a resumable ShardState through OnCheckpoint
+	// after roughly this many targets (0 = only at exit).
+	CheckpointEvery uint64
+	// OnCheckpoint, when set, receives checkpoint states: periodically
+	// per CheckpointEvery, and at every exit including cancellation.
+	OnCheckpoint func(ShardState)
+	// Resume restores a previous run's ShardState — permutation cursor,
+	// cumulative statistics, dedup and retry state — and continues the
+	// scan mid-cycle.
+	Resume *ShardState
+	// CheckpointPath, under ScanParallel, persists the assembled scan
+	// checkpoint to this file (atomic replace) on every shard update.
+	CheckpointPath string
+	// ResumeFrom, under ScanParallel, resumes a checkpoint written via
+	// CheckpointPath; its config digest is verified first.
+	ResumeFrom *Checkpoint
 
 	// cycle, when set, is a pre-built permutation shared between the
 	// scanners of one ScanParallel call (a Cycle is immutable, and its
@@ -67,7 +104,15 @@ type Stats struct {
 	Duplicates uint64 // validated responses from already-seen responders
 	Unique     uint64 // unique responders handed to the handler
 	Blocked    uint64 // targets skipped by blocklist/allowlist
-	Elapsed    time.Duration
+	// Retry scheduler accounting.
+	Retried        uint64 // retry probes sent
+	RetryDropped   uint64 // targets untracked because the retry ring was full
+	RetryExhausted uint64 // targets still silent after every allowed retry
+	RetryAbandoned uint64 // pending retries given up at the cooldown deadline
+	// AIMD rate-controller accounting.
+	RateUp   uint64 // additive-increase decisions (clean windows)
+	RateDown uint64 // multiplicative-decrease decisions (lossy windows)
+	Elapsed  time.Duration
 }
 
 // HitRate is unique responders per probe sent.
@@ -92,6 +137,8 @@ type Scanner struct {
 	block *lpm.Table[bool]
 	allow *lpm.Table[bool]
 	dedup dedupSet
+	retry *retryRing      // nil unless Config.Retries > 0
+	aimd  *aimdController // nil unless Config.AIMD
 
 	// iidMac is keyed once at construction and Reset per use: Go's HMAC
 	// caches the marshaled keyed state after the first Sum, so the
@@ -159,6 +206,26 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 	if cfg.ProbesPerTarget > 16 {
 		return nil, fmt.Errorf("xmap: %d probes per target is unreasonable", cfg.ProbesPerTarget)
 	}
+	if cfg.Retries < 0 || cfg.Retries > 16 {
+		return nil, fmt.Errorf("xmap: %d retries out of [0,16]", cfg.Retries)
+	}
+	if cfg.Retries > 0 {
+		if cfg.RetryRing <= 0 {
+			cfg.RetryRing = 1024
+		}
+		if cfg.RetryTimeout <= 0 {
+			cfg.RetryTimeout = 2 * cfg.DrainEvery
+		}
+	}
+	if cfg.CooldownDrains <= 0 {
+		if cfg.Retries > 0 {
+			// Retries need headroom: each cooldown round both drains and
+			// fires the next backoff tier.
+			cfg.CooldownDrains = 8
+		} else {
+			cfg.CooldownDrains = 3
+		}
+	}
 	cfg.Seed = seedOrDefault(cfg.Seed)
 	size, ok := cfg.Window.Size()
 	if !ok {
@@ -200,11 +267,40 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 		if cfg.Shards > 1 {
 			shardSpace, _ = size.Add64(uint64(cfg.Shards) - 1).Div64(uint64(cfg.Shards))
 		}
-		bf, err := newBloomDedup(shardSpace)
+		bf, err := newBloomDedup(shardSpace, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("xmap: sizing dedup filter: %w", err)
 		}
 		s.dedup = bf
+	}
+	if cfg.Retries > 0 {
+		s.retry = newRetryRing(cfg.RetryRing)
+	}
+	if cfg.AIMD {
+		s.aimd = newAIMD(cfg.DrainEvery)
+	}
+	if r := cfg.Resume; r != nil {
+		if r.Shard != cfg.ShardIndex {
+			return nil, fmt.Errorf("xmap: resume state is for shard %d, scanner is shard %d", r.Shard, cfg.ShardIndex)
+		}
+		if len(r.Dedup) > 0 {
+			if r.DedupKind != s.dedup.kind() {
+				return nil, fmt.Errorf("xmap: resume dedup kind %d, configuration wants %d (DedupExact changed?)", r.DedupKind, s.dedup.kind())
+			}
+			restored, err := dedupFromState(r.DedupKind, r.Dedup)
+			if err != nil {
+				return nil, fmt.Errorf("xmap: restoring dedup state: %w", err)
+			}
+			s.dedup = restored
+		}
+		if len(r.Retry) > 4 { // 4 bytes is an empty ring's count header
+			if s.retry == nil {
+				return nil, fmt.Errorf("xmap: resume state has pending retries but retries are disabled")
+			}
+			if err := s.retry.restoreState(r.Retry, s.TargetFor); err != nil {
+				return nil, fmt.Errorf("xmap: restoring retry state: %w", err)
+			}
+		}
 	}
 	return s, nil
 }
@@ -277,11 +373,24 @@ func (s *Scanner) TargetFor(idx uint128.Uint128) (ipv6.Addr, error) {
 //
 // When the driver implements BatchSender and no rate limit is set
 // (pacing is inherently per-probe), probes accumulate and flush once
-// per DrainEvery window, amortizing driver entry across the burst.
+// per drain window, amortizing driver entry across the burst.
+//
+// With Config.Resume set, the scan continues mid-cycle: the permutation
+// cursor fast-forwards past the probed prefix of the shard's sequence,
+// statistics accumulate on top of the restored ones, and the restored
+// dedup state keeps already-reported responders suppressed.
 func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	var stats Stats
+	var priorElapsed time.Duration
 	start := time.Now()
-	it := s.cycle.Shard(s.cfg.ShardIndex, s.cfg.Shards)
+	var it *perm.Iterator
+	if r := s.cfg.Resume; r != nil {
+		stats = r.Stats
+		priorElapsed = r.Stats.Elapsed
+		it = s.cycle.ShardAt(s.cfg.ShardIndex, s.cfg.Shards, r.Consumed)
+	} else {
+		it = s.cycle.Shard(s.cfg.ShardIndex, s.cfg.Shards)
+	}
 	src := s.drv.SourceAddr()
 
 	var limiter *rateLimiter
@@ -320,70 +429,235 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		clear(s.batch)
 		s.batch = s.batch[:0]
 	}
-
-	for {
-		if err := ctx.Err(); err != nil {
-			flush()
-			stats.Elapsed = time.Since(start)
-			return stats, err
+	// send dispatches one built probe through the batcher or the paced
+	// single-probe path.
+	send := func(pkt []byte) {
+		if batcher != nil {
+			s.batch = append(s.batch, pkt)
+			return
 		}
-		if s.cfg.MaxTargets > 0 && stats.Targets >= s.cfg.MaxTargets {
-			break
+		if limiter != nil {
+			limiter.wait()
 		}
-		idx, ok := it.Next()
-		if !ok {
-			break
+		if err := s.drv.Send(pkt); err != nil {
+			stats.SendErrors++
+		} else {
+			stats.Sent++
 		}
-		target, err := s.TargetFor(idx)
-		if err != nil {
-			flush()
-			return stats, err
-		}
-		if s.skipTarget(target) {
-			stats.Blocked++
-			continue
-		}
-		var pkt []byte
+	}
+	buildProbe := func(target ipv6.Addr) ([]byte, error) {
 		if appender != nil {
 			var buf []byte
 			if l := len(s.free); l > 0 {
 				buf, s.free[l-1] = s.free[l-1], nil
 				s.free = s.free[:l-1]
 			}
-			pkt, err = appender.AppendProbe(buf, src, target, s.Validation(target))
-		} else {
-			pkt, err = s.probe.MakeProbe(src, target, s.Validation(target))
+			return appender.AppendProbe(buf, src, target, s.Validation(target))
 		}
+		return s.probe.MakeProbe(src, target, s.Validation(target))
+	}
+
+	// The drain cadence: a counter against the send window, which is
+	// DrainEvery fixed, or AIMD-adjusted between drains. Counting locally
+	// (not stats.Targets%DrainEvery) keeps the cadence correct across
+	// resume offsets and retry traffic.
+	window := s.cfg.DrainEvery
+	sinceDrain := 0
+	lastSent, lastRecv := stats.Sent, stats.Received
+	baseUp, baseDown := stats.RateUp, stats.RateDown
+	var nextCkpt uint64
+	if s.cfg.CheckpointEvery > 0 {
+		nextCkpt = stats.Targets + s.cfg.CheckpointEvery
+	}
+	// emit hands the current resumable state to the checkpoint sink. It
+	// runs only after a flush+drain, so the serialized dedup set reflects
+	// every response collected so far.
+	emit := func(done bool) {
+		if s.cfg.OnCheckpoint == nil {
+			return
+		}
+		stats.Elapsed = priorElapsed + time.Since(start)
+		st := ShardState{
+			Shard:     s.cfg.ShardIndex,
+			Done:      done,
+			Consumed:  it.Consumed(),
+			Stats:     stats,
+			DedupKind: s.dedup.kind(),
+			Dedup:     s.dedup.appendState(nil),
+		}
+		if s.retry != nil {
+			st.Retry = s.retry.appendState(nil)
+		}
+		s.cfg.OnCheckpoint(st)
+	}
+	// pumpDue reports whether the send window should close now: it is
+	// full, or a checkpoint interval expired (a checkpoint needs the
+	// flush+drain for a consistent dedup snapshot, so it forces one).
+	pumpDue := func() bool {
+		return sinceDrain >= window || (nextCkpt > 0 && stats.Targets >= nextCkpt)
+	}
+	// pump closes a send window: flush, drain, let AIMD reconsider the
+	// window, and checkpoint if the interval has passed.
+	pump := func() {
+		flush()
+		s.drain(&stats, handler)
+		sinceDrain = 0
+		if s.aimd != nil {
+			window = s.aimd.update(stats.Sent-lastSent, stats.Received-lastRecv)
+			lastSent, lastRecv = stats.Sent, stats.Received
+			stats.RateUp = baseUp + s.aimd.ups
+			stats.RateDown = baseDown + s.aimd.downs
+		}
+		if nextCkpt > 0 && stats.Targets >= nextCkpt {
+			emit(false)
+			nextCkpt = stats.Targets + s.cfg.CheckpointEvery
+		}
+	}
+	// sendRetry re-probes a due entry (one probe, not ProbesPerTarget
+	// copies) and reschedules it with exponential backoff.
+	sendRetry := func(e retryEntry) error {
+		pkt, err := buildProbe(e.dst)
+		if err != nil {
+			return fmt.Errorf("xmap: building retry probe for %s: %w", e.dst, err)
+		}
+		send(pkt)
+		stats.Retried++
+		sinceDrain++
+		e.attempts++
+		e.due = stats.Sent + uint64(s.cfg.RetryTimeout)<<(e.attempts-1)
+		if !s.retry.push(e) {
+			stats.RetryDropped++
+		}
+		return nil
+	}
+
+	ranOut := false
+	for {
+		if err := ctx.Err(); err != nil {
+			flush()
+			if s.cfg.OnCheckpoint != nil {
+				// Collect what the driver already has, then leave a
+				// resumable state behind: cancellation is the crash-safe
+				// shutdown path.
+				s.drain(&stats, handler)
+				emit(false)
+			}
+			stats.Elapsed = priorElapsed + time.Since(start)
+			return stats, err
+		}
+		// Service due retries ahead of fresh targets: their backoff
+		// deadline has passed, and resolving them frees ring capacity.
+		if s.retry != nil {
+			for {
+				e, ok := s.retry.popDue(stats.Sent)
+				if !ok {
+					break
+				}
+				if int(e.attempts) >= 1+s.cfg.Retries {
+					stats.RetryExhausted++
+					continue
+				}
+				if err := sendRetry(e); err != nil {
+					flush()
+					stats.Elapsed = priorElapsed + time.Since(start)
+					return stats, err
+				}
+				if pumpDue() {
+					pump()
+				}
+			}
+		}
+		if s.cfg.MaxTargets > 0 && stats.Targets >= s.cfg.MaxTargets {
+			break
+		}
+		idx, ok := it.Next()
+		if !ok {
+			ranOut = true
+			break
+		}
+		target, err := s.TargetFor(idx)
 		if err != nil {
 			flush()
+			stats.Elapsed = priorElapsed + time.Since(start)
+			return stats, err
+		}
+		if s.skipTarget(target) {
+			stats.Blocked++
+			continue
+		}
+		pkt, err := buildProbe(target)
+		if err != nil {
+			flush()
+			stats.Elapsed = priorElapsed + time.Since(start)
 			return stats, fmt.Errorf("xmap: building probe for %s: %w", target, err)
 		}
 		for copyN := 0; copyN < s.cfg.ProbesPerTarget; copyN++ {
-			if batcher != nil {
-				s.batch = append(s.batch, pkt)
-				continue
-			}
-			if limiter != nil {
-				limiter.wait()
-			}
-			if err := s.drv.Send(pkt); err != nil {
-				stats.SendErrors++
-			} else {
-				stats.Sent++
+			send(pkt)
+		}
+		if s.retry != nil {
+			if !s.retry.push(retryEntry{
+				idx:      idx,
+				dst:      target,
+				due:      stats.Sent + uint64(s.cfg.RetryTimeout),
+				attempts: 1,
+			}) {
+				stats.RetryDropped++
 			}
 		}
 		stats.Targets++
-		if stats.Targets%uint64(s.cfg.DrainEvery) == 0 {
-			flush()
-			s.drain(&stats, handler)
+		sinceDrain++
+		if pumpDue() {
+			pump()
 		}
 	}
 	flush()
-	// Final drains: catch stragglers (a real driver may deliver late).
-	for i := 0; i < 3; i++ {
+
+	// Cooldown: a bounded sequence of drain rounds collects stragglers (a
+	// real driver may deliver late). Between rounds the probe clock jumps
+	// to the next retry deadline, so pending retries get their backoff
+	// tiers fired before the deadline expires; the final round only
+	// drains.
+	for round := 0; round < s.cfg.CooldownDrains; round++ {
 		s.drain(&stats, handler)
+		if s.retry == nil || round == s.cfg.CooldownDrains-1 {
+			continue
+		}
+		clock := stats.Sent
+		if due, ok := s.retry.nextDue(); ok && due > clock {
+			clock = due
+		}
+		for {
+			e, ok := s.retry.popDue(clock)
+			if !ok {
+				break
+			}
+			if int(e.attempts) >= 1+s.cfg.Retries {
+				stats.RetryExhausted++
+				continue
+			}
+			if err := sendRetry(e); err != nil {
+				stats.Elapsed = priorElapsed + time.Since(start)
+				return stats, err
+			}
+		}
+		flush()
 	}
-	stats.Elapsed = time.Since(start)
+	// Account for whatever the deadline left unresolved.
+	if s.retry != nil {
+		for {
+			e, ok := s.retry.popDue(^uint64(0))
+			if !ok {
+				break
+			}
+			if int(e.attempts) >= 1+s.cfg.Retries {
+				stats.RetryExhausted++
+			} else {
+				stats.RetryAbandoned++
+			}
+		}
+	}
+	emit(ranOut)
+	stats.Elapsed = priorElapsed + time.Since(start)
 	return stats, nil
 }
 
@@ -426,6 +700,11 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 			continue
 		}
 		stats.Received++
+		if s.retry != nil {
+			// Any validated response resolves the probed target, even a
+			// duplicate responder or an ICMP error: the path answered.
+			s.retry.answered(resp.ProbeDst)
+		}
 		if s.dedup.seen(resp.Responder) {
 			stats.Duplicates++
 			s.dedup.add(resp.Responder) // keep per-responder counts exact
@@ -446,17 +725,36 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 	}
 }
 
-// rateLimiter is a token bucket over wall-clock time.
+// rateLimiter is a token bucket over wall-clock time. Tokens refill in
+// batches of ~1ms worth of probes rather than one per probe: at high
+// rates a per-probe time.Sleep would need sub-microsecond precision the
+// OS timer cannot deliver, silently capping throughput near the timer
+// frequency. Batched refills sleep at most once per batch and keep the
+// long-run average at the configured rate.
 type rateLimiter struct {
-	interval time.Duration
-	next     time.Time
+	interval time.Duration // wall-clock budget per token batch
+	batch    int           // tokens granted per refill
+	tokens   int           // sends remaining before the next refill
+	next     time.Time     // when the next refill is due
 }
 
 func newRateLimiter(rate int) *rateLimiter {
-	return &rateLimiter{interval: time.Second / time.Duration(rate), next: time.Now()}
+	batch := rate / 1000
+	if batch < 1 {
+		batch = 1
+	}
+	return &rateLimiter{
+		interval: time.Duration(batch) * time.Second / time.Duration(rate),
+		batch:    batch,
+		next:     time.Now(),
+	}
 }
 
 func (r *rateLimiter) wait() {
+	if r.tokens > 0 {
+		r.tokens--
+		return
+	}
 	now := time.Now()
 	if now.Before(r.next) {
 		time.Sleep(r.next.Sub(now))
@@ -466,4 +764,5 @@ func (r *rateLimiter) wait() {
 		// Deep deficit (slow sender); don't accumulate unbounded burst.
 		r.next = now
 	}
+	r.tokens = r.batch - 1
 }
