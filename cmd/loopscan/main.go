@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/ipv6"
 	"repro/internal/loopscan"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/xmap"
 )
@@ -34,20 +36,51 @@ func run() error {
 		maxDev   = flag.Int("max-devices", 2000, "device cap per ISP (isp mode)")
 		bgpASes  = flag.Int("ases", 200, "AS count (bgp mode)")
 		hopLimit = flag.Int("hop-limit", loopscan.DefaultHopLimit, "probe hop limit h")
+		statusF  = flag.String("status-json", "", "write the sweep's telemetry snapshot as JSON to this file ('-' for stderr)")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "isp":
-		return runISP(*ispIndex, *seed, *scale, *width, *maxDev, uint8(*hopLimit))
+		return runISP(*ispIndex, *seed, *scale, *width, *maxDev, uint8(*hopLimit), *statusF)
 	case "bgp":
-		return runBGP(*seed, *bgpASes, uint8(*hopLimit))
+		return runBGP(*seed, *bgpASes, uint8(*hopLimit), *statusF)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 }
 
-func runISP(ispIndex int, seed int64, scale float64, width, maxDev int, h uint8) error {
+// attachTelemetry gives the detector a registry when -status-json asks
+// for one; writeStatus emits the snapshot afterwards.
+func attachTelemetry(det *loopscan.Detector, drv *xmap.SimDriver, statusF string) *telemetry.Registry {
+	if statusF == "" {
+		return nil
+	}
+	reg := telemetry.New(telemetry.Options{Shards: 1})
+	drv.RegisterTelemetry(reg)
+	det.Tel = reg.Shard(0)
+	return reg
+}
+
+func writeStatus(reg *telemetry.Registry, statusF string) error {
+	if reg == nil {
+		return nil
+	}
+	if statusF == "-" {
+		return reg.WriteJSON(os.Stderr)
+	}
+	fh, err := os.Create(statusF)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(io.Writer(fh)); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+func runISP(ispIndex int, seed int64, scale float64, width, maxDev int, h uint8, statusF string) error {
 	dep, err := topo.Build(topo.Config{
 		Seed: seed, Scale: scale, WindowWidth: width,
 		MaxDevicesPerISP: maxDev, OnlyISPs: []int{ispIndex},
@@ -56,10 +89,15 @@ func runISP(ispIndex int, seed int64, scale float64, width, maxDev int, h uint8)
 		return err
 	}
 	isp := dep.ISPs[0]
-	det := loopscan.NewDetector(xmap.NewSimDriver(dep.Engine, dep.Edge))
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	det := loopscan.NewDetector(drv)
 	det.HopLimit = h
+	reg := attachTelemetry(det, drv, statusF)
 	res, err := det.ScanWindows([]ipv6.Window{isp.Window}, []byte(fmt.Sprintf("cli-%d", seed)))
 	if err != nil {
+		return err
+	}
+	if err := writeStatus(reg, statusF); err != nil {
 		return err
 	}
 	vuln := res.VulnerableHops()
@@ -83,15 +121,20 @@ func runISP(ispIndex int, seed int64, scale float64, width, maxDev int, h uint8)
 	return nil
 }
 
-func runBGP(seed int64, ases int, h uint8) error {
+func runBGP(seed int64, ases int, h uint8, statusF string) error {
 	dep, err := topo.BuildBGPUniverse(topo.BGPConfig{Seed: seed, NumASes: ases})
 	if err != nil {
 		return err
 	}
-	det := loopscan.NewDetector(xmap.NewSimDriver(dep.Engine, dep.Edge))
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	det := loopscan.NewDetector(drv)
 	det.HopLimit = h
+	reg := attachTelemetry(det, drv, statusF)
 	res, err := det.ScanWindows(dep.Windows, []byte(fmt.Sprintf("cli-bgp-%d", seed)))
 	if err != nil {
+		return err
+	}
+	if err := writeStatus(reg, statusF); err != nil {
 		return err
 	}
 	summary := analysis.BuildTableIX(res, dep.Geo)

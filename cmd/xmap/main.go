@@ -26,46 +26,58 @@ import (
 
 	"repro/internal/ipv6"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/wire"
 	"repro/internal/xmap"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "xmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run executes one CLI invocation. Flags live on a private FlagSet and
+// all output goes through the writer arguments, so tests drive the
+// command end to end without process-global state.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("xmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		ispIndex = flag.Int("isp", 13, "Table I ISP index to scan (1-15)")
-		windowF  = flag.String("window", "", "explicit scan window (addr/from-to); overrides -isp's default window")
-		v4F      = flag.String("v4window", "", `IPv4 scan window ("192.168.0.0/20-25"); implies the icmp4 probe`)
-		width    = flag.Int("width", 12, "window width in bits for the generated deployment")
-		scale    = flag.Float64("scale", 0.0005, "population scale relative to the paper")
-		maxDev   = flag.Int("max-devices", 2000, "cap on devices per ISP")
-		probeF   = flag.String("probe", "icmp", "probe module: icmp, tcp:<port>, dns, ntp")
-		seed     = flag.Int64("seed", 1, "deployment and scan seed")
-		shards   = flag.Int("shards", 1, "total shards")
-		shard    = flag.Int("shard", 0, "this instance's shard index")
-		rate     = flag.Int("rate", 0, "probe rate limit in pps (0 = unlimited)")
-		probesN  = flag.Int("probes", 1, "probes per target (ZMap -P)")
-		blockF   = flag.String("blocklist", "", "blocklist file (one prefix per line, # comments)")
-		outputF  = flag.String("output", "csv", "output module: csv or json")
-		filterF  = flag.String("filter", "", `output filter expression, e.g. 'kind == "dest-unreach" && !same_prefix64'`)
-		maxTgt   = flag.Uint64("max-targets", 0, "stop after this many probes (0 = all)")
-		quiet    = flag.Bool("quiet", false, "suppress the summary on stderr")
-		metaF    = flag.String("metadata", "", "write JSON scan metadata to this file ('-' for stderr)")
-		parallel = flag.Int("parallel", 1, "run this many shard scanners concurrently in this process")
-		retries  = flag.Int("retries", 0, "re-probe unanswered targets up to this many times with backoff")
-		aimd     = flag.Bool("aimd", false, "adapt the send window to the reply rate (AIMD)")
-		ckptF    = flag.String("checkpoint", "", "write a resumable scan checkpoint to this file (periodically, on SIGINT/SIGTERM, and on exit)")
-		ckptN    = flag.Uint64("checkpoint-every", 4096, "targets between periodic checkpoints")
-		resumeF  = flag.Bool("resume", false, "resume the scan recorded in the -checkpoint file")
+		ispIndex = fs.Int("isp", 13, "Table I ISP index to scan (1-15)")
+		windowF  = fs.String("window", "", "explicit scan window (addr/from-to); overrides -isp's default window")
+		v4F      = fs.String("v4window", "", `IPv4 scan window ("192.168.0.0/20-25"); implies the icmp4 probe`)
+		width    = fs.Int("width", 12, "window width in bits for the generated deployment")
+		scale    = fs.Float64("scale", 0.0005, "population scale relative to the paper")
+		maxDev   = fs.Int("max-devices", 2000, "cap on devices per ISP")
+		probeF   = fs.String("probe", "icmp", "probe module: icmp, tcp:<port>, dns, ntp")
+		seed     = fs.Int64("seed", 1, "deployment and scan seed")
+		shards   = fs.Int("shards", 1, "total shards")
+		shard    = fs.Int("shard", 0, "this instance's shard index")
+		rate     = fs.Int("rate", 0, "probe rate limit in pps (0 = unlimited)")
+		probesN  = fs.Int("probes", 1, "probes per target (ZMap -P)")
+		blockF   = fs.String("blocklist", "", "blocklist file (one prefix per line, # comments)")
+		outputF  = fs.String("output", "csv", "output module: csv or json")
+		filterF  = fs.String("filter", "", `output filter expression, e.g. 'kind == "dest-unreach" && !same_prefix64'`)
+		maxTgt   = fs.Uint64("max-targets", 0, "stop after this many probes (0 = all)")
+		quiet    = fs.Bool("quiet", false, "suppress the summary on stderr")
+		metaF    = fs.String("metadata", "", "write JSON scan metadata to this file ('-' for stderr)")
+		parallel = fs.Int("parallel", 1, "run this many shard scanners concurrently in this process")
+		retries  = fs.Int("retries", 0, "re-probe unanswered targets up to this many times with backoff")
+		aimd     = fs.Bool("aimd", false, "adapt the send window to the reply rate (AIMD)")
+		ckptF    = fs.String("checkpoint", "", "write a resumable scan checkpoint to this file (periodically, on SIGINT/SIGTERM, and on exit)")
+		ckptN    = fs.Uint64("checkpoint-every", 4096, "targets between periodic checkpoints")
+		resumeF  = fs.Bool("resume", false, "resume the scan recorded in the -checkpoint file")
+		monitorN = fs.Int("monitor-every", 0, "print a ZMap-style status line to stderr every N probed targets (0 = off)")
+		statusF  = fs.String("status-json", "", "write the merged telemetry snapshot as JSON to this file ('-' for stderr)")
+		listenF  = fs.String("listen", "", "serve /telemetry, /trace, expvar and pprof over HTTP on this address for the scan's duration")
+		traceF   = fs.String("trace", "", "write the flight-recorder dump as JSON to this file ('-' for stderr)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// IPv4 mode scans a small simulated NAT deployment instead of the
 	// Table I ISPs.
@@ -73,7 +85,7 @@ func run() error {
 		if *probeF == "icmp" {
 			*probeF = "icmp4"
 		}
-		return runV4(*v4F, *probeF, *seed, *shards, *shard, *rate, *maxTgt, *outputF, *filterF, *metaF, *quiet)
+		return runV4(*v4F, *probeF, *seed, *shards, *shard, *rate, *maxTgt, *outputF, *filterF, *metaF, *quiet, stdout, stderr)
 	}
 
 	dep, err := topo.Build(topo.Config{
@@ -110,12 +122,12 @@ func run() error {
 	var out xmap.OutputModule
 	switch *outputF {
 	case "csv":
-		out, err = xmap.NewCSVOutput(os.Stdout)
+		out, err = xmap.NewCSVOutput(stdout)
 		if err != nil {
 			return err
 		}
 	case "json":
-		out = xmap.NewJSONOutput(os.Stdout)
+		out = xmap.NewJSONOutput(stdout)
 	default:
 		return fmt.Errorf("unknown output module %q", *outputF)
 	}
@@ -155,6 +167,51 @@ func run() error {
 		AIMD:            *aimd,
 	}
 	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+
+	// Telemetry attaches only when an observability flag asks for it; a
+	// bare scan keeps the zero-cost detached path.
+	var reg *telemetry.Registry
+	var mon *telemetry.Monitor
+	if *monitorN > 0 || *statusF != "" || *listenF != "" || *traceF != "" {
+		regShards := *parallel
+		if regShards < 1 {
+			regShards = 1
+		}
+		reg = telemetry.New(telemetry.Options{Shards: regShards})
+		drv.RegisterTelemetry(reg)
+		cfg.Telemetry = reg
+
+		// SIGQUIT dumps the flight recorder without stopping the scan —
+		// the "what is it doing right now" escape hatch.
+		quitCh := make(chan os.Signal, 1)
+		signal.Notify(quitCh, syscall.SIGQUIT)
+		defer signal.Stop(quitCh)
+		go func() {
+			for range quitCh {
+				fmt.Fprintln(stderr, "xmap: SIGQUIT: flight-recorder dump")
+				if derr := reg.DumpTrace(stderr); derr != nil {
+					fmt.Fprintln(stderr, "xmap: trace dump:", derr)
+				}
+			}
+		}()
+	}
+	if *monitorN > 0 {
+		mon = telemetry.NewMonitor(reg, stderr, *monitorN)
+		if *maxTgt > 0 {
+			mon.SetTotal(*maxTgt)
+		} else if size, ok := window.Size(); ok && size.Hi == 0 {
+			mon.SetTotal(size.Lo)
+		}
+		cfg.Monitor = mon
+	}
+	if *listenF != "" {
+		srv, addr, lerr := reg.Serve(*listenF)
+		if lerr != nil {
+			return lerr
+		}
+		fmt.Fprintf(stderr, "xmap: telemetry on http://%s (telemetry, trace, debug/vars, debug/pprof)\n", addr)
+		defer srv.Close()
+	}
 
 	// SIGINT/SIGTERM cancel the scan; with -checkpoint set, the exit path
 	// writes a final resumable state first.
@@ -202,7 +259,7 @@ func run() error {
 		stats, err = xmap.ScanParallel(ctx, cfg, drv, *parallel, handler)
 	}
 	if errors.Is(err, context.Canceled) && *ckptF != "" {
-		fmt.Fprintf(os.Stderr, "xmap: interrupted; resumable checkpoint written to %s (resume with -resume)\n", *ckptF)
+		fmt.Fprintf(stderr, "xmap: interrupted; resumable checkpoint written to %s (resume with -resume)\n", *ckptF)
 		err = nil
 	}
 	if err != nil {
@@ -214,12 +271,23 @@ func run() error {
 	if err := out.Flush(); err != nil {
 		return err
 	}
+	mon.Final()
+	if *statusF != "" {
+		if err := writeSink(*statusF, stderr, reg.WriteJSON); err != nil {
+			return fmt.Errorf("writing status JSON: %w", err)
+		}
+	}
+	if *traceF != "" {
+		if err := writeSink(*traceF, stderr, reg.DumpTrace); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"scanned %s: sent %d, received %d, unique responders %d, hit rate %.4f%%, elapsed %s\n",
 			window, stats.Sent, stats.Received, stats.Unique, 100*stats.HitRate(), stats.Elapsed)
 		if stats.Retried > 0 || stats.RateDown > 0 {
-			fmt.Fprintf(os.Stderr,
+			fmt.Fprintf(stderr,
 				"reliability: retried %d, retry-dropped %d, exhausted %d, abandoned %d, aimd up/down %d/%d\n",
 				stats.Retried, stats.RetryDropped, stats.RetryExhausted, stats.RetryAbandoned,
 				stats.RateUp, stats.RateDown)
@@ -234,24 +302,28 @@ func run() error {
 			}
 		}
 		md := scanner.BuildMetadata(stats, time.Now())
-		w := io.Writer(os.Stderr)
-		if *metaF != "-" {
-			fh, err := os.Create(*metaF)
-			if err != nil {
-				return err
-			}
-			defer func() {
-				if cerr := fh.Close(); cerr != nil {
-					fmt.Fprintln(os.Stderr, "xmap: closing metadata file:", cerr)
-				}
-			}()
-			w = fh
-		}
-		if err := md.WriteJSON(w); err != nil {
+		if err := writeSink(*metaF, stderr, md.WriteJSON); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeSink runs write against the named file ("-" means fallback,
+// normally stderr), creating and closing the file around it.
+func writeSink(name string, fallback io.Writer, write func(io.Writer) error) error {
+	if name == "-" {
+		return write(fallback)
+	}
+	fh, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
 }
 
 func parseProbe(s string) (xmap.ProbeModule, error) {
@@ -276,7 +348,7 @@ func parseProbe(s string) (xmap.ProbeModule, error) {
 
 // runV4 builds a NAT'd IPv4 neighborhood inside the requested window and
 // scans it — the Section II contrast, driveable from the CLI.
-func runV4(windowSpec, probeF string, seed int64, shards, shard, rate int, maxTgt uint64, outputF, filterF, metaF string, quiet bool) error {
+func runV4(windowSpec, probeF string, seed int64, shards, shard, rate int, maxTgt uint64, outputF, filterF, metaF string, quiet bool, stdout, stderr io.Writer) error {
 	window, err := xmap.ParseV4Window(windowSpec)
 	if err != nil {
 		return err
@@ -316,12 +388,12 @@ func runV4(windowSpec, probeF string, seed int64, shards, shard, rate int, maxTg
 	var out xmap.OutputModule
 	switch outputF {
 	case "csv":
-		out, err = xmap.NewCSVOutput(os.Stdout)
+		out, err = xmap.NewCSVOutput(stdout)
 		if err != nil {
 			return err
 		}
 	case "json":
-		out = xmap.NewJSONOutput(os.Stdout)
+		out = xmap.NewJSONOutput(stdout)
 	default:
 		return fmt.Errorf("unknown output module %q", outputF)
 	}
@@ -357,24 +429,11 @@ func runV4(windowSpec, probeF string, seed int64, shards, shard, rate int, maxTg
 		return err
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "scanned %s: sent %d, unique responders %d\n", windowSpec, stats.Sent, stats.Unique)
+		fmt.Fprintf(stderr, "scanned %s: sent %d, unique responders %d\n", windowSpec, stats.Sent, stats.Unique)
 	}
 	if metaF != "" {
 		md := scanner.BuildMetadata(stats, time.Now())
-		w := io.Writer(os.Stderr)
-		if metaF != "-" {
-			fh, err := os.Create(metaF)
-			if err != nil {
-				return err
-			}
-			defer func() {
-				if cerr := fh.Close(); cerr != nil {
-					fmt.Fprintln(os.Stderr, "xmap: closing metadata file:", cerr)
-				}
-			}()
-			w = fh
-		}
-		if err := md.WriteJSON(w); err != nil {
+		if err := writeSink(metaF, stderr, md.WriteJSON); err != nil {
 			return err
 		}
 	}

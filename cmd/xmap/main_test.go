@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOnce drives one full CLI invocation in-process.
+func runOnce(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v\nstderr:\n%s", args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// TestStatusJSONDeterministic: the -status-json artifact of a seeded
+// scan is byte-identical across two identical runs — the property that
+// makes snapshots diffable in scripts and goldens.
+func TestStatusJSONDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	args := []string{"-max-targets", "20", "-quiet", "-seed", "7", "-status-json"}
+	runOnce(t, append(args, a)...)
+	runOnce(t, append(args, b)...)
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da) == 0 {
+		t.Fatal("empty status JSON")
+	}
+	if !bytes.Equal(da, db) {
+		t.Errorf("status JSON differs across identical seeded runs:\n%s\nvs\n%s", da, db)
+	}
+
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]int64  `json:"gauges"`
+	}
+	if err := json.Unmarshal(da, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["scan.targets"]; got != 20 {
+		t.Errorf("scan.targets = %d, want 20", got)
+	}
+	if got := snap.Counters["scan.sent"]; got != 20 {
+		t.Errorf("scan.sent = %d, want 20", got)
+	}
+	if snap.Counters["sim.transmissions"] == 0 {
+		t.Error("sim.transmissions = 0: engine collector not registered")
+	}
+	if snap.Counters["scan.received"] == 0 {
+		t.Error("scan.received = 0: the fixture always answers some probes")
+	}
+	if got := snap.Gauges["scan.window"]; got != 64 {
+		t.Errorf("scan.window gauge = %d, want the default drain window 64", got)
+	}
+}
+
+// TestMonitorLines: -monitor-every prints periodic status lines plus a
+// final "done" line on stderr.
+func TestMonitorLines(t *testing.T) {
+	_, errOut := runOnce(t, "-max-targets", "200", "-quiet", "-monitor-every", "64")
+	lines := strings.Split(strings.TrimSpace(errOut), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected multiple monitor lines, got %q", errOut)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "send:") || !strings.Contains(l, "hit rate") {
+			t.Errorf("malformed monitor line %q", l)
+		}
+	}
+	if !strings.HasSuffix(lines[len(lines)-1], "; done") {
+		t.Errorf("last line %q does not end in \"; done\"", lines[len(lines)-1])
+	}
+}
+
+// TestTraceDump: -trace writes a JSON flight-recorder dump whose event
+// stream covers every probe of a small scan.
+func TestTraceDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runOnce(t, "-max-targets", "20", "-quiet", "-trace", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Shards []struct {
+			Recorded uint64 `json:"recorded"`
+			Events   []struct {
+				Kind string `json:"kind"`
+				Addr string `json:"addr"`
+			} `json:"events"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Shards) != 1 {
+		t.Fatalf("trace has %d shards, want 1", len(doc.Shards))
+	}
+	kinds := map[string]int{}
+	for _, e := range doc.Shards[0].Events {
+		kinds[e.Kind]++
+		if e.Kind == "probe" && e.Addr == "" {
+			t.Error("probe event without address")
+		}
+	}
+	if kinds["probe"] != 20 {
+		t.Errorf("trace has %d probe events, want 20", kinds["probe"])
+	}
+	if kinds["reply"]+kinds["icmp-error"] == 0 {
+		t.Error("trace has no reply events")
+	}
+}
+
+// TestRunTwiceNoGlobalState: the FlagSet refactor must allow repeated
+// in-process invocations (the old global flag.* panicked on the second
+// definition).
+func TestRunTwiceNoGlobalState(t *testing.T) {
+	runOnce(t, "-max-targets", "5", "-quiet")
+	runOnce(t, "-max-targets", "5", "-quiet", "-output", "json")
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ipv6"
 	"repro/internal/netsim"
 	"repro/internal/perm"
+	"repro/internal/telemetry"
 	"repro/internal/uint128"
 	"repro/internal/wire"
 	"repro/internal/xmap"
@@ -62,7 +63,10 @@ type Detector struct {
 	drv xmap.Driver
 	// HopLimit is h (default DefaultHopLimit).
 	HopLimit uint8
-	seq      uint16
+	// Tel, when set, counts probes, responses and confirmed loops into a
+	// telemetry shard (loop.* counters). Nil detaches instrumentation.
+	Tel *telemetry.Shard
+	seq uint16
 
 	// idMac is keyed once and Reset per probe, keeping the validation-ID
 	// derivation off the per-probe allocation path (as in xmap.Scanner).
@@ -92,6 +96,7 @@ func (d *Detector) probe(dst ipv6.Addr, hopLimit uint8) (responder ipv6.Addr, ic
 	if err := d.drv.Send(pkt); err != nil {
 		return ipv6.Addr{}, 0, false, err
 	}
+	d.Tel.Inc(telemetry.LoopProbes)
 	for _, raw := range d.drv.Recv() {
 		sum, perr := wire.ParsePacket(raw)
 		if perr != nil || sum.ICMP == nil {
@@ -136,6 +141,7 @@ func (d *Detector) CheckAddr(dst ipv6.Addr) (CheckResult, error) {
 	if !ok {
 		return res, nil
 	}
+	d.Tel.Inc(telemetry.LoopResponses)
 	res.Responder = from
 	if typ != wire.ICMPTimeExceeded {
 		res.Verdict = VerdictUnreachable
@@ -145,8 +151,12 @@ func (d *Detector) CheckAddr(dst ipv6.Addr) (CheckResult, error) {
 	if err != nil {
 		return res, err
 	}
+	if ok2 {
+		d.Tel.Inc(telemetry.LoopResponses)
+	}
 	if ok2 && typ2 == wire.ICMPTimeExceeded && from2 == from {
 		res.Verdict = VerdictLoop
+		d.Tel.Inc(telemetry.LoopConfirmed)
 		return res, nil
 	}
 	res.Verdict = VerdictTransient

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/ipv6"
+)
+
+// TestEngineCounters: the engine's cumulative totals track every link
+// crossing — transmissions, bytes and drops — and a lossy link shows up
+// in Dropped without inflating Transmissions.
+func TestEngineCounters(t *testing.T) {
+	n := buildGroupNet(t, 1)
+	eng := n.grp.Shard(0)
+	if c := eng.Counters(); c != (Counters{}) {
+		t.Fatalf("fresh engine counters = %+v, want zero", c)
+	}
+	var injected uint64
+	for i := 0; i < 10; i++ {
+		pkt := echoTo(t, n.addrs[0], uint16(i))
+		injected += uint64(len(pkt))
+		n.grp.Inject(pkt)
+	}
+	n.edge.Drain()
+	c := eng.Counters()
+	// Each echo crosses the scanner-router link twice: request out,
+	// reply back.
+	if c.Transmissions != 20 {
+		t.Errorf("Transmissions = %d, want 20", c.Transmissions)
+	}
+	if c.Events != eng.Steps() {
+		t.Errorf("Events = %d, Steps = %d — must agree", c.Events, eng.Steps())
+	}
+	if c.Bytes < 2*injected {
+		t.Errorf("Bytes = %d, want at least %d (requests + replies)", c.Bytes, 2*injected)
+	}
+	if c.Dropped != 0 {
+		t.Errorf("Dropped = %d on a lossless link", c.Dropped)
+	}
+}
+
+// TestEngineCountersCountDrops: on a 100%-loss link every attempt is
+// counted in both Transmissions (attempts, matching per-link
+// LinkStats.Packets) and Dropped.
+func TestEngineCountersCountDrops(t *testing.T) {
+	eng := New(7)
+	edge := NewEdge("e", ipv6.MustParseAddr("2001:beef::100"))
+	r := NewRouter("r", ErrorPolicy{})
+	rif := r.AddIface(ipv6.MustParseAddr("2001:100::1"), "r:up")
+	eng.Connect(edge.Iface(), rif, 1.0)
+	for i := 0; i < 5; i++ {
+		eng.Inject(edge.Iface(), echoTo(t, rif.Addr(), uint16(i)))
+	}
+	c := eng.Counters()
+	if c.Dropped != 5 {
+		t.Errorf("Dropped = %d, want 5", c.Dropped)
+	}
+	if c.Transmissions != 5 {
+		t.Errorf("Transmissions = %d, want 5 attempts counted", c.Transmissions)
+	}
+}
+
+// TestGroupCountersSumShards: the group view is the sum of its shards.
+func TestGroupCountersSumShards(t *testing.T) {
+	n := buildGroupNet(t, 3)
+	for rep := 0; rep < 2; rep++ {
+		for s, addr := range n.addrs {
+			n.grp.Inject(echoTo(t, addr, uint16(rep*3+s)))
+		}
+	}
+	n.edge.Drain()
+	var want Counters
+	for s := 0; s < 3; s++ {
+		c := n.grp.Shard(s).Counters()
+		if c.Transmissions == 0 {
+			t.Errorf("shard %d saw no traffic", s)
+		}
+		want.Events += c.Events
+		want.Transmissions += c.Transmissions
+		want.Bytes += c.Bytes
+		want.Dropped += c.Dropped
+	}
+	if got := n.grp.Counters(); got != want {
+		t.Errorf("group counters = %+v, shard sum = %+v", got, want)
+	}
+}

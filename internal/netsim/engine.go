@@ -170,6 +170,13 @@ type Engine struct {
 	seq    uint64
 	fault  FaultFunc
 	tap    TapFunc
+	// Engine-wide traffic totals (the LinkStats aggregate). Kept as
+	// plain counters under mu — transmissions far outnumber probes, so
+	// per-transmission atomics would be measurable; telemetry folds
+	// these in at snapshot time via a collector (merge-on-read).
+	txPackets uint64
+	txBytes   uint64
+	txDropped uint64
 	// disordered is set while any queued delivery was deferred, forcing
 	// the pump onto the ordered (min-due) pop path.
 	disordered bool
@@ -265,6 +272,33 @@ func (e *Engine) Steps() uint64 {
 	return e.steps
 }
 
+// Counters is an engine's cumulative traffic view: events pumped plus
+// the all-links transmission totals. It exists so observers (telemetry
+// collectors) read one consistent aggregate instead of walking links.
+type Counters struct {
+	// Events is the deliveries pumped (Steps).
+	Events uint64
+	// Transmissions counts packets pushed onto any link, duplicates
+	// included; Bytes is their payload total.
+	Transmissions uint64
+	Bytes         uint64
+	// Dropped counts transmissions discarded by link loss or a fault
+	// layer's Drop decision.
+	Dropped uint64
+}
+
+// Counters returns the engine totals, consistent under the engine lock.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Counters{
+		Events:        e.steps,
+		Transmissions: e.txPackets,
+		Bytes:         e.txBytes,
+		Dropped:       e.txDropped,
+	}
+}
+
 // getBufLocked returns a packet buffer of length n, reusing a pooled
 // buffer when one fits.
 func (e *Engine) getBufLocked(n int) []byte {
@@ -334,6 +368,8 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 	st := &l.stats[from.end]
 	st.Packets++
 	st.Bytes += uint64(len(pkt))
+	e.txPackets++
+	e.txBytes += uint64(len(pkt))
 	drop := l.loss > 0 && e.rng.Float64() < l.loss
 	var out FaultOutcome
 	if !drop && e.fault != nil {
@@ -344,6 +380,7 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 		e.tap(from, pkt, drop)
 	}
 	if drop {
+		e.txDropped++
 		e.discardLocked(pkt)
 		return
 	}
@@ -361,6 +398,8 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 			copy(cp, pkt)
 			st.Packets++
 			st.Bytes += uint64(len(pkt))
+			e.txPackets++
+			e.txBytes += uint64(len(pkt))
 		}
 		e.enqueueLocked(to, cp, delay)
 	}

@@ -200,3 +200,16 @@ func (g *EngineGroup) Steps() uint64 {
 	}
 	return n
 }
+
+// Counters sums the engine totals across all shards.
+func (g *EngineGroup) Counters() Counters {
+	var c Counters
+	for _, e := range g.shards {
+		sc := e.Counters()
+		c.Events += sc.Events
+		c.Transmissions += sc.Transmissions
+		c.Bytes += sc.Bytes
+		c.Dropped += sc.Dropped
+	}
+	return c
+}

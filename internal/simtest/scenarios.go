@@ -7,6 +7,7 @@ import (
 	"repro/internal/ipv6"
 	"repro/internal/loopscan"
 	"repro/internal/subnet"
+	"repro/internal/telemetry"
 	"repro/internal/xmap"
 )
 
@@ -22,6 +23,12 @@ type DiscoveryRun struct {
 	ProbeDsts []ipv6.Addr
 	// Violations are the invariant-checker findings for the run.
 	Violations []string
+	// Events is the run's flight-recorder stream, attached to failure
+	// messages via AttachTrace.
+	Events []telemetry.Event
+	// Snapshot is the run's merged telemetry view (scan, engine and
+	// injector counters in one document).
+	Snapshot *telemetry.Snapshot
 }
 
 // runDiscovery performs one scan with the chosen dedup implementation.
@@ -36,7 +43,13 @@ func runDiscovery(seed int64, p FaultProfile, exact bool) (DiscoveryRun, error) 
 	f.Eng.SetFault(inj.Apply)
 	iv.Attach(f.Eng)
 	rec := &recordingDriver{Driver: f.Drv}
-	s, err := xmap.New(xmap.Config{Window: f.Window, Seed: scanSeed(seed), DedupExact: exact}, rec)
+	reg := telemetry.New(telemetry.Options{Shards: 1, TraceDepth: 512})
+	inj.RegisterTelemetry(reg)
+	f.Drv.RegisterTelemetry(reg)
+	s, err := xmap.New(xmap.Config{
+		Window: f.Window, Seed: scanSeed(seed), DedupExact: exact,
+		Telemetry: reg,
+	}, rec)
 	if err != nil {
 		return out, err
 	}
@@ -50,6 +63,8 @@ func runDiscovery(seed int64, p FaultProfile, exact bool) (DiscoveryRun, error) 
 	out.Stats = stats
 	out.ProbeDsts = rec.dsts
 	out.Violations = iv.Violations()
+	out.Events = reg.Events()
+	out.Snapshot = reg.Snapshot()
 	return out, nil
 }
 
@@ -140,6 +155,26 @@ func RunDiscoveryScenario(seed int64, p FaultProfile) ([]string, error) {
 	if exact.Stats.Received != replay.Stats.Received || exact.Stats.Duplicates != replay.Stats.Duplicates {
 		problems = append(problems, "replay diverged in receive statistics")
 	}
+	// Oracle: the telemetry counters are a second, independently
+	// maintained account of the same run — they must agree with the
+	// scanner's Stats exactly.
+	for _, chk := range []struct {
+		counter telemetry.Counter
+		want    uint64
+	}{
+		{telemetry.ScanTargets, exact.Stats.Targets},
+		{telemetry.ScanSent, exact.Stats.Sent},
+		{telemetry.ScanReceived, exact.Stats.Received},
+		{telemetry.ScanDuplicates, exact.Stats.Duplicates},
+		{telemetry.ScanUnique, exact.Stats.Unique},
+	} {
+		if got := exact.Snapshot.Counters[chk.counter.String()]; got != chk.want {
+			problems = append(problems, fmt.Sprintf(
+				"telemetry counter %s = %d, stats say %d", chk.counter, got, chk.want))
+		}
+	}
+	// A failing scenario carries the packet-level tail of the run.
+	problems = AttachTrace(problems, exact.Events, 16)
 	return problems, nil
 }
 

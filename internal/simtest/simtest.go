@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // FaultProfile parameterizes one fault-injection regime. The zero value
@@ -161,6 +162,20 @@ func (j *Injector) Stats() InjectorStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.stats
+}
+
+// RegisterTelemetry folds the injector's decision counters into reg's
+// snapshots as the inject.* counter group. Like the simulation engine,
+// the injector counts under its own lock and the registry reads at
+// snapshot time (merge-on-read), so Apply pays no extra atomics.
+func (j *Injector) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.Register(func(add func(telemetry.Counter, uint64)) {
+		s := j.Stats()
+		add(telemetry.InjectTransmissions, uint64(s.Transmissions))
+		add(telemetry.InjectDropped, uint64(s.Dropped))
+		add(telemetry.InjectDuplicated, uint64(s.Duplicated))
+		add(telemetry.InjectDelayed, uint64(s.Delayed))
+	})
 }
 
 // PacketKey identifies an IPv6 packet's flow across hops: a hash of next

@@ -1,0 +1,103 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func traceEvents(n int) []telemetry.Event {
+	ev := make([]telemetry.Event, n)
+	for i := range ev {
+		ev[i] = telemetry.Event{
+			Seq: uint64(i), Clock: uint64(i * 2), Kind: telemetry.EvProbeSent,
+			Addr: [16]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, byte(i)},
+			Arg:  uint64(i),
+		}
+	}
+	return ev
+}
+
+// TestAttachTraceTailsEvents: a failing problem list gains one entry
+// holding the last k recorder events, newest-last.
+func TestAttachTraceTailsEvents(t *testing.T) {
+	problems := AttachTrace([]string{"stats diverged"}, traceEvents(40), 5)
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want the original plus the trace", len(problems))
+	}
+	tail := problems[1]
+	if !strings.Contains(tail, "flight recorder (last 5 events):") {
+		t.Errorf("missing header: %q", tail)
+	}
+	if !strings.Contains(tail, "#35") || !strings.Contains(tail, "#39") {
+		t.Errorf("tail does not span events 35..39: %q", tail)
+	}
+	if strings.Contains(tail, "#34") {
+		t.Errorf("tail includes event before the window: %q", tail)
+	}
+	if !strings.Contains(tail, "probe") || !strings.Contains(tail, "addr=2001:db8::27") {
+		t.Errorf("event line missing kind or address: %q", tail)
+	}
+}
+
+// TestAttachTraceNoOps: clean runs and empty recorders leave the
+// problem list untouched; k<=0 defaults to 16.
+func TestAttachTraceNoOps(t *testing.T) {
+	if got := AttachTrace(nil, traceEvents(3), 5); got != nil {
+		t.Errorf("clean run grew problems: %v", got)
+	}
+	if got := AttachTrace([]string{"p"}, nil, 5); len(got) != 1 {
+		t.Errorf("empty recorder changed problems: %v", got)
+	}
+	got := AttachTrace([]string{"p"}, traceEvents(40), 0)
+	if !strings.Contains(got[1], "last 16 events") {
+		t.Errorf("default tail is not 16: %q", got[1])
+	}
+	// Fewer events than k: take them all.
+	got = AttachTrace([]string{"p"}, traceEvents(3), 16)
+	if !strings.Contains(got[1], "last 3 events") {
+		t.Errorf("short recorder not fully included: %q", got[1])
+	}
+}
+
+// TestDiscoveryFailureCarriesTrace: when a discovery scenario reports a
+// problem, the message set includes the run's packet-level tail — the
+// acceptance property that failures are replayable AND readable. The
+// run itself is clean, so the check injects a synthetic problem through
+// the same AttachTrace path the scenario uses.
+func TestDiscoveryFailureCarriesTrace(t *testing.T) {
+	run, err := runDiscovery(3, FaultProfile{Name: "none"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Events) == 0 {
+		t.Fatal("discovery run recorded no flight-recorder events")
+	}
+	problems := AttachTrace([]string{"synthetic failure"}, run.Events, 16)
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2", len(problems))
+	}
+	tail := problems[1]
+	if !strings.Contains(tail, "flight recorder") {
+		t.Fatalf("failure message lacks the recorder tail: %q", tail)
+	}
+	// The tail of a scan ends in receive-side events with real addresses.
+	if !strings.Contains(tail, "addr=") {
+		t.Errorf("recorder tail carries no addresses: %q", tail)
+	}
+	// The scenario's snapshot view covers all three layers of the stack.
+	if run.Snapshot == nil {
+		t.Fatal("discovery run has no telemetry snapshot")
+	}
+	if run.Snapshot.Counters[telemetry.ScanSent.String()] != run.Stats.Sent {
+		t.Errorf("snapshot scan.sent = %d, stats say %d",
+			run.Snapshot.Counters[telemetry.ScanSent.String()], run.Stats.Sent)
+	}
+	if run.Snapshot.Counters[telemetry.InjectTransmissions.String()] == 0 {
+		t.Error("inject.transmissions = 0: injector collector not registered")
+	}
+	if run.Snapshot.Counters[telemetry.SimTransmissions.String()] == 0 {
+		t.Error("sim.transmissions = 0: engine collector not registered")
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket 0 holds the value 0 and
+// bucket i (1..63) holds [2^(i-1), 2^i) — the full uint64 range with no
+// configuration and a branch-free slot computation.
+const histBuckets = 65
+
+// histogram is a power-of-two-bucket histogram over uint64 samples.
+// Observation is two atomic adds into fixed slots — no locks, no
+// allocation — so it sits on the scan hot path; Count/Sum/quantiles are
+// derived at snapshot time.
+type histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// histBucket returns the slot for v: 0 for 0, else 1+floor(log2 v).
+func histBucket(v uint64) int { return bits.Len64(v) }
+
+// histBucketBounds returns the inclusive-lo/exclusive-hi value range of
+// slot i.
+func histBucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 1
+	}
+	lo = uint64(1) << (i - 1)
+	if i >= 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, uint64(1) << i
+}
+
+func (h *histogram) observe(v uint64) {
+	h.buckets[histBucket(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistBucket is one populated histogram bucket in a snapshot: samples
+// with Lo <= v < Hi.
+type HistBucket struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is a merged, read-only view of one histogram across all
+// shards.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets"`
+	P50     uint64       `json:"p50"`
+	P90     uint64       `json:"p90"`
+	P99     uint64       `json:"p99"`
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// exclusive upper edge of the bucket holding the q-th sample, minus one
+// (the largest value that bucket can contain). Bucket resolution is the
+// power of two below the value, the standard trade of this layout.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.N
+		if seen > rank {
+			return b.Hi - 1
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Hi - 1
+}
+
+// mergeHist folds shard histograms for slot h into one snapshot; nil is
+// returned when no sample was ever observed (the snapshot omits the
+// histogram).
+func mergeHist(shards []*Shard, h Hist) *HistSnapshot {
+	var counts [histBuckets]uint64
+	out := &HistSnapshot{}
+	for _, sh := range shards {
+		hist := &sh.hists[h]
+		for i := range counts {
+			counts[i] += hist.buckets[i].Load()
+		}
+		out.Sum += hist.sum.Load()
+	}
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := histBucketBounds(i)
+		out.Buckets = append(out.Buckets, HistBucket{Lo: lo, Hi: hi, N: n})
+		out.Count += n
+	}
+	if out.Count == 0 {
+		return nil
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P90 = out.Quantile(0.90)
+	out.P99 = out.Quantile(0.99)
+	return out
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// collectTotals merges counters across shards and collectors into a
+// fixed array — the allocation-free core Snapshot and Monitor share.
+func (r *Registry) collectTotals() [NumCounters]uint64 {
+	var totals [NumCounters]uint64
+	if r == nil {
+		return totals
+	}
+	for _, sh := range r.shards {
+		for c := Counter(0); c < NumCounters; c++ {
+			totals[c] += sh.counters[c].Load()
+		}
+	}
+	r.colMu.Lock()
+	cols := r.collectors
+	r.colMu.Unlock()
+	for _, col := range cols {
+		col(func(c Counter, n uint64) {
+			if c < NumCounters {
+				totals[c] += n
+			}
+		})
+	}
+	return totals
+}
+
+// CounterTotal sums one counter slot across shards (collectors are not
+// consulted — this is the cheap probe-clock read the monitor polls).
+func (r *Registry) CounterTotal(c Counter) uint64 {
+	if r == nil {
+		return 0
+	}
+	var n uint64
+	for _, sh := range r.shards {
+		n += sh.counters[c].Load()
+	}
+	return n
+}
+
+// GaugeTotal sums one gauge slot across shards.
+func (r *Registry) GaugeTotal(g Gauge) int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for _, sh := range r.shards {
+		n += sh.gauges[g].Load()
+	}
+	return n
+}
+
+// Monitor renders the ZMap-style periodic status line:
+//
+//	0:00:02 41.2%; send: 840 (412 p/s); recv: 37 hits, 4.40% hit rate;
+//	drops: 12; retries: 3; window: 64; ETA 0:00:03
+//
+// Cadence is the probe clock: Tick (called by the scanner once per
+// drain window) prints whenever Every more targets have been probed
+// since the last line, so the cadence is deterministic in simulation
+// however fast the virtual network runs; a wall-clock driver gets the
+// same lines simply because the probe clock advances in real time.
+// Rates and ETA come from the wall clock. A nil *Monitor no-ops.
+type Monitor struct {
+	mu    sync.Mutex
+	reg   *Registry
+	w     io.Writer
+	every uint64
+	total uint64
+	now   func() time.Time
+
+	started     bool
+	start       time.Time
+	lastTargets uint64
+	lines       uint64
+}
+
+// NewMonitor creates a monitor over reg writing to w every
+// everyTargets probed targets (<=0 means 1000).
+func NewMonitor(reg *Registry, w io.Writer, everyTargets int) *Monitor {
+	if everyTargets <= 0 {
+		everyTargets = 1000
+	}
+	return &Monitor{reg: reg, w: w, every: uint64(everyTargets), now: time.Now}
+}
+
+// SetTotal declares the expected target count, enabling the progress
+// percentage and the ETA term.
+func (m *Monitor) SetTotal(n uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.total = n
+	m.mu.Unlock()
+}
+
+// SetNow overrides the wall-clock source (tests).
+func (m *Monitor) SetNow(f func() time.Time) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.now = f
+	m.mu.Unlock()
+}
+
+// Lines returns how many status lines were printed.
+func (m *Monitor) Lines() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lines
+}
+
+// Tick prints a status line if the probe clock has advanced Every
+// targets since the last one. The scanner calls it once per drain
+// window; the due-ness check is allocation-free.
+func (m *Monitor) Tick() {
+	if m == nil {
+		return
+	}
+	targets := m.reg.CounterTotal(ScanTargets)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		m.started, m.start, m.lastTargets = true, m.now(), 0
+	}
+	if targets-m.lastTargets < m.every {
+		return
+	}
+	m.lastTargets = targets - targets%m.every
+	m.lineLocked(targets, false)
+}
+
+// Final prints one closing line regardless of cadence.
+func (m *Monitor) Final() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		m.started, m.start = true, m.now()
+	}
+	m.lineLocked(m.reg.CounterTotal(ScanTargets), true)
+}
+
+func (m *Monitor) lineLocked(targets uint64, final bool) {
+	t := m.reg.collectTotals()
+	elapsed := m.now().Sub(m.start)
+	var rate float64
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(t[ScanSent]) / secs
+	}
+	var hit float64
+	if t[ScanSent] > 0 {
+		hit = 100 * float64(t[ScanUnique]) / float64(t[ScanSent])
+	}
+	drops := t[ScanSendErrors] + t[SimDropped]
+	fmt.Fprintf(m.w, "%s", fmtDuration(elapsed))
+	if m.total > 0 {
+		fmt.Fprintf(m.w, " %.1f%%", 100*float64(targets)/float64(m.total))
+	}
+	fmt.Fprintf(m.w, "; send: %d (%.0f p/s); recv: %d hits, %.2f%% hit rate; drops: %d; retries: %d; window: %d",
+		t[ScanSent], rate, t[ScanUnique], hit, drops, t[ScanRetried], m.reg.GaugeTotal(GaugeWindow))
+	switch {
+	case final:
+		fmt.Fprintf(m.w, "; done\n")
+	case m.total > 0 && targets > 0 && targets < m.total && elapsed > 0:
+		remain := time.Duration(float64(elapsed) * float64(m.total-targets) / float64(targets))
+		fmt.Fprintf(m.w, "; ETA %s\n", fmtDuration(remain))
+	default:
+		fmt.Fprintln(m.w)
+	}
+	m.lines++
+}
+
+// fmtDuration renders h:mm:ss, ZMap-style.
+func fmtDuration(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	s := int64(d / time.Second)
+	return fmt.Sprintf("%d:%02d:%02d", s/3600, s/60%60, s%60)
+}

@@ -9,6 +9,7 @@ package xmap
 import (
 	"repro/internal/ipv6"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // Driver abstracts the packet layer under the scanner. The production
@@ -78,6 +79,15 @@ func (d *SimDriver) Release(pkts [][]byte) { d.eng.ReleaseBufs(pkts) }
 // SourceAddr implements Driver.
 func (d *SimDriver) SourceAddr() ipv6.Addr { return d.edge.Addr() }
 
+// RegisterTelemetry folds the engine's traffic totals into reg's
+// snapshots. netsim deliberately does not import telemetry; the driver
+// is the layer that knows both sides, so the glue lives here. The
+// engine counts under its own lock and the collector reads at snapshot
+// time — the simulation hot path pays nothing.
+func (d *SimDriver) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.Register(engineCollector(d.eng.Counters))
+}
+
 // GroupDriver runs the scanner against a sharded netsim.EngineGroup:
 // every probe is routed to the engine shard owning its destination
 // prefix, so concurrent senders (ScanParallel) pump disjoint
@@ -117,6 +127,24 @@ func (d *GroupDriver) Release(pkts [][]byte) { d.grp.ReleaseBufs(pkts) }
 
 // SourceAddr implements Driver.
 func (d *GroupDriver) SourceAddr() ipv6.Addr { return d.edge.Addr() }
+
+// RegisterTelemetry folds the group's summed engine totals into reg's
+// snapshots (see SimDriver.RegisterTelemetry).
+func (d *GroupDriver) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.Register(engineCollector(d.grp.Counters))
+}
+
+// engineCollector adapts a netsim counter source to a telemetry
+// collector.
+func engineCollector(counters func() netsim.Counters) telemetry.Collector {
+	return func(add func(telemetry.Counter, uint64)) {
+		c := counters()
+		add(telemetry.SimEvents, c.Events)
+		add(telemetry.SimTransmissions, c.Transmissions)
+		add(telemetry.SimBytes, c.Bytes)
+		add(telemetry.SimDropped, c.Dropped)
+	}
+}
 
 // ChanDriver is a test driver connecting the scanner to a handler
 // function: every sent packet is answered by fn (nil = drop).

@@ -160,22 +160,7 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 			stats, err := scanner.Run(ctx, dedupHandler)
 			mu.Lock()
 			defer mu.Unlock()
-			total.Targets += stats.Targets
-			total.Sent += stats.Sent
-			total.SendErrors += stats.SendErrors
-			total.Received += stats.Received
-			total.Invalid += stats.Invalid
-			total.Duplicates += stats.Duplicates
-			total.Blocked += stats.Blocked
-			total.Retried += stats.Retried
-			total.RetryDropped += stats.RetryDropped
-			total.RetryExhausted += stats.RetryExhausted
-			total.RetryAbandoned += stats.RetryAbandoned
-			total.RateUp += stats.RateUp
-			total.RateDown += stats.RateDown
-			if stats.Elapsed > total.Elapsed {
-				total.Elapsed = stats.Elapsed
-			}
+			total.Merge(stats)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}

@@ -56,17 +56,19 @@ func (r *retryRing) push(e retryEntry) bool {
 	return true
 }
 
-// answered marks dst's entry as resolved; the tombstone is reclaimed
-// when it reaches the head.
-func (r *retryRing) answered(dst ipv6.Addr) bool {
+// answered marks dst's entry as resolved and returns a copy of it (the
+// caller dates the original probe from due and attempts); the tombstone
+// is reclaimed when it reaches the head.
+func (r *retryRing) answered(dst ipv6.Addr) (retryEntry, bool) {
 	slot, ok := r.byDst[dst]
 	if !ok {
-		return false
+		return retryEntry{}, false
 	}
+	e := r.entries[slot]
 	r.entries[slot].answered = true
 	delete(r.byDst, dst)
 	r.pending--
-	return true
+	return e, true
 }
 
 // skipAnswered reclaims tombstones at the head.

@@ -45,10 +45,15 @@ func TestRetryRingAnsweredTombstones(t *testing.T) {
 	for i := uint64(0); i < 3; i++ {
 		r.push(retryEntry{idx: uint128.From64(i), dst: retryAddr(i), due: 1, attempts: 1})
 	}
-	if !r.answered(retryAddr(0)) || !r.answered(retryAddr(2)) {
+	e0, ok0 := r.answered(retryAddr(0))
+	_, ok2 := r.answered(retryAddr(2))
+	if !ok0 || !ok2 {
 		t.Fatal("answered() did not find pending entries")
 	}
-	if r.answered(retryAddr(0)) {
+	if e0.dst != retryAddr(0) || e0.due != 1 {
+		t.Fatalf("answered() returned entry %+v, want the resolved one", e0)
+	}
+	if _, ok := r.answered(retryAddr(0)); ok {
 		t.Fatal("answered() resolved the same entry twice")
 	}
 	if r.pending != 1 {

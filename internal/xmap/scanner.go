@@ -11,6 +11,7 @@ import (
 	"repro/internal/ipv6"
 	"repro/internal/lpm"
 	"repro/internal/perm"
+	"repro/internal/telemetry"
 	"repro/internal/uint128"
 	"repro/internal/wire"
 )
@@ -85,6 +86,15 @@ type Config struct {
 	// ResumeFrom, under ScanParallel, resumes a checkpoint written via
 	// CheckpointPath; its config digest is verified first.
 	ResumeFrom *Checkpoint
+	// Telemetry, when set, receives live counters, histograms and
+	// flight-recorder events as the scan runs; the scanner writes to the
+	// registry shard matching ShardIndex. The instrumentation is
+	// allocation-free and, when Telemetry is nil, costs one predictable
+	// branch per event.
+	Telemetry *telemetry.Registry
+	// Monitor, when set, is ticked on the probe clock once per drain
+	// window, driving the periodic ZMap-style status line.
+	Monitor *telemetry.Monitor
 
 	// cycle, when set, is a pre-built permutation shared between the
 	// scanners of one ScanParallel call (a Cycle is immutable, and its
@@ -123,6 +133,30 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Unique) / float64(s.Sent)
 }
 
+// Merge folds one shard scanner's stats into an aggregate: counts sum,
+// Elapsed takes the slowest shard (the shards run concurrently). Unique
+// is deliberately NOT merged — shard-local uniqueness double-counts a
+// responder first seen by two shards, so aggregators (ScanParallel)
+// count uniqueness across their own cross-shard dedup instead.
+func (s *Stats) Merge(o Stats) {
+	s.Targets += o.Targets
+	s.Sent += o.Sent
+	s.SendErrors += o.SendErrors
+	s.Received += o.Received
+	s.Invalid += o.Invalid
+	s.Duplicates += o.Duplicates
+	s.Blocked += o.Blocked
+	s.Retried += o.Retried
+	s.RetryDropped += o.RetryDropped
+	s.RetryExhausted += o.RetryExhausted
+	s.RetryAbandoned += o.RetryAbandoned
+	s.RateUp += o.RateUp
+	s.RateDown += o.RateDown
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+}
+
 // Handler consumes one first-seen responder.
 type Handler func(Response)
 
@@ -139,6 +173,7 @@ type Scanner struct {
 	dedup dedupSet
 	retry *retryRing      // nil unless Config.Retries > 0
 	aimd  *aimdController // nil unless Config.AIMD
+	tel   *telemetry.Shard
 
 	// iidMac is keyed once at construction and Reset per use: Go's HMAC
 	// caches the marshaled keyed state after the first Sum, so the
@@ -240,6 +275,7 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 		}
 	}
 	s := &Scanner{cfg: cfg, drv: drv, cycle: cycle}
+	s.tel = cfg.Telemetry.Shard(cfg.ShardIndex)
 	s.iidMac = hmac.New(sha256.New, cfg.Seed)
 	s.validate = s.Validation
 	s.probe = cfg.Probe
@@ -413,8 +449,10 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		}
 		sent, err := batcher.SendBatch(s.batch)
 		stats.Sent += uint64(sent)
+		s.tel.Add(telemetry.ScanSent, uint64(sent))
 		if err != nil {
 			stats.SendErrors += uint64(len(s.batch) - sent)
+			s.tel.Add(telemetry.ScanSendErrors, uint64(len(s.batch)-sent))
 		}
 		if appender != nil {
 			for i, p := range s.batch {
@@ -441,8 +479,10 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		}
 		if err := s.drv.Send(pkt); err != nil {
 			stats.SendErrors++
+			s.tel.Inc(telemetry.ScanSendErrors)
 		} else {
 			stats.Sent++
+			s.tel.Inc(telemetry.ScanSent)
 		}
 	}
 	buildProbe := func(target ipv6.Addr) ([]byte, error) {
@@ -465,6 +505,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	sinceDrain := 0
 	lastSent, lastRecv := stats.Sent, stats.Received
 	baseUp, baseDown := stats.RateUp, stats.RateDown
+	s.tel.SetGauge(telemetry.GaugeWindow, int64(window))
 	var nextCkpt uint64
 	if s.cfg.CheckpointEvery > 0 {
 		nextCkpt = stats.Targets + s.cfg.CheckpointEvery
@@ -489,6 +530,8 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			st.Retry = s.retry.appendState(nil)
 		}
 		s.cfg.OnCheckpoint(st)
+		s.tel.Inc(telemetry.ScanCheckpoints)
+		s.tel.Trace(telemetry.EvCheckpoint, stats.Sent, zeroAddr, stats.Targets)
 	}
 	// pumpDue reports whether the send window should close now: it is
 	// full, or a checkpoint interval expired (a checkpoint needs the
@@ -500,18 +543,31 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	// window, and checkpoint if the interval has passed.
 	pump := func() {
 		flush()
+		s.tel.Observe(telemetry.HistDrainBatch, uint64(sinceDrain))
 		s.drain(&stats, handler)
 		sinceDrain = 0
 		if s.aimd != nil {
+			prevWindow := window
+			prevUp, prevDown := stats.RateUp, stats.RateDown
 			window = s.aimd.update(stats.Sent-lastSent, stats.Received-lastRecv)
 			lastSent, lastRecv = stats.Sent, stats.Received
 			stats.RateUp = baseUp + s.aimd.ups
 			stats.RateDown = baseDown + s.aimd.downs
+			s.tel.Add(telemetry.ScanRateUp, stats.RateUp-prevUp)
+			s.tel.Add(telemetry.ScanRateDown, stats.RateDown-prevDown)
+			if window != prevWindow {
+				s.tel.Trace(telemetry.EvAIMD, stats.Sent, zeroAddr, uint64(window))
+				s.tel.SetGauge(telemetry.GaugeWindow, int64(window))
+			}
+		}
+		if s.retry != nil {
+			s.tel.SetGauge(telemetry.GaugeRetryPending, int64(s.retry.pending))
 		}
 		if nextCkpt > 0 && stats.Targets >= nextCkpt {
 			emit(false)
 			nextCkpt = stats.Targets + s.cfg.CheckpointEvery
 		}
+		s.cfg.Monitor.Tick()
 	}
 	// sendRetry re-probes a due entry (one probe, not ProbesPerTarget
 	// copies) and reschedules it with exponential backoff.
@@ -525,8 +581,11 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		sinceDrain++
 		e.attempts++
 		e.due = stats.Sent + uint64(s.cfg.RetryTimeout)<<(e.attempts-1)
+		s.tel.Inc(telemetry.ScanRetried)
+		s.tel.Trace(telemetry.EvRetry, stats.Sent, e.dst.Bytes(), uint64(e.attempts))
 		if !s.retry.push(e) {
 			stats.RetryDropped++
+			s.tel.Inc(telemetry.ScanRetryDropped)
 		}
 		return nil
 	}
@@ -555,6 +614,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 				}
 				if int(e.attempts) >= 1+s.cfg.Retries {
 					stats.RetryExhausted++
+					s.tel.Inc(telemetry.ScanRetryExhausted)
 					continue
 				}
 				if err := sendRetry(e); err != nil {
@@ -583,6 +643,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		}
 		if s.skipTarget(target) {
 			stats.Blocked++
+			s.tel.Inc(telemetry.ScanBlocked)
 			continue
 		}
 		pkt, err := buildProbe(target)
@@ -602,10 +663,13 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 				attempts: 1,
 			}) {
 				stats.RetryDropped++
+				s.tel.Inc(telemetry.ScanRetryDropped)
 			}
 		}
 		stats.Targets++
 		sinceDrain++
+		s.tel.Inc(telemetry.ScanTargets)
+		s.tel.Trace(telemetry.EvProbeSent, stats.Sent, target.Bytes(), stats.Targets)
 		if pumpDue() {
 			pump()
 		}
@@ -633,6 +697,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			}
 			if int(e.attempts) >= 1+s.cfg.Retries {
 				stats.RetryExhausted++
+				s.tel.Inc(telemetry.ScanRetryExhausted)
 				continue
 			}
 			if err := sendRetry(e); err != nil {
@@ -651,15 +716,22 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			}
 			if int(e.attempts) >= 1+s.cfg.Retries {
 				stats.RetryExhausted++
+				s.tel.Inc(telemetry.ScanRetryExhausted)
 			} else {
 				stats.RetryAbandoned++
+				s.tel.Inc(telemetry.ScanRetryAbandoned)
 			}
 		}
+		s.tel.SetGauge(telemetry.GaugeRetryPending, 0)
 	}
 	emit(ranOut)
 	stats.Elapsed = priorElapsed + time.Since(start)
 	return stats, nil
 }
+
+// zeroAddr is the all-zero trace address for events that concern no
+// particular target (window changes, checkpoints).
+var zeroAddr [16]byte
 
 // skipTarget applies allowlist then blocklist.
 func (s *Scanner) skipTarget(a ipv6.Addr) bool {
@@ -684,34 +756,55 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 	releaser, _ := s.drv.(Releaser)
 	for _, raw := range s.drv.Recv() {
 		var (
-			resp Response
-			ok   bool
+			resp   Response
+			ok     bool
+			parsed bool
 		)
 		if isRaw {
 			resp, ok = rawMod.ClassifyRaw(raw, s.validate)
 		} else if err := s.sum.Parse(raw); err == nil {
 			resp, ok = s.probe.Classify(&s.sum, s.validate)
+			parsed = true
 		}
 		if releaser != nil && resp.Payload == nil {
 			s.recycle = append(s.recycle, raw)
 		}
 		if !ok {
 			stats.Invalid++
+			s.tel.Inc(telemetry.ScanInvalid)
 			continue
 		}
 		stats.Received++
+		s.tel.Inc(telemetry.ScanReceived)
+		var hop uint64
+		if parsed {
+			hop = uint64(s.sum.IP.HopLimit)
+			s.tel.Observe(telemetry.HistReplyHopLimit, hop)
+		}
+		ev := telemetry.EvReply
+		if resp.Kind == KindDestUnreach || resp.Kind == KindTimeExceeded {
+			ev = telemetry.EvICMPError
+		}
+		s.tel.Trace(ev, stats.Sent, resp.Responder.Bytes(), hop)
 		if s.retry != nil {
 			// Any validated response resolves the probed target, even a
-			// duplicate responder or an ICMP error: the path answered.
-			s.retry.answered(resp.ProbeDst)
+			// duplicate responder or an ICMP error: the path answered. The
+			// resolved entry dates the probe, yielding the reply latency in
+			// probe-clock ticks.
+			if e, answered := s.retry.answered(resp.ProbeDst); answered {
+				sentAt := e.due - uint64(s.cfg.RetryTimeout)<<(e.attempts-1)
+				s.tel.Observe(telemetry.HistReplyLatency, stats.Sent-sentAt)
+			}
 		}
 		if s.dedup.seen(resp.Responder) {
 			stats.Duplicates++
+			s.tel.Inc(telemetry.ScanDuplicates)
 			s.dedup.add(resp.Responder) // keep per-responder counts exact
 			continue
 		}
 		s.dedup.add(resp.Responder)
 		stats.Unique++
+		s.tel.Inc(telemetry.ScanUnique)
 		if handler != nil {
 			handler(resp)
 		}

@@ -1,0 +1,124 @@
+package xmap
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryMatchesStats: the telemetry counters are a second,
+// independently maintained account of a scan — on a clean fixture they
+// must agree with Stats slot for slot, and the flight recorder must
+// carry one probe event per target.
+func TestTelemetryMatchesStats(t *testing.T) {
+	f := buildFixture(t)
+	reg := telemetry.New(telemetry.Options{Shards: 1, TraceDepth: 2048})
+	f.drv.RegisterTelemetry(reg)
+	stats, results := runScan(t, Config{
+		Window: window(t, f), Seed: []byte("tel"), Telemetry: reg,
+	}, f.drv)
+
+	snap := reg.Snapshot()
+	for _, chk := range []struct {
+		counter telemetry.Counter
+		want    uint64
+	}{
+		{telemetry.ScanTargets, stats.Targets},
+		{telemetry.ScanSent, stats.Sent},
+		{telemetry.ScanSendErrors, stats.SendErrors},
+		{telemetry.ScanReceived, stats.Received},
+		{telemetry.ScanInvalid, stats.Invalid},
+		{telemetry.ScanDuplicates, stats.Duplicates},
+		{telemetry.ScanUnique, stats.Unique},
+		{telemetry.ScanBlocked, stats.Blocked},
+		{telemetry.ScanRetried, stats.Retried},
+		{telemetry.ScanRateUp, stats.RateUp},
+		{telemetry.ScanRateDown, stats.RateDown},
+	} {
+		if got := snap.Counters[chk.counter.String()]; got != chk.want {
+			t.Errorf("counter %s = %d, stats say %d", chk.counter, got, chk.want)
+		}
+	}
+	if stats.Unique != uint64(len(results)) {
+		t.Fatalf("fixture sanity: Unique %d != %d results", stats.Unique, len(results))
+	}
+	// The engine collector registered by the driver contributes the
+	// simulated network's totals to the same snapshot.
+	if snap.Counters[telemetry.SimTransmissions.String()] == 0 {
+		t.Error("sim.transmissions = 0: engine collector not folded in")
+	}
+	if snap.Counters[telemetry.SimBytes.String()] == 0 {
+		t.Error("sim.bytes = 0")
+	}
+	// Every probe left a flight-recorder event carrying its target.
+	var probes, replies uint64
+	for _, e := range reg.Events() {
+		switch e.Kind {
+		case telemetry.EvProbeSent:
+			probes++
+			if e.Addr == ([16]byte{}) {
+				t.Error("probe event without a target address")
+			}
+		case telemetry.EvReply, telemetry.EvICMPError:
+			replies++
+		}
+	}
+	if probes != stats.Targets {
+		t.Errorf("%d probe events for %d targets", probes, stats.Targets)
+	}
+	if replies != stats.Received {
+		t.Errorf("%d reply events for %d received responses", replies, stats.Received)
+	}
+	// The hop-limit histogram saw every validated response.
+	hh := snap.Histograms[telemetry.HistReplyHopLimit.String()]
+	if hh == nil || hh.Count != stats.Received {
+		t.Errorf("hop-limit histogram = %+v, want count %d", hh, stats.Received)
+	}
+	if snap.Gauges[telemetry.GaugeWindow.String()] == 0 {
+		t.Error("scan.window gauge never set")
+	}
+}
+
+// TestScanUnaffectedByTelemetry: attaching a registry must not change
+// what a seeded scan finds — instrumentation observes, never steers.
+func TestScanUnaffectedByTelemetry(t *testing.T) {
+	f1 := buildFixture(t)
+	bare, bareResults := runScan(t, Config{Window: window(t, f1), Seed: []byte("same")}, f1.drv)
+	f2 := buildFixture(t)
+	reg := telemetry.New(telemetry.Options{Shards: 1})
+	inst, instResults := runScan(t,
+		Config{Window: window(t, f2), Seed: []byte("same"), Telemetry: reg}, f2.drv)
+	if bare.Sent != inst.Sent || bare.Received != inst.Received || bare.Unique != inst.Unique {
+		t.Errorf("stats diverge with telemetry attached: %+v vs %+v", bare, inst)
+	}
+	if len(bareResults) != len(instResults) {
+		t.Fatalf("result counts diverge: %d vs %d", len(bareResults), len(instResults))
+	}
+	for i := range bareResults {
+		if bareResults[i].Responder != instResults[i].Responder {
+			t.Errorf("result %d diverges: %s vs %s", i, bareResults[i].Responder, instResults[i].Responder)
+		}
+	}
+}
+
+// TestStatsMerge: counts sum, Elapsed takes the slowest shard, and
+// Unique stays untouched (aggregators count uniqueness across their own
+// cross-shard dedup).
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Targets: 10, Sent: 12, Received: 5, Duplicates: 1, Unique: 4,
+		Retried: 2, RateUp: 1, Elapsed: 3 * time.Second}
+	b := Stats{Targets: 20, Sent: 21, Received: 9, Duplicates: 2, Unique: 7,
+		Retried: 1, RateDown: 2, Elapsed: 2 * time.Second}
+	a.Merge(b)
+	if a.Targets != 30 || a.Sent != 33 || a.Received != 14 || a.Duplicates != 3 ||
+		a.Retried != 3 || a.RateUp != 1 || a.RateDown != 2 {
+		t.Errorf("merged counts wrong: %+v", a)
+	}
+	if a.Unique != 4 {
+		t.Errorf("Unique = %d after merge, want the receiver's own 4", a.Unique)
+	}
+	if a.Elapsed != 3*time.Second {
+		t.Errorf("Elapsed = %v, want the max 3s", a.Elapsed)
+	}
+}

@@ -62,9 +62,11 @@ gover=$(go env GOVERSION)
         END { if (out != "") printf "%s\n", out }
     '
     printf '  ],\n'
-    # Growth-seed numbers (commit 3e0df98), for before/after comparison.
+    # Growth-seed numbers (commit 3e0df98) and the pre-telemetry scanner
+    # (commit 6e4dfca), for before/after comparison.
     printf '  "baseline": [\n'
-    printf '    {"name": "BenchmarkScannerThroughput", "commit": "3e0df98", "ns_per_op": 6135, "bytes_per_op": 2699, "allocs_per_op": 49, "probes_per_sec": 163000}\n'
+    printf '    {"name": "BenchmarkScannerThroughput", "commit": "3e0df98", "ns_per_op": 6135, "bytes_per_op": 2699, "allocs_per_op": 49, "probes_per_sec": 163000},\n'
+    printf '    {"name": "BenchmarkScannerThroughput", "commit": "6e4dfca", "ns_per_op": 2208, "bytes_per_op": 57, "allocs_per_op": 0, "probes_per_sec": 452898}\n'
     printf '  ]\n'
     printf '}\n'
 } >"$out"
