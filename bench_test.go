@@ -269,6 +269,7 @@ func BenchmarkScannerThroughputSharded(b *testing.B) {
 			Window:     isp.Window,
 			Seed:       []byte(fmt.Sprintf("tps-%d", sent)),
 			MaxTargets: (remaining + shards - 1) / shards,
+			RingSize:   1024,
 		}, drv, shards, nil)
 		if err != nil {
 			b.Fatal(err)

@@ -33,14 +33,14 @@ type Hop struct {
 
 // Tracer performs hop-limited path walks through a scan driver.
 type Tracer struct {
-	drv xmap.Driver
+	drv xmap.PacketDriver
 	// MaxHops bounds each trace (default 16).
 	MaxHops int
 	seq     uint16
 }
 
 // NewTracer creates a tracer.
-func NewTracer(drv xmap.Driver) *Tracer {
+func NewTracer(drv xmap.PacketDriver) *Tracer {
 	return &Tracer{drv: drv, MaxHops: 16}
 }
 

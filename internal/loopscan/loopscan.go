@@ -60,7 +60,7 @@ type CheckResult struct {
 // Detector probes for loops through a scan driver. A Detector is not
 // safe for concurrent use: probes share reusable HMAC scratch state.
 type Detector struct {
-	drv xmap.Driver
+	drv xmap.PacketDriver
 	// HopLimit is h (default DefaultHopLimit).
 	HopLimit uint8
 	// Tel, when set, counts probes, responses and confirmed loops into a
@@ -76,7 +76,7 @@ type Detector struct {
 }
 
 // NewDetector creates a detector.
-func NewDetector(drv xmap.Driver) *Detector {
+func NewDetector(drv xmap.PacketDriver) *Detector {
 	return &Detector{
 		drv:      drv,
 		HopLimit: DefaultHopLimit,
@@ -292,7 +292,7 @@ type AmplificationResult struct {
 // reports the traffic it induced on the victim link — the paper's ">200"
 // amplification factor measurement (Section VI-A: each packet traverses
 // the ISP-CPE link 255-n times).
-func MeasureAmplification(drv xmap.Driver, dst ipv6.Addr, victim *netsim.Link) (AmplificationResult, error) {
+func MeasureAmplification(drv xmap.PacketDriver, dst ipv6.Addr, victim *netsim.Link) (AmplificationResult, error) {
 	before := snapshot(victim)
 	pkt, err := wire.BuildEchoRequest(drv.SourceAddr(), dst, wire.MaxHopLimit, 0xa77a, 1, nil)
 	if err != nil {
@@ -316,7 +316,7 @@ func MeasureAmplification(drv xmap.Driver, dst ipv6.Addr, victim *netsim.Link) (
 // Time Exceeded error is then routed back into the loop and ping-pongs a
 // second time, "doubling the loop times" as Section VI-A notes for ASes
 // without source address validation.
-func MeasureAmplificationSpoofed(drv xmap.Driver, dst, spoofedSrc ipv6.Addr, victim *netsim.Link) (AmplificationResult, error) {
+func MeasureAmplificationSpoofed(drv xmap.PacketDriver, dst, spoofedSrc ipv6.Addr, victim *netsim.Link) (AmplificationResult, error) {
 	before := snapshot(victim)
 	pkt, err := wire.BuildEchoRequest(spoofedSrc, dst, wire.MaxHopLimit, 0xa77b, 1, nil)
 	if err != nil {
@@ -348,7 +348,7 @@ func snapshot(l *netsim.Link) linkCounters {
 // driven at volume. Research use against one's own simulated network
 // only; the real-world counterpart is precisely what the paper discloses
 // as a vulnerability.
-func Attack(drv xmap.Driver, targets []ipv6.Addr, count int, victim *netsim.Link) (AmplificationResult, error) {
+func Attack(drv xmap.PacketDriver, targets []ipv6.Addr, count int, victim *netsim.Link) (AmplificationResult, error) {
 	if len(targets) == 0 || count <= 0 {
 		return AmplificationResult{}, fmt.Errorf("loopscan: nothing to send")
 	}

@@ -62,13 +62,27 @@ func (e *Edge) Handle(_ *Iface, pkt []byte) []Emission {
 	return nil
 }
 
-// Drain returns and clears all buffered packets.
+// Drain returns and clears all buffered packets. The returned slice is
+// surrendered (the next arrival starts a fresh one); drain loops that
+// want to reuse their own slice use DrainInto.
 func (e *Edge) Drain() [][]byte {
 	e.mu.Lock()
 	out := e.buf
 	e.buf = nil
 	e.mu.Unlock()
 	return out
+}
+
+// DrainInto appends all buffered packets to dst and returns the
+// extended slice, keeping the internal buffer's backing array for
+// reuse — the steady-state drain path allocates nothing on either side.
+func (e *Edge) DrainInto(dst [][]byte) [][]byte {
+	e.mu.Lock()
+	dst = append(dst, e.buf...)
+	clear(e.buf)
+	e.buf = e.buf[:0]
+	e.mu.Unlock()
+	return dst
 }
 
 // Pending returns the number of buffered packets.

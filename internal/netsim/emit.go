@@ -1,12 +1,19 @@
 package netsim
 
+import "repro/internal/wire"
+
 // emitScratch is embedded in node types so Handle can return its
 // (almost always single-element) Emission slice without allocating.
 // Reuse is safe because the engine consumes the returned slice before
 // the node's next Handle call, and every emitting node belongs to
 // exactly one engine — the Edge, which attaches to several shards of an
-// EngineGroup, never emits.
-type emitScratch struct{ ems []Emission }
+// EngineGroup, never emits. The embedded Summary gives receive-side
+// handlers a reusable decoder for the same reason (a stack Summary
+// escapes: its layer-4 pointers alias its own storage).
+type emitScratch struct {
+	ems []Emission
+	sum wire.Summary
+}
 
 // emit returns the reused slice holding a single emission.
 func (s *emitScratch) emit(out *Iface, pkt []byte) []Emission {

@@ -247,22 +247,28 @@ func (e *Engine) Inject(from *Iface, pkt []byte) int {
 	defer e.mu.Unlock()
 	cp := e.getBufLocked(len(pkt))
 	copy(cp, pkt)
-	e.transmitLocked(from, cp)
+	e.transmitLocked(from, cp, false)
 	return e.runLocked()
 }
 
-// InjectBatch is Inject for multiple packets from the same interface,
-// pumping once at the end: one lock acquisition and one quiescence run
-// per batch instead of per packet.
+// InjectBatch is Inject for multiple packets from the same interface
+// under one lock acquisition. Each packet is transmitted and pumped to
+// quiescence before the next, so the simulation — including every
+// seeded loss and fault decision — unfolds exactly as it would for the
+// same packets injected one Inject call at a time. That equivalence is
+// what lets the batched scanner path be diffed against the per-packet
+// path under fault injection.
 func (e *Engine) InjectBatch(from *Iface, pkts [][]byte) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	n := 0
 	for _, pkt := range pkts {
 		cp := e.getBufLocked(len(pkt))
 		copy(cp, pkt)
-		e.transmitLocked(from, cp)
+		e.transmitLocked(from, cp, false)
+		n += e.runLocked()
 	}
-	return e.runLocked()
+	return n
 }
 
 // Steps returns the total events processed since creation.
@@ -358,12 +364,16 @@ func (e *Engine) discardLocked(pkt []byte) {
 }
 
 // transmitLocked pushes pkt from iface onto its link (applying loss and
-// the fault layer) and enqueues the arrival at the peer. The engine
-// owns pkt from here on.
-func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
+// the fault layer) and hands the arrival at the peer to the event
+// queue. The engine owns pkt from here on. With chain set, a plain
+// in-order single delivery is returned to the caller instead of
+// enqueued — the pump's chained fast path, which forwards a packet hop
+// to hop without queue traffic. Drops and fault-layer rewrites
+// (duplication, deferral) never chain.
+func (e *Engine) transmitLocked(from *Iface, pkt []byte, chain bool) (delivery, bool) {
 	l := from.link
 	if l == nil {
-		return // unconnected interface: packet vanishes
+		return delivery{}, false // unconnected interface: packet vanishes
 	}
 	st := &l.stats[from.end]
 	st.Packets++
@@ -382,12 +392,22 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 	if drop {
 		e.txDropped++
 		e.discardLocked(pkt)
-		return
+		return delivery{}, false
 	}
 	to := l.ends[1-from.end]
 	if len(out.Deliveries) == 0 {
+		if chain {
+			// Mirror enqueueLocked without the queue: advance the
+			// sequence (so deferral math is unchanged by chaining) and
+			// keep the owner-reuse check.
+			e.seq++
+			if b := bufBase(pkt); b != nil && b == e.owner {
+				e.ownerReused = true
+			}
+			return delivery{to: to, pkt: pkt, due: 2 * e.seq, seq: e.seq}, true
+		}
 		e.enqueueLocked(to, pkt, 0)
-		return
+		return delivery{}, false
 	}
 	for i, delay := range out.Deliveries {
 		cp := pkt
@@ -403,6 +423,7 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte) {
 		}
 		e.enqueueLocked(to, cp, delay)
 	}
+	return delivery{}, false
 }
 
 // enqueueLocked adds one delivery, deferred past delay subsequently
@@ -444,6 +465,15 @@ func (e *Engine) queuedLocked() int {
 
 // runLocked pumps queued deliveries until the network is quiescent or the
 // event budget is exhausted, returning events processed.
+//
+// The common simulated event is a single-emission forward: a packet
+// walks router to router, one Handle producing exactly one next-hop
+// transmission. When that happens with nothing else queued, the next
+// delivery is chained — handled immediately, never touching the event
+// queue — so a probe's whole round trip costs zero queue operations.
+// Chained deliveries are counted (steps, budget) exactly as queued ones,
+// and the chain breaks the moment ordering could matter: multiple
+// emissions, other queued deliveries, or a fault-layer rewrite.
 func (e *Engine) runLocked() int {
 	n := 0
 	for e.queuedLocked() > 0 && n < e.budget {
@@ -456,16 +486,29 @@ func (e *Engine) runLocked() int {
 		} else {
 			d = e.fifo.pop()
 		}
-		n++
-		e.steps++
-		e.owner, e.ownerReused = bufBase(d.pkt), false
-		for _, em := range d.to.node.Handle(d.to, d.pkt) {
-			e.transmitLocked(em.Out, em.Pkt)
+		for {
+			n++
+			e.steps++
+			e.owner, e.ownerReused = bufBase(d.pkt), false
+			ems := d.to.node.Handle(d.to, d.pkt)
+			var next delivery
+			chained := false
+			if len(ems) == 1 && e.queuedLocked() == 0 && n < e.budget {
+				next, chained = e.transmitLocked(ems[0].Out, ems[0].Pkt, true)
+			} else {
+				for _, em := range ems {
+					e.transmitLocked(em.Out, em.Pkt, false)
+				}
+			}
+			if e.owner != nil && !e.ownerReused && !retainsPackets(d.to.node) {
+				e.putBufLocked(d.pkt)
+			}
+			e.owner = nil
+			if !chained {
+				break
+			}
+			d = next
 		}
-		if e.owner != nil && !e.ownerReused && !retainsPackets(d.to.node) {
-			e.putBufLocked(d.pkt)
-		}
-		e.owner = nil
 	}
 	if e.queuedLocked() > 0 {
 		// Budget exceeded: drop the remainder. The buffers are left to

@@ -95,19 +95,50 @@ func TestFaultDuplicateDeliversCopies(t *testing.T) {
 	}
 }
 
+// fanout emits three fixed packets toward out when poked from any other
+// interface.
+type fanout struct {
+	name string
+	out  *Iface
+}
+
+func (f *fanout) Name() string { return f.name }
+func (f *fanout) Handle(in *Iface, pkt []byte) []Emission {
+	if in == f.out {
+		return nil
+	}
+	return []Emission{
+		{Out: f.out, Pkt: []byte{1}},
+		{Out: f.out, Pkt: []byte{2}},
+		{Out: f.out, Pkt: []byte{3}},
+	}
+}
+
 func TestFaultReorderDefersDelivery(t *testing.T) {
+	// Deferral is relative to deliveries enqueued later in the same
+	// cascade, so the reorder must happen among emissions of one Handle:
+	// poke a fanout node that emits 1,2,3 and defer the first past the
+	// next two.
 	e := New(1)
-	a, sink := hookPair(e)
-	// Defer only the first packet past the next two deliveries.
+	src := &recorder{name: "src"}
+	fan := &fanout{name: "fan"}
+	sink := &recorder{name: "sink"}
+	a := NewIface(src, ipv6.MustParseAddr("fd00::1"), "a")
+	fin := NewIface(fan, ipv6.MustParseAddr("fd00::2"), "fan-in")
+	fout := NewIface(fan, ipv6.MustParseAddr("fd00::3"), "fan-out")
+	fan.out = fout
+	b := NewIface(sink, ipv6.MustParseAddr("fd00::4"), "b")
+	e.Connect(a, fin, 0)
+	e.Connect(fout, b, 0)
 	first := true
 	e.SetFault(func(from *Iface, pkt []byte) FaultOutcome {
-		if first {
+		if from == fout && first {
 			first = false
 			return FaultOutcome{Deliveries: []int{2}}
 		}
 		return FaultOutcome{}
 	})
-	e.InjectBatch(a, [][]byte{{1}, {2}, {3}})
+	e.Inject(a, []byte{9})
 	want := []byte{2, 3, 1}
 	if len(sink.got) != 3 {
 		t.Fatalf("delivered %d packets", len(sink.got))
@@ -115,6 +146,48 @@ func TestFaultReorderDefersDelivery(t *testing.T) {
 	for i, w := range want {
 		if sink.got[i][0] != w {
 			t.Errorf("arrival %d = %d, want %d", i, sink.got[i][0], w)
+		}
+	}
+}
+
+// TestInjectBatchMatchesSequentialInject pins the equivalence the
+// batch-vs-per-packet differential oracle relies on: under an identical
+// seeded fault layer, a batch injection and the same packets injected
+// one at a time produce the same arrivals in the same order.
+func TestInjectBatchMatchesSequentialInject(t *testing.T) {
+	run := func(batch bool) [][]byte {
+		e := New(7)
+		a, sink := hookPair(e)
+		n := 0
+		e.SetFault(func(from *Iface, pkt []byte) FaultOutcome {
+			n++
+			switch n % 4 {
+			case 1:
+				return FaultOutcome{Deliveries: []int{1}}
+			case 2:
+				return FaultOutcome{Drop: true}
+			case 3:
+				return FaultOutcome{Deliveries: []int{0, 0}}
+			}
+			return FaultOutcome{}
+		})
+		pkts := [][]byte{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+		if batch {
+			e.InjectBatch(a, pkts)
+		} else {
+			for _, p := range pkts {
+				e.Inject(a, p)
+			}
+		}
+		return sink.got
+	}
+	one, many := run(false), run(true)
+	if len(one) != len(many) {
+		t.Fatalf("sequential delivered %d, batch %d", len(one), len(many))
+	}
+	for i := range one {
+		if one[i][0] != many[i][0] {
+			t.Errorf("arrival %d: sequential %d, batch %d", i, one[i][0], many[i][0])
 		}
 	}
 }

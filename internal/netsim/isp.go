@@ -36,10 +36,46 @@ type ISPRouter struct {
 var _ Node = (*ISPRouter)(nil)
 
 // delegTable maps sub-prefix indices (at one prefix length within the
-// block) to subscriber-facing interfaces.
+// block) to subscriber-facing interfaces. Provisioned indices are small
+// and dense (subscribers are assigned consecutive sub-prefixes), so
+// indices under denseCap live in a direct-index slice — the transit hot
+// path then costs one bounds check instead of a hash probe per packet —
+// with the map kept for sparse outliers.
 type delegTable struct {
 	subLen  int
+	dense   []*Iface
 	entries map[uint64]*Iface
+}
+
+// denseCap bounds the direct-index slice (64k entries, 512 KiB of
+// pointers at worst); delegation indices past it fall back to the map.
+const denseCap = 1 << 16
+
+// set records one delegation, keeping the dense/map invariant: indices
+// under denseCap are stored in both (the slice answers lookups, the map
+// keeps DelegationCount trivial), larger ones in the map alone.
+func (t *delegTable) set(idx uint64, out *Iface) {
+	t.entries[idx] = out
+	if idx < denseCap {
+		for uint64(len(t.dense)) <= idx {
+			t.dense = append(t.dense, nil)
+		}
+		t.dense[idx] = out
+	}
+}
+
+// get resolves one sub-prefix index.
+func (t *delegTable) get(idx uint64) (*Iface, bool) {
+	if idx < uint64(len(t.dense)) {
+		out := t.dense[idx]
+		return out, out != nil
+	}
+	if idx < denseCap {
+		// Under the dense bound but past the slice: never delegated.
+		return nil, false
+	}
+	out, ok := t.entries[idx]
+	return out, ok
 }
 
 // NewISPRouter creates the edge router for the given ISP block.
@@ -88,11 +124,12 @@ func (r *ISPRouter) Delegate(p ipv6.Prefix, out *Iface) error {
 	}
 	for _, t := range r.delegs {
 		if t.subLen == p.Bits() {
-			t.entries[idx.Lo] = out
+			t.set(idx.Lo, out)
 			return nil
 		}
 	}
-	t := &delegTable{subLen: p.Bits(), entries: map[uint64]*Iface{idx.Lo: out}}
+	t := &delegTable{subLen: p.Bits(), entries: map[uint64]*Iface{}}
+	t.set(idx.Lo, out)
 	// Keep tables sorted longest-first so more-specific delegations win.
 	pos := 0
 	for pos < len(r.delegs) && r.delegs[pos].subLen > t.subLen {
@@ -114,7 +151,7 @@ func (r *ISPRouter) lookup(dst ipv6.Addr) (*Iface, bool) {
 		if idx.Hi != 0 {
 			continue
 		}
-		if out, ok := t.entries[idx.Lo]; ok {
+		if out, ok := t.get(idx.Lo); ok {
 			return out, true
 		}
 	}

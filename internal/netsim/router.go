@@ -202,7 +202,7 @@ func (r *Router) emitError(in *Iface, invoking []byte, typ, code uint8) []Emissi
 // an Echo Reply out the arrival interface. Non-echo local traffic is
 // silently dropped (core routers in this simulator expose no services).
 func respondLocalEcho(sc *emitScratch, in *Iface, self ipv6.Addr, pkt []byte) []Emission {
-	var s wire.Summary
+	s := &sc.sum
 	if err := s.Parse(pkt); err != nil || s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoRequest {
 		return nil
 	}
@@ -210,7 +210,13 @@ func respondLocalEcho(sc *emitScratch, in *Iface, self ipv6.Addr, pkt []byte) []
 	if err != nil {
 		return nil
 	}
-	reply, err := wire.BuildEchoReply(self, s.IP.Src, 64, e.ID, e.Seq, e.Data)
+	// Build the reply into a pooled engine buffer (the reply mirrors the
+	// request, so the request's length is exactly the reply's).
+	var scratch []byte
+	if in != nil && in.eng != nil {
+		scratch = in.eng.getBufLocked(len(pkt))
+	}
+	reply, err := wire.AppendEchoReply(scratch, self, s.IP.Src, 64, e.ID, e.Seq, e.Data)
 	if err != nil {
 		return nil
 	}

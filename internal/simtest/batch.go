@@ -1,0 +1,113 @@
+package simtest
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ipv6"
+	"repro/internal/xmap"
+)
+
+// batchLeg is one leg of the batch-vs-per-packet oracle: the full result
+// set plus every statistic the transmission path must not perturb.
+type batchLeg struct {
+	stats xmap.Stats
+	set   map[ipv6.Addr]bool
+}
+
+// runBatchLeg scans one freshly built, identically seeded fault world
+// through the given driver wrapper.
+func runBatchLeg(seed int64, p FaultProfile, wrap func(*xmap.SimDriver) xmap.Driver) (batchLeg, error) {
+	f, err := reliabilityFixture(seed, p)
+	if err != nil {
+		return batchLeg{}, err
+	}
+	drv := wrap(f.Drv)
+	s, err := xmap.New(xmap.Config{Window: f.Window, Seed: scanSeed(seed), DedupExact: true}, drv)
+	if err != nil {
+		return batchLeg{}, err
+	}
+	leg := batchLeg{set: map[ipv6.Addr]bool{}}
+	leg.stats, err = s.Run(context.Background(), func(r xmap.Response) { leg.set[r.Responder] = true })
+	if err != nil {
+		return batchLeg{}, err
+	}
+	if c, ok := drv.(interface{ Close() }); ok {
+		c.Close()
+	}
+	return leg, nil
+}
+
+// RunBatchOracle is the batch-vs-per-packet differential oracle: the
+// same seeded scan, against the same seeded fault world, through three
+// transmission paths —
+//
+//   - per-packet: the pre-batching compatibility path, one engine
+//     injection per Send via AdaptPacketDriver (the reference leg);
+//   - batched: the scanner's native burst path through SendBatch;
+//   - ring: the batched path behind a RingDriver's SPSC ring and pump
+//     goroutine, as ScanParallel shards run it.
+//
+// The transmission path must be invisible: identical responder sets and
+// identical dedup accounting (Received/Unique/Duplicates/Invalid) under
+// EVERY fault profile, lossy ones included. That only holds because the
+// whole chain preserves per-packet order and decision sequence — the
+// engine pumps batches one packet at a time (same fault-rng order as
+// sequential injection), the SPSC ring is FIFO, and the scanner flushes
+// the ring before every drain, making drains the same barrier in all
+// three legs. A reordering, coalescing, or probe-dropping regression
+// anywhere in that chain desynchronizes the fault decision sequence and
+// shows up as a diff here.
+func RunBatchOracle(seed int64, p FaultProfile) ([]string, error) {
+	perPacket, err := runBatchLeg(seed, p, func(d *xmap.SimDriver) xmap.Driver {
+		return xmap.AdaptPacketDriver(d)
+	})
+	if err != nil {
+		return nil, err
+	}
+	batched, err := runBatchLeg(seed, p, func(d *xmap.SimDriver) xmap.Driver { return d })
+	if err != nil {
+		return nil, err
+	}
+	ringed, err := runBatchLeg(seed, p, func(d *xmap.SimDriver) xmap.Driver {
+		return xmap.NewRingDriver(d, 64)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	diff := func(name string, leg batchLeg) {
+		if leg.stats.Sent != perPacket.stats.Sent {
+			problems = append(problems, fmt.Sprintf(
+				"%s leg sent %d probes, per-packet %d", name, leg.stats.Sent, perPacket.stats.Sent))
+		}
+		for _, c := range []struct {
+			field    string
+			got, ref uint64
+		}{
+			{"Received", leg.stats.Received, perPacket.stats.Received},
+			{"Unique", leg.stats.Unique, perPacket.stats.Unique},
+			{"Duplicates", leg.stats.Duplicates, perPacket.stats.Duplicates},
+			{"Invalid", leg.stats.Invalid, perPacket.stats.Invalid},
+		} {
+			if c.got != c.ref {
+				problems = append(problems, fmt.Sprintf(
+					"%s leg %s = %d, per-packet %d", name, c.field, c.got, c.ref))
+			}
+		}
+		for a := range perPacket.set {
+			if !leg.set[a] {
+				problems = append(problems, fmt.Sprintf("%s leg missed responder %s", name, a))
+			}
+		}
+		for a := range leg.set {
+			if !perPacket.set[a] {
+				problems = append(problems, fmt.Sprintf("%s leg found phantom responder %s", name, a))
+			}
+		}
+	}
+	diff("batched", batched)
+	diff("ring", ringed)
+	return problems, nil
+}

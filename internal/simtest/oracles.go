@@ -23,11 +23,13 @@ type recordingDriver struct {
 	dsts []ipv6.Addr
 }
 
-func (d *recordingDriver) Send(pkt []byte) error {
-	if len(pkt) >= 40 && pkt[0]>>4 == 6 {
-		d.dsts = append(d.dsts, ipv6.AddrFrom128(uint128.FromBytes(pkt[24:40])))
+func (d *recordingDriver) SendBatch(pkts [][]byte) (int, error) {
+	for _, pkt := range pkts {
+		if len(pkt) >= 40 && pkt[0]>>4 == 6 {
+			d.dsts = append(d.dsts, ipv6.AddrFrom128(uint128.FromBytes(pkt[24:40])))
+		}
 	}
-	return d.Driver.Send(pkt)
+	return d.Driver.SendBatch(pkts)
 }
 
 // DiffRouteLookups runs every query address through an LPM trie and the

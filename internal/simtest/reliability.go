@@ -32,15 +32,24 @@ func reliabilityFixture(seed int64, p FaultProfile) (*ISPFixture, error) {
 // under loss, responses to pre-crash probes are genuinely gone, so set
 // equality is not a sound oracle there — the adaptive oracle covers the
 // lossy profiles instead.
+//
+// The killed and resumed legs scan through a RingDriver, so the oracle
+// also covers the pipelined transmission path's crash safety: probes
+// sitting in the SPSC ring are flushed before every checkpoint (the
+// ring must be empty at each emission — asserted directly) and anything
+// between the last checkpoint and the kill is re-sent on resume, never
+// lost. The probe-count bound then proves the flush doesn't over-send
+// either.
 func RunResumeOracle(seed int64, p FaultProfile) ([]string, error) {
 	if !p.Lossless() {
 		return nil, nil
 	}
+	var problems []string
 	cfgFor := func(f *ISPFixture) xmap.Config {
 		return xmap.Config{Window: f.Window, Seed: scanSeed(seed), DedupExact: true}
 	}
 
-	// Reference leg: the uninterrupted scan.
+	// Reference leg: the uninterrupted scan, direct driver.
 	fA, err := reliabilityFixture(seed, p)
 	if err != nil {
 		return nil, err
@@ -56,24 +65,33 @@ func RunResumeOracle(seed int64, p FaultProfile) ([]string, error) {
 	}
 
 	// Kill leg: identical world, killed after a seed-varied number of
-	// targets with periodic checkpoints. Everything after the last
-	// periodic state is discarded, as a real kill -9 would.
+	// targets with periodic checkpoints, scanning through the ring.
+	// Everything after the last periodic state is discarded, as a real
+	// kill -9 would.
 	killAt := uint64(48 + (seed*31)%150)
 	fB, err := reliabilityFixture(seed, p)
 	if err != nil {
 		return nil, err
 	}
+	ringKill := xmap.NewRingDriver(fB.Drv, resumeCheckpointEvery)
 	var states []xmap.ShardState
 	cfgKill := cfgFor(fB)
 	cfgKill.MaxTargets = killAt
 	cfgKill.CheckpointEvery = resumeCheckpointEvery
-	cfgKill.OnCheckpoint = func(st xmap.ShardState) { states = append(states, st) }
-	sKill, err := xmap.New(cfgKill, fB.Drv)
+	cfgKill.OnCheckpoint = func(st xmap.ShardState) {
+		if n := ringKill.Pending(); n != 0 {
+			problems = append(problems, fmt.Sprintf(
+				"checkpoint at %d targets emitted with %d probes still in the ring", st.Stats.Targets, n))
+		}
+		states = append(states, st)
+	}
+	sKill, err := xmap.New(cfgKill, ringKill)
 	if err != nil {
 		return nil, err
 	}
 	union := map[ipv6.Addr]bool{}
 	killStats, err := sKill.Run(context.Background(), func(r xmap.Response) { union[r.Responder] = true })
+	ringKill.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -83,19 +101,20 @@ func RunResumeOracle(seed int64, p FaultProfile) ([]string, error) {
 	crash := states[len(states)-2]
 
 	// Resume leg: continue on the same (still-running) network from the
-	// last periodic checkpoint.
+	// last periodic checkpoint, again through a fresh ring — as a
+	// restarted process would build one.
+	ringResume := xmap.NewRingDriver(fB.Drv, resumeCheckpointEvery)
 	cfgResume := cfgFor(fB)
 	cfgResume.Resume = &crash
-	sResume, err := xmap.New(cfgResume, fB.Drv)
+	sResume, err := xmap.New(cfgResume, ringResume)
 	if err != nil {
 		return nil, err
 	}
 	resumeStats, err := sResume.Run(context.Background(), func(r xmap.Response) { union[r.Responder] = true })
+	ringResume.Close()
 	if err != nil {
 		return nil, err
 	}
-
-	var problems []string
 	for a := range refSet {
 		if !union[a] {
 			problems = append(problems, fmt.Sprintf("responder %s lost across kill@%d/resume@%d",

@@ -59,6 +59,12 @@ func TestScenarios(t *testing.T) {
 				problems, err := RunShardOracle(seed, 4)
 				report(t, "sharded-vs-single", problems, err)
 			})
+			t.Run("oracle-batch", func(t *testing.T) {
+				for _, p := range Profiles {
+					problems, err := RunBatchOracle(seed, p)
+					report(t, "batch-vs-per-packet/"+p.Name, problems, err)
+				}
+			})
 			t.Run("oracle-resume", func(t *testing.T) {
 				for _, p := range Profiles {
 					if !p.Lossless() {

@@ -54,7 +54,7 @@ type Result struct {
 
 // Infer determines the delegated sub-prefix length for end users of the
 // given ISP block, scanning through drv.
-func Infer(drv xmap.Driver, block ipv6.Prefix, opts Options) (Result, error) {
+func Infer(drv xmap.PacketDriver, block ipv6.Prefix, opts Options) (Result, error) {
 	opts.fill()
 	if block.Bits() >= 64 {
 		return Result{}, fmt.Errorf("subnet: block %s too long to infer within", block)
@@ -91,7 +91,7 @@ func Infer(drv xmap.Driver, block ipv6.Prefix, opts Options) (Result, error) {
 
 // probeOnce sends one echo request and returns the first ICMPv6 error
 // response matching the probed target (nil responder if silence).
-func probeOnce(drv xmap.Driver, dst ipv6.Addr) (responder ipv6.Addr, code uint8, errType uint8, ok bool, err error) {
+func probeOnce(drv xmap.PacketDriver, dst ipv6.Addr) (responder ipv6.Addr, code uint8, errType uint8, ok bool, err error) {
 	pkt, err := wire.BuildEchoRequest(drv.SourceAddr(), dst, 64, 0x5bac, 0x0001, nil)
 	if err != nil {
 		return ipv6.Addr{}, 0, 0, false, err
@@ -128,7 +128,7 @@ func probeOnce(drv xmap.Driver, dst ipv6.Addr) (responder ipv6.Addr, code uint8,
 // when the error is the NDP address-unreachable signature, or when the
 // responder is not one of the provider's infrastructure addresses (which
 // betray themselves by answering for many unrelated sub-prefixes).
-func findPeriphery(drv xmap.Driver, block ipv6.Prefix, rng *rand.Rand, maxProbes int) (target, responder ipv6.Addr, err error) {
+func findPeriphery(drv xmap.PacketDriver, block ipv6.Prefix, rng *rand.Rand, maxProbes int) (target, responder ipv6.Addr, err error) {
 	n64, _ := block.NumSub(64)
 	seen := map[ipv6.Addr]int{}
 	const infraThreshold = 3
@@ -164,7 +164,7 @@ func findPeriphery(drv xmap.Driver, block ipv6.Prefix, rng *rand.Rand, maxProbes
 // walkBoundary flips target bits from position 64 upward (toward shorter
 // prefixes) until the responder changes; the first differing position is
 // the boundary length.
-func walkBoundary(drv xmap.Driver, target, responder ipv6.Addr, minLength int) (int, error) {
+func walkBoundary(drv xmap.PacketDriver, target, responder ipv6.Addr, minLength int) (int, error) {
 	for b := 64; b > minLength; b-- {
 		// Bit b in prefix-notation is bit (128-b) counting from the LSB.
 		flipped := ipv6.AddrFrom128(target.Uint128().Xor(uint128.One.Lsh(uint(128 - b))))

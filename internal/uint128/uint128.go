@@ -7,6 +7,7 @@
 package uint128
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/big"
 	"math/bits"
@@ -38,23 +39,17 @@ func FromBytes(b []byte) Uint128 {
 	if len(b) != 16 {
 		panic(fmt.Sprintf("uint128: FromBytes on %d bytes", len(b)))
 	}
-	var u Uint128
-	for i := 0; i < 8; i++ {
-		u.Hi = u.Hi<<8 | uint64(b[i])
-		u.Lo = u.Lo<<8 | uint64(b[i+8])
+	return Uint128{
+		Hi: binary.BigEndian.Uint64(b[0:8]),
+		Lo: binary.BigEndian.Uint64(b[8:16]),
 	}
-	return u
 }
 
 // Bytes returns the big-endian 16-byte representation of u.
 func (u Uint128) Bytes() [16]byte {
 	var b [16]byte
-	for i := 7; i >= 0; i-- {
-		b[i] = byte(u.Hi)
-		b[i+8] = byte(u.Lo)
-		u.Hi >>= 8
-		u.Lo >>= 8
-	}
+	binary.BigEndian.PutUint64(b[0:8], u.Hi)
+	binary.BigEndian.PutUint64(b[8:16], u.Lo)
 	return b
 }
 

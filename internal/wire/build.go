@@ -67,6 +67,13 @@ func BuildEchoReply(src, dst ipv6.Addr, hopLimit uint8, id, seq uint16, data []b
 	return buildEcho(nil, ICMPEchoReply, src, dst, hopLimit, id, seq, data)
 }
 
+// AppendEchoReply is BuildEchoReply building into buf when its capacity
+// suffices (allocating otherwise), for responders that recycle reply
+// buffers.
+func AppendEchoReply(buf []byte, src, dst ipv6.Addr, hopLimit uint8, id, seq uint16, data []byte) ([]byte, error) {
+	return buildEcho(buf, ICMPEchoReply, src, dst, hopLimit, id, seq, data)
+}
+
 // ErrorLen returns the on-wire length of an ICMPv6 error quoting the
 // invoking packet, so callers can pre-size a scratch buffer.
 func ErrorLen(invoking []byte) int {

@@ -12,10 +12,39 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Driver abstracts the packet layer under the scanner. The production
-// analogue is a raw socket (or PF_RING); this repository provides the
-// simulator driver and an in-memory loopback for tests.
+// Driver abstracts the packet layer under the scanner. The contract is
+// batch-first, mirroring how fast scanners actually talk to the kernel
+// (sendmmsg/recvmmsg bursts): per-packet entry costs dominate at
+// millions of probes per second, so the scanner always hands the driver
+// a burst. The production analogue is a raw socket (or PF_RING); this
+// repository provides the simulator drivers and an in-memory loopback
+// for tests. Per-packet tools use the PacketDriver shim instead.
 type Driver interface {
+	// SendBatch transmits a burst of raw IPv6 packets and returns how
+	// many entered the packet layer. pkts[:n] were sent. A short write
+	// with err == nil is transient backpressure (ENOBUFS-style): the
+	// caller retries pkts[n:]. With err != nil, pkts[n] is the packet
+	// that failed; the caller counts it as a send error and continues
+	// with pkts[n+1:]. The driver must not retain the packet slices
+	// after SendBatch returns — callers recycle them.
+	SendBatch(pkts [][]byte) (int, error)
+	// RecvBatch appends every packet that has arrived since the last
+	// call to buf and returns the extended slice. It never blocks. The
+	// caller owns buf and reuses it across calls (pass buf[:0] to
+	// drain into the same backing array), so a steady-state receive
+	// loop allocates nothing.
+	RecvBatch(buf [][]byte) [][]byte
+	// SourceAddr is the scanner's source address.
+	SourceAddr() ipv6.Addr
+}
+
+// PacketDriver is the pre-batching per-packet contract, kept as a
+// compatibility shim for tools that genuinely work one packet at a time
+// (the subnet walker, the loop tracer, zgrab-style service probes) and
+// for the batch-vs-per-packet differential oracle. Send must not retain
+// pkt. All bundled drivers implement both interfaces; wrap any other
+// PacketDriver with AdaptPacketDriver to run the scanner over it.
+type PacketDriver interface {
 	// Send transmits one raw IPv6 packet.
 	Send(pkt []byte) error
 	// Recv drains packets that have arrived since the last call. It
@@ -25,23 +54,50 @@ type Driver interface {
 	SourceAddr() ipv6.Addr
 }
 
-// BatchSender is an optional Driver capability: a burst of probes
-// enters the packet layer in one call, amortizing per-entry overhead
-// (for the simulator drivers, one engine lock acquisition and one
-// quiescence pump per batch instead of per probe). It returns the
-// number of packets transmitted. The driver must not retain the packet
-// slices after SendBatch returns — callers recycle them.
-type BatchSender interface {
-	SendBatch(pkts [][]byte) (int, error)
-}
-
 // Releaser is an optional Driver capability: hand packet buffers
-// obtained from Recv back to the packet layer once the caller has fully
-// processed them, letting the simulator engines reuse the memory. The
-// caller must drop every reference into the released buffers.
+// obtained from RecvBatch back to the packet layer once the caller has
+// fully processed them, letting the simulator engines reuse the memory.
+// The caller must drop every reference into the released buffers.
 type Releaser interface {
 	Release(pkts [][]byte)
 }
+
+// Flusher is an optional Driver capability for pipelined drivers
+// (RingDriver): block until every packet accepted by SendBatch has
+// entered the underlying packet layer. The scanner flushes before each
+// receive drain and before emitting a checkpoint, so a resumable state
+// never has probes parked invisibly in a ring.
+type Flusher interface {
+	Flush()
+}
+
+// AdaptPacketDriver wraps a per-packet driver as a batch Driver: the
+// batch entry points degrade to per-packet calls. The scanner run over
+// the result is the old per-packet send path — which is exactly what
+// the batch-vs-per-packet differential oracle runs as its reference
+// leg.
+func AdaptPacketDriver(p PacketDriver) Driver { return &packetAdapter{p: p} }
+
+type packetAdapter struct{ p PacketDriver }
+
+// SendBatch implements Driver: packets go out one Send at a time; the
+// first failure reports how many preceded it.
+func (a *packetAdapter) SendBatch(pkts [][]byte) (int, error) {
+	for i, pkt := range pkts {
+		if err := a.p.Send(pkt); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
+// RecvBatch implements Driver.
+func (a *packetAdapter) RecvBatch(buf [][]byte) [][]byte {
+	return append(buf, a.p.Recv()...)
+}
+
+// SourceAddr implements Driver.
+func (a *packetAdapter) SourceAddr() ipv6.Addr { return a.p.SourceAddr() }
 
 // SimDriver runs the scanner against a netsim topology through an edge
 // node.
@@ -51,27 +107,33 @@ type SimDriver struct {
 }
 
 var _ Driver = (*SimDriver)(nil)
+var _ PacketDriver = (*SimDriver)(nil)
 
 // NewSimDriver wires a driver to the engine at the given edge.
 func NewSimDriver(eng *netsim.Engine, edge *netsim.Edge) *SimDriver {
 	return &SimDriver{eng: eng, edge: edge}
 }
 
-// Send implements Driver. The simulator is lock-step: by the time Send
-// returns, every packet the probe will ever trigger has been delivered.
+// Send implements PacketDriver. The simulator is lock-step: by the time
+// Send returns, every packet the probe will ever trigger has been
+// delivered.
 func (d *SimDriver) Send(pkt []byte) error {
 	d.eng.Inject(d.edge.Iface(), pkt)
 	return nil
 }
 
-// SendBatch implements BatchSender.
+// SendBatch implements Driver: one engine lock acquisition for the whole
+// burst.
 func (d *SimDriver) SendBatch(pkts [][]byte) (int, error) {
 	d.eng.InjectBatch(d.edge.Iface(), pkts)
 	return len(pkts), nil
 }
 
-// Recv implements Driver.
+// Recv implements PacketDriver.
 func (d *SimDriver) Recv() [][]byte { return d.edge.Drain() }
+
+// RecvBatch implements Driver.
+func (d *SimDriver) RecvBatch(buf [][]byte) [][]byte { return d.edge.DrainInto(buf) }
 
 // Release implements Releaser.
 func (d *SimDriver) Release(pkts [][]byte) { d.eng.ReleaseBufs(pkts) }
@@ -99,7 +161,7 @@ type GroupDriver struct {
 }
 
 var _ Driver = (*GroupDriver)(nil)
-var _ BatchSender = (*GroupDriver)(nil)
+var _ PacketDriver = (*GroupDriver)(nil)
 
 // NewGroupDriver wires a driver to the engine group at the given edge.
 // The edge must be attached to every shard (topo.Build deployments are).
@@ -107,20 +169,23 @@ func NewGroupDriver(grp *netsim.EngineGroup, edge *netsim.Edge) *GroupDriver {
 	return &GroupDriver{grp: grp, edge: edge}
 }
 
-// Send implements Driver.
+// Send implements PacketDriver.
 func (d *GroupDriver) Send(pkt []byte) error {
 	d.grp.Inject(pkt)
 	return nil
 }
 
-// SendBatch implements BatchSender.
+// SendBatch implements Driver.
 func (d *GroupDriver) SendBatch(pkts [][]byte) (int, error) {
 	d.grp.InjectBatch(pkts)
 	return len(pkts), nil
 }
 
-// Recv implements Driver.
+// Recv implements PacketDriver.
 func (d *GroupDriver) Recv() [][]byte { return d.edge.Drain() }
+
+// RecvBatch implements Driver.
+func (d *GroupDriver) RecvBatch(buf [][]byte) [][]byte { return d.edge.DrainInto(buf) }
 
 // Release implements Releaser.
 func (d *GroupDriver) Release(pkts [][]byte) { d.grp.ReleaseBufs(pkts) }
@@ -156,8 +221,9 @@ type ChanDriver struct {
 }
 
 var _ Driver = (*ChanDriver)(nil)
+var _ PacketDriver = (*ChanDriver)(nil)
 
-// Send implements Driver.
+// Send implements PacketDriver.
 func (d *ChanDriver) Send(pkt []byte) error {
 	if d.Fn != nil {
 		d.buf = append(d.buf, d.Fn(pkt)...)
@@ -165,11 +231,29 @@ func (d *ChanDriver) Send(pkt []byte) error {
 	return nil
 }
 
-// Recv implements Driver.
+// SendBatch implements Driver.
+func (d *ChanDriver) SendBatch(pkts [][]byte) (int, error) {
+	for _, pkt := range pkts {
+		if d.Fn != nil {
+			d.buf = append(d.buf, d.Fn(pkt)...)
+		}
+	}
+	return len(pkts), nil
+}
+
+// Recv implements PacketDriver.
 func (d *ChanDriver) Recv() [][]byte {
 	out := d.buf
 	d.buf = nil
 	return out
+}
+
+// RecvBatch implements Driver.
+func (d *ChanDriver) RecvBatch(buf [][]byte) [][]byte {
+	buf = append(buf, d.buf...)
+	clear(d.buf)
+	d.buf = d.buf[:0]
+	return buf
 }
 
 // SourceAddr implements Driver.

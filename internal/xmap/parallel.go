@@ -150,14 +150,36 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 				}
 			}
 		}
-		scanner, err := New(shardCfg, drv)
+		// With RingSize set, each shard gets its own transmission ring in
+		// front of the shared driver: the shard's scanner goroutine
+		// generates probes while the ring's pump goroutine pushes them
+		// into the packet layer, and the scanner's pre-drain Flush keeps
+		// checkpoint and dedup semantics identical to direct sends.
+		shardDrv := drv
+		var ring *RingDriver
+		if cfg.RingSize > 0 {
+			ring = NewRingDriver(drv, cfg.RingSize)
+			shardDrv = ring
+		}
+		scanner, err := New(shardCfg, shardDrv)
 		if err != nil {
+			if ring != nil {
+				ring.Close()
+			}
 			return total, err
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			stats, err := scanner.Run(ctx, dedupHandler)
+			if ring != nil {
+				// Close drains anything still queued; transmissions the
+				// underlying driver then rejected surface as send errors
+				// (they were already counted sent at ring acceptance, the
+				// TX-queue analogue).
+				ring.Close()
+				stats.SendErrors += ring.Failed()
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			total.Merge(stats)

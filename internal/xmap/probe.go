@@ -80,8 +80,8 @@ type ProbeModule interface {
 
 // AppendProbeModule is an optional ProbeModule capability: build the
 // probe into buf when its capacity suffices, so the scanner can recycle
-// probe buffers through a batch-sending driver (which, per the
-// BatchSender contract, does not retain them).
+// probe buffers through the driver (which, per the Driver contract,
+// does not retain them past SendBatch).
 type AppendProbeModule interface {
 	AppendProbe(buf []byte, src, dst ipv6.Addr, val uint32) ([]byte, error)
 }

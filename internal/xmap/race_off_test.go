@@ -1,0 +1,7 @@
+//go:build !race
+
+package xmap
+
+// raceEnabled lets heavyweight stress tests scale down under the race
+// detector's ~10x slowdown.
+const raceEnabled = false

@@ -2,10 +2,8 @@ package xmap
 
 import (
 	"context"
-	"crypto/hmac"
-	"crypto/sha256"
 	"fmt"
-	"hash"
+	"runtime"
 	"time"
 
 	"repro/internal/ipv6"
@@ -46,6 +44,14 @@ type Config struct {
 	// DrainEvery pumps the receive path after this many probes
 	// (default 64).
 	DrainEvery int
+	// RingSize, under ScanParallel, inserts a lock-free SPSC
+	// transmission ring of this capacity (rounded up to a power of two)
+	// between each shard's scanner and the driver: probe generation and
+	// driver transmission then run pipelined in separate goroutines, a
+	// full ring acting as backpressure on the generator. 0 sends
+	// directly. Single scanners wanting the same pipeline wrap their
+	// driver in NewRingDriver themselves.
+	RingSize int
 	// DedupExact uses an exact map for responder dedup instead of the
 	// default Bloom filter — the ablation knob of DESIGN.md.
 	DedupExact bool
@@ -161,52 +167,49 @@ func (s *Stats) Merge(o Stats) {
 type Handler func(Response)
 
 // Scanner executes scans against a Driver. A Scanner is not safe for
-// concurrent use: Validation, TargetFor and Run share reusable HMAC
-// scratch state (ScanParallel gives each goroutine its own Scanner).
+// concurrent use: Validation, TargetFor and Run share reusable PRF and
+// buffer scratch state (ScanParallel gives each goroutine its own
+// Scanner).
 type Scanner struct {
-	cfg   Config
-	drv   Driver
-	probe ProbeModule
-	cycle *perm.Cycle
-	block *lpm.Table[bool]
-	allow *lpm.Table[bool]
-	dedup dedupSet
-	retry *retryRing      // nil unless Config.Retries > 0
-	aimd  *aimdController // nil unless Config.AIMD
-	tel   *telemetry.Shard
+	cfg     Config
+	drv     Driver
+	flusher Flusher // drv's Flusher capability, if any
+	probe   ProbeModule
+	cycle   *perm.Cycle
+	block   *lpm.Table[bool]
+	allow   *lpm.Table[bool]
+	dedup   dedupSet
+	retry   *retryRing      // nil unless Config.Retries > 0
+	aimd    *aimdController // nil unless Config.AIMD
+	tel     *telemetry.Shard
 
-	// iidMac is keyed once at construction and Reset per use: Go's HMAC
-	// caches the marshaled keyed state after the first Sum, so the
-	// per-target path allocates nothing. One digest per sub-prefix feeds
-	// both the target IID (bytes 0:16) and the validation value (bytes
-	// 16:20); lastSub caches it so the send path — TargetFor immediately
-	// followed by Validation on the resulting target — computes the HMAC
-	// once, not twice.
-	iidMac  hash.Hash
-	macSum  [sha256.Size]byte
-	lastSub ipv6.Addr
-	haveSub bool
-	// macIn stages address bytes for the HMACs: writing a local array
-	// through the hash.Hash interface would force a heap copy per call.
-	macIn [16]byte
+	// prf derives per-sub-prefix material; one derivation feeds both the
+	// target IID and the validation value, and the lastSub cache means
+	// the send path — TargetFor immediately followed by Validation on
+	// the resulting target — derives once, not twice.
+	prf          subPRF
+	lastSub      ipv6.Addr
+	haveSub      bool
+	subHi, subLo uint64 // cached host-IID limbs for lastSub
+	subVal       uint32 // cached validation value for lastSub
 	// validate is the bound Validation method, constructed once —
 	// passing s.Validation at a call site would allocate a closure per
 	// packet.
 	validate Validator
 	batch    [][]byte
-	// free holds probe buffers whose batch has been sent (BatchSender
-	// does not retain them); recycle stages drained receive buffers for
-	// return to a Releaser driver. Together they make the steady-state
-	// probe loop allocation-free against the simulator drivers.
+	// one is the single-probe batch for the paced send path.
+	one [1][]byte
+	// free holds probe buffers whose batch has been sent (the Driver
+	// contract: SendBatch does not retain them); recycle stages drained
+	// receive buffers for return to a Releaser driver; rx is the reused
+	// RecvBatch drain slice. Together they make the steady-state probe
+	// loop allocation-free against the simulator drivers.
 	free    [][]byte
 	recycle [][]byte
+	rx      [][]byte
 	// sum is the receive path's reusable packet decoder.
 	sum wire.Summary
 }
-
-// labelIID prefixes the per-sub HMAC input, hoisted to avoid a
-// string-to-bytes conversion per target.
-var labelIID = []byte("iid")
 
 // defaultSeed is applied when Config.Seed is empty.
 var defaultSeed = []byte("xmap-default-seed")
@@ -275,8 +278,9 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 		}
 	}
 	s := &Scanner{cfg: cfg, drv: drv, cycle: cycle}
+	s.flusher, _ = drv.(Flusher)
 	s.tel = cfg.Telemetry.Shard(cfg.ShardIndex)
-	s.iidMac = hmac.New(sha256.New, cfg.Seed)
+	s.prf = newSubPRF(cfg.Seed)
 	s.validate = s.Validation
 	s.probe = cfg.Probe
 	if s.probe == nil {
@@ -352,33 +356,30 @@ func (s *Scanner) ResponderCounts() map[ipv6.Addr]uint64 {
 	return nil
 }
 
-// subDigest computes (or returns the cached) keyed digest for one
-// sub-prefix base address.
-func (s *Scanner) subDigest(sub ipv6.Addr) []byte {
-	if !s.haveSub || sub != s.lastSub {
-		s.iidMac.Reset()
-		s.iidMac.Write(labelIID)
-		s.macIn = sub.Bytes()
-		s.iidMac.Write(s.macIn[:])
-		s.iidMac.Sum(s.macSum[:0])
-		s.lastSub, s.haveSub = sub, true
+// subDerive computes (or returns from the one-entry cache) the PRF
+// material for one sub-prefix base address.
+func (s *Scanner) subDerive(sub ipv6.Addr) {
+	if s.haveSub && sub == s.lastSub {
+		return
 	}
-	return s.macSum[:]
+	u := sub.Uint128()
+	s.subHi, s.subLo, s.subVal = s.prf.derive(u.Hi, u.Lo)
+	s.lastSub, s.haveSub = sub, true
 }
 
 // Validation derives the stateless validation value for dst, exposed so
 // cooperating tools (the loop scanner) can pre-compute expected values.
 // The value is bound to the sub-prefix containing dst (a scan probes one
 // address per sub, so this loses no discrimination) and comes from the
-// same keyed digest that generates the target IID — halving HMAC work on
-// the send path.
+// same keyed derivation that generates the target IID — one PRF call
+// covers the whole send path.
 func (s *Scanner) Validation(dst ipv6.Addr) uint32 {
 	p, err := ipv6.NewPrefix(dst, s.cfg.Window.To)
 	if err != nil {
 		return 0
 	}
-	sum := s.subDigest(p.Addr())
-	return uint32(sum[16])<<24 | uint32(sum[17])<<16 | uint32(sum[18])<<8 | uint32(sum[19])
+	s.subDerive(p.Addr())
+	return s.subVal
 }
 
 // TargetFor returns the probe address for a window index: the sub-prefix
@@ -393,8 +394,8 @@ func (s *Scanner) TargetFor(idx uint128.Uint128) (ipv6.Addr, error) {
 	if hostBits == 0 {
 		return sub.Addr(), nil
 	}
-	sum := s.subDigest(sub.Addr())
-	host := uint128.FromBytes(sum[:16])
+	s.subDerive(sub.Addr())
+	host := uint128.New(s.subHi, s.subLo)
 	if hostBits < 128 {
 		host = host.And(uint128.Max.Rsh(128 - hostBits))
 	}
@@ -404,12 +405,18 @@ func (s *Scanner) TargetFor(idx uint128.Uint128) (ipv6.Addr, error) {
 	return ipv6.AddrFrom128(sub.Addr().Uint128().Or(host)), nil
 }
 
+// maxSendStalls bounds how many consecutive zero-progress short writes
+// the scanner tolerates before declaring the rest of the burst failed —
+// a wedged driver must not hang the scan.
+const maxSendStalls = 1 << 16
+
 // Run executes the scan, invoking handler for each first-seen responder.
 // It honors ctx cancellation between probes.
 //
-// When the driver implements BatchSender and no rate limit is set
-// (pacing is inherently per-probe), probes accumulate and flush once
-// per drain window, amortizing driver entry across the burst.
+// The send path is batch-first: probes accumulate and flush once per
+// drain window through Driver.SendBatch, amortizing driver entry across
+// the burst. A rate limit forces per-probe pacing, so the paced path
+// sends each probe as a one-packet burst instead.
 //
 // With Config.Resume set, the scan continues mid-cycle: the permutation
 // cursor fast-forwards past the probed prefix of the shard's sequence,
@@ -433,27 +440,46 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	if s.cfg.Rate > 0 {
 		limiter = newRateLimiter(s.cfg.Rate)
 	}
-	batcher, _ := s.drv.(BatchSender)
-	if limiter != nil {
-		batcher = nil
-	}
-	// Probe-buffer recycling needs both the append-building probe module
-	// and the batch driver's no-retention guarantee.
+	// Probe-buffer recycling needs the append-building probe module; the
+	// Driver contract already guarantees SendBatch does not retain.
 	appender, _ := s.probe.(AppendProbeModule)
-	if batcher == nil {
-		appender = nil
+	// sendAll pushes a burst through the driver with the SendBatch
+	// short-write protocol: retry the unsent tail on transient
+	// backpressure, count an errored packet once and move on. Probes are
+	// neither dropped silently nor double-counted — Sent advances by
+	// exactly what the driver accepted.
+	sendAll := func(pkts [][]byte) {
+		idle := 0
+		for len(pkts) > 0 {
+			n, err := s.drv.SendBatch(pkts)
+			stats.Sent += uint64(n)
+			s.tel.Add(telemetry.ScanSent, uint64(n))
+			pkts = pkts[n:]
+			if len(pkts) == 0 {
+				return
+			}
+			if err != nil {
+				// pkts[0] is the packet the driver rejected.
+				stats.SendErrors++
+				s.tel.Inc(telemetry.ScanSendErrors)
+				pkts = pkts[1:]
+				continue
+			}
+			// Short write without error: ENOBUFS-style pushback. Yield so
+			// whatever drains the packet layer can run, then retry.
+			if idle++; idle > maxSendStalls {
+				stats.SendErrors += uint64(len(pkts))
+				s.tel.Add(telemetry.ScanSendErrors, uint64(len(pkts)))
+				return
+			}
+			runtime.Gosched()
+		}
 	}
 	flush := func() {
-		if batcher == nil || len(s.batch) == 0 {
+		if len(s.batch) == 0 {
 			return
 		}
-		sent, err := batcher.SendBatch(s.batch)
-		stats.Sent += uint64(sent)
-		s.tel.Add(telemetry.ScanSent, uint64(sent))
-		if err != nil {
-			stats.SendErrors += uint64(len(s.batch) - sent)
-			s.tel.Add(telemetry.ScanSendErrors, uint64(len(s.batch)-sent))
-		}
+		sendAll(s.batch)
 		if appender != nil {
 			for i, p := range s.batch {
 				// ProbesPerTarget copies are the same slice appended
@@ -467,22 +493,20 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		clear(s.batch)
 		s.batch = s.batch[:0]
 	}
-	// send dispatches one built probe through the batcher or the paced
-	// single-probe path.
+	// send stages one built probe into the current batch, or — when a
+	// rate limit is set, since pacing is inherently per-probe — pushes it
+	// through the driver immediately as a one-probe burst.
 	send := func(pkt []byte) {
-		if batcher != nil {
+		if limiter == nil {
 			s.batch = append(s.batch, pkt)
 			return
 		}
-		if limiter != nil {
-			limiter.wait()
-		}
-		if err := s.drv.Send(pkt); err != nil {
-			stats.SendErrors++
-			s.tel.Inc(telemetry.ScanSendErrors)
-		} else {
-			stats.Sent++
-			s.tel.Inc(telemetry.ScanSent)
+		limiter.wait()
+		s.one[0] = pkt
+		sendAll(s.one[:])
+		s.one[0] = nil
+		if appender != nil {
+			s.free = append(s.free, pkt)
 		}
 	}
 	buildProbe := func(target ipv6.Addr) ([]byte, error) {
@@ -749,12 +773,20 @@ func (s *Scanner) skipTarget(a ipv6.Addr) bool {
 }
 
 // drain pumps the receive path through classification, validation and
-// dedup. Buffers that no Response retains (only KindUDPData keeps a
-// Payload reference) go back to a Releaser driver afterwards.
+// dedup. A pipelined driver is flushed first, so the drain window is a
+// barrier: every probe accepted before it has reached the packet layer,
+// which keeps checkpoints (emitted only after a drain) and the
+// batch-vs-per-packet oracle sound. Buffers that no Response retains
+// (only KindUDPData keeps a Payload reference) go back to a Releaser
+// driver afterwards.
 func (s *Scanner) drain(stats *Stats, handler Handler) {
 	rawMod, isRaw := s.probe.(RawProbeModule)
 	releaser, _ := s.drv.(Releaser)
-	for _, raw := range s.drv.Recv() {
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	s.rx = s.drv.RecvBatch(s.rx[:0])
+	for _, raw := range s.rx {
 		var (
 			resp   Response
 			ok     bool
@@ -816,6 +848,10 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 		clear(s.recycle)
 		s.recycle = s.recycle[:0]
 	}
+	// Drop the drain slice's references so released buffers are not
+	// pinned until the next drain.
+	clear(s.rx)
+	s.rx = s.rx[:0]
 }
 
 // rateLimiter is a token bucket over wall-clock time. Tokens refill in

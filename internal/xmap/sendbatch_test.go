@@ -1,0 +1,182 @@
+package xmap
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ipv6"
+)
+
+// throttleDriver accepts at most maxPerCall packets per SendBatch — a
+// deterministic ENOBUFS-style short-write driver. Everything accepted
+// reaches the wrapped simulator.
+type throttleDriver struct {
+	d          *SimDriver
+	maxPerCall int
+	calls      int
+}
+
+func (t *throttleDriver) SendBatch(pkts [][]byte) (int, error) {
+	t.calls++
+	n := len(pkts)
+	if n > t.maxPerCall {
+		n = t.maxPerCall
+	}
+	return t.d.SendBatch(pkts[:n])
+}
+func (t *throttleDriver) RecvBatch(buf [][]byte) [][]byte { return t.d.RecvBatch(buf) }
+func (t *throttleDriver) SourceAddr() ipv6.Addr           { return t.d.SourceAddr() }
+
+// TestScanRetriesShortWrites: a driver that accepts only a couple of
+// packets per call must not cost the scan anything — the scanner retries
+// the unsent tail until the whole burst is through, with no drops, no
+// double counts, and no spurious send errors.
+func TestScanRetriesShortWrites(t *testing.T) {
+	fRef := buildFixture(t)
+	statsRef, refResults := runScan(t,
+		Config{Window: window(t, fRef), Seed: []byte("sw"), DedupExact: true}, fRef.drv)
+
+	f := buildFixture(t)
+	throttled := &throttleDriver{d: f.drv, maxPerCall: 3}
+	stats, results := runScan(t,
+		Config{Window: window(t, f), Seed: []byte("sw"), DedupExact: true}, throttled)
+
+	if stats.Sent != statsRef.Sent {
+		t.Errorf("sent = %d, reference %d (short writes dropped or double-counted probes)",
+			stats.Sent, statsRef.Sent)
+	}
+	if stats.SendErrors != 0 {
+		t.Errorf("send errors = %d, want 0: short writes are backpressure, not errors", stats.SendErrors)
+	}
+	if stats.Unique != statsRef.Unique {
+		t.Errorf("unique = %d, reference %d", stats.Unique, statsRef.Unique)
+	}
+	if len(results) != len(refResults) {
+		t.Errorf("results = %d, reference %d", len(results), len(refResults))
+	}
+	if throttled.calls <= int(stats.Sent)/throttled.maxPerCall {
+		t.Errorf("driver saw %d calls for %d probes; the tail was not retried per-burst",
+			throttled.calls, stats.Sent)
+	}
+}
+
+// faultyDriver fails every failEvery-th packet (1-based, counted across
+// calls) with a hard error, following the SendBatch contract: pkts[:n]
+// sent, pkts[n] is the failed one.
+type faultyDriver struct {
+	d         *SimDriver
+	failEvery int
+	seen      int
+	failed    int
+}
+
+var errInjected = errors.New("injected send failure")
+
+func (f *faultyDriver) SendBatch(pkts [][]byte) (int, error) {
+	for i := range pkts {
+		f.seen++
+		if f.seen%f.failEvery == 0 {
+			if n, err := f.d.SendBatch(pkts[:i]); err != nil {
+				return n, err
+			}
+			f.failed++
+			return i, errInjected
+		}
+	}
+	return f.d.SendBatch(pkts)
+}
+func (f *faultyDriver) RecvBatch(buf [][]byte) [][]byte { return f.d.RecvBatch(buf) }
+func (f *faultyDriver) SourceAddr() ipv6.Addr           { return f.d.SourceAddr() }
+
+// TestScanCountsFailedSendsOnce: a hard per-packet error costs exactly
+// that packet — one SendError, no retry of it, and the rest of the burst
+// still goes out. Sent + SendErrors must equal the probes the scan
+// attempted.
+func TestScanCountsFailedSendsOnce(t *testing.T) {
+	f := buildFixture(t)
+	faulty := &faultyDriver{d: f.drv, failEvery: 5}
+	stats, _ := runScan(t,
+		Config{Window: window(t, f), Seed: []byte("err"), DedupExact: true}, faulty)
+
+	attempted := stats.Targets // ProbesPerTarget = 1
+	if got := stats.Sent + stats.SendErrors; got != attempted {
+		t.Errorf("Sent(%d) + SendErrors(%d) = %d, want attempted %d",
+			stats.Sent, stats.SendErrors, got, attempted)
+	}
+	if uint64(faulty.failed) != stats.SendErrors {
+		t.Errorf("driver failed %d packets, scanner counted %d send errors",
+			faulty.failed, stats.SendErrors)
+	}
+	if stats.SendErrors == 0 {
+		t.Fatal("fault injection never fired")
+	}
+	if stats.Unique == 0 {
+		t.Error("no responders found; surviving packets were not transmitted")
+	}
+}
+
+// wedgedDriver accepts nothing, forever: the pathological peer the
+// maxSendStalls bound exists for.
+type wedgedDriver struct {
+	d *SimDriver
+}
+
+func (w *wedgedDriver) SendBatch(pkts [][]byte) (int, error) { return 0, nil }
+func (w *wedgedDriver) RecvBatch(buf [][]byte) [][]byte      { return buf }
+func (w *wedgedDriver) SourceAddr() ipv6.Addr                { return w.d.SourceAddr() }
+
+// TestScanSurvivesWedgedDriver: a driver stuck at zero progress must not
+// hang the scan; the stall bound declares the burst failed and the scan
+// completes with every probe accounted as a send error.
+func TestScanSurvivesWedgedDriver(t *testing.T) {
+	f := buildFixture(t)
+	stats, _ := runScan(t, Config{
+		Window: window(t, f), Seed: []byte("wedge"), MaxTargets: 4, DrainEvery: 4,
+	}, &wedgedDriver{d: f.drv})
+	if stats.Sent != 0 {
+		t.Errorf("sent = %d through a driver that accepts nothing", stats.Sent)
+	}
+	if stats.SendErrors != stats.Targets {
+		t.Errorf("send errors = %d, want %d (every probe)", stats.SendErrors, stats.Targets)
+	}
+}
+
+// TestAdapterReportsPartialBatch pins the adapter half of the contract:
+// a failing per-packet Send surfaces as (packets-before-failure, err).
+func TestAdapterReportsPartialBatch(t *testing.T) {
+	fails := 0
+	pd := &funcPacketDriver{
+		send: func(pkt []byte) error {
+			fails++
+			if fails == 3 {
+				return errInjected
+			}
+			return nil
+		},
+	}
+	drv := AdaptPacketDriver(pd)
+	n, err := drv.SendBatch([][]byte{{1}, {2}, {3}, {4}})
+	if n != 2 || !errors.Is(err, errInjected) {
+		t.Errorf("SendBatch = (%d, %v), want (2, errInjected)", n, err)
+	}
+}
+
+// funcPacketDriver is a closure-backed PacketDriver for contract tests.
+type funcPacketDriver struct {
+	send func(pkt []byte) error
+	recv func() [][]byte
+}
+
+func (f *funcPacketDriver) Send(pkt []byte) error {
+	if f.send == nil {
+		return nil
+	}
+	return f.send(pkt)
+}
+func (f *funcPacketDriver) Recv() [][]byte {
+	if f.recv == nil {
+		return nil
+	}
+	return f.recv()
+}
+func (f *funcPacketDriver) SourceAddr() ipv6.Addr { return ipv6.Addr{} }

@@ -9,8 +9,8 @@ import (
 	"repro/internal/uint128"
 )
 
-// sendOnlyDriver hides SimDriver's BatchSender capability so tests can
-// force the per-probe send path.
+// sendOnlyDriver hides SimDriver's batch entry points so tests can
+// force the per-packet compatibility path through AdaptPacketDriver.
 type sendOnlyDriver struct {
 	d *SimDriver
 }
@@ -19,13 +19,14 @@ func (s *sendOnlyDriver) Send(pkt []byte) error { return s.d.Send(pkt) }
 func (s *sendOnlyDriver) Recv() [][]byte        { return s.d.Recv() }
 func (s *sendOnlyDriver) SourceAddr() ipv6.Addr { return s.d.SourceAddr() }
 
-// TestScanBatchedMatchesUnbatched: the BatchSender fast path must be
-// invisible in results — same responders, same send count.
+// TestScanBatchedMatchesUnbatched: the batched fast path must be
+// invisible in results — same responders, same send count as a scan
+// forced through the per-packet adapter.
 func TestScanBatchedMatchesUnbatched(t *testing.T) {
 	fPlain := buildFixture(t)
 	statsPlain, plain := runScan(t,
 		Config{Window: window(t, fPlain), Seed: []byte("batch"), DedupExact: true},
-		&sendOnlyDriver{d: fPlain.drv})
+		AdaptPacketDriver(&sendOnlyDriver{d: fPlain.drv}))
 
 	fBatch := buildFixture(t)
 	statsBatch, batched := runScan(t,

@@ -29,6 +29,7 @@ type UDPDriver struct {
 }
 
 var _ Driver = (*UDPDriver)(nil)
+var _ PacketDriver = (*UDPDriver)(nil)
 
 // Responder consumes one tunneled packet and returns reply packets.
 type Responder func(pkt []byte) [][]byte
@@ -96,19 +97,40 @@ func NewUDPDriver(src ipv6.Addr, handler Responder) (*UDPDriver, error) {
 	return d, nil
 }
 
-// Send implements Driver.
+// Send implements PacketDriver.
 func (d *UDPDriver) Send(pkt []byte) error {
 	_, err := d.conn.WriteToUDP(pkt, d.peer)
 	return err
 }
 
-// Recv implements Driver.
+// SendBatch implements Driver: one datagram per packet. The first write
+// error reports the failing packet's position per the Driver contract.
+func (d *UDPDriver) SendBatch(pkts [][]byte) (int, error) {
+	for i, pkt := range pkts {
+		if _, err := d.conn.WriteToUDP(pkt, d.peer); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
+// Recv implements PacketDriver.
 func (d *UDPDriver) Recv() [][]byte {
 	d.mu.Lock()
 	out := d.buf
 	d.buf = nil
 	d.mu.Unlock()
 	return out
+}
+
+// RecvBatch implements Driver.
+func (d *UDPDriver) RecvBatch(buf [][]byte) [][]byte {
+	d.mu.Lock()
+	buf = append(buf, d.buf...)
+	clear(d.buf)
+	d.buf = d.buf[:0]
+	d.mu.Unlock()
+	return buf
 }
 
 // SourceAddr implements Driver.

@@ -213,7 +213,8 @@ func TestShardsTogetherCoverSpace(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		drv := &countingDriver{counts: map[ipv6.Addr]int{}}
+		counter := &countingDriver{counts: map[ipv6.Addr]int{}}
+		drv := AdaptPacketDriver(counter)
 		var sentTotal uint64
 		for shard := 0; shard < shards; shard++ {
 			stats, _ := runScan(t, Config{
@@ -226,11 +227,11 @@ func TestShardsTogetherCoverSpace(t *testing.T) {
 		if sentTotal != space {
 			t.Errorf("width=%d shards=%d: sent %d total probes, want %d", width, shards, sentTotal, space)
 		}
-		if uint64(len(drv.counts)) != space {
+		if uint64(len(counter.counts)) != space {
 			t.Errorf("width=%d shards=%d: %d distinct targets, want %d (incomplete cover)",
-				width, shards, len(drv.counts), space)
+				width, shards, len(counter.counts), space)
 		}
-		for a, n := range drv.counts {
+		for a, n := range counter.counts {
 			if n != 1 {
 				t.Errorf("width=%d shards=%d: target %s probed %d times (overlapping shards)",
 					width, shards, a, n)

@@ -53,19 +53,19 @@ func (d *DeviceResult) AliveCount() int {
 
 // Prober drives service probes through a scan driver.
 type Prober struct {
-	drv      xmap.Driver
+	drv      xmap.PacketDriver
 	nextPort uint16
 	// maxRounds bounds each TCP exchange (lock-step drivers need few).
 	maxRounds int
 }
 
 // New creates a prober.
-func New(drv xmap.Driver) *Prober {
+func New(drv xmap.PacketDriver) *Prober {
 	return &Prober{drv: drv, nextPort: 33000, maxRounds: 4}
 }
 
 // conn adapts the scan driver to minitcp.Conn.
-type conn struct{ drv xmap.Driver }
+type conn struct{ drv xmap.PacketDriver }
 
 func (c conn) Send(pkt []byte) error { return c.drv.Send(pkt) }
 func (c conn) Recv() [][]byte        { return c.drv.Recv() }

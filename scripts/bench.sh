@@ -4,10 +4,16 @@
 # trajectory is tracked repo-side.
 #
 # Usage:
-#   scripts/bench.sh            # full run, writes BENCH_<date>.json
-#   scripts/bench.sh -short     # one iteration per benchmark (CI smoke:
-#                               # validates the harness, numbers are noise)
+#   scripts/bench.sh                   # full run, writes BENCH_<date>.json
+#   scripts/bench.sh -short            # one iteration per benchmark (CI smoke:
+#                                      # validates the harness, numbers are noise)
 #   scripts/bench.sh [-short] out.json
+#   scripts/bench.sh -check [baseline.json]
+#                                      # regression gate: rerun the suite and
+#                                      # fail if any benchmark regresses >15%
+#                                      # in ns/op or allocates more per op
+#                                      # than the baseline snapshot (default:
+#                                      # newest BENCH_*.json in the repo root)
 #
 # Each entry records name, ns/op, B/op, allocs/op and probes/sec
 # (derived as 1e9/ns_per_op for benchmarks that report a "probes"
@@ -18,15 +24,137 @@ cd "$(dirname "$0")/.."
 
 benchtime=2s
 short=0
-if [ "${1:-}" = "-short" ]; then
-    short=1
-    benchtime=1x
-    shift
-fi
-out="${1:-BENCH_$(date +%F).json}"
+check=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -short)
+        short=1
+        benchtime=1x
+        shift
+        ;;
+    -check)
+        check=1
+        shift
+        ;;
+    *)
+        break
+        ;;
+    esac
+done
 
 pattern='ScannerThroughput|EnginePump'
-raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... 2>/dev/null | grep '^Benchmark' || true)
+
+run_suite() {
+    go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "${1:-1}" -benchmem ./... 2>/dev/null |
+        grep '^Benchmark' || true
+}
+
+if [ "$check" = 1 ]; then
+    baseline="${1:-}"
+    if [ -z "$baseline" ]; then
+        baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+    fi
+    if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+        echo "bench.sh: no baseline snapshot found (run scripts/bench.sh first)" >&2
+        exit 1
+    fi
+    # A -short baseline records one-iteration timings — pure noise — so
+    # only the allocation comparison is meaningful against it.
+    base_short=$(grep -o '"short": *[a-z]*' "$baseline" | head -1 | grep -o 'true\|false')
+    # In -check -short mode (CI smoke) the fresh numbers are noise too.
+    timing_ok=1
+    if [ "$base_short" = "true" ] || [ "$short" = 1 ]; then
+        timing_ok=0
+    fi
+    echo "bench.sh: regression check against $baseline (timing gate: $([ $timing_ok = 1 ] && echo on || echo 'off — short run'))"
+    # Three runs per benchmark, compared on the per-benchmark minimum:
+    # the minimum is the least-noise estimate of the code's true cost on
+    # a shared machine, and the 15% budget is meant for real regressions,
+    # not scheduler jitter. The -short smoke still needs enough
+    # iterations to amortize per-scan setup out of allocs/op (1x would
+    # blame scanner construction on the steady state), so it runs 10000
+    # iterations once instead of wall-clock-timed thrice.
+    runs=3
+    if [ "$short" = 1 ]; then
+        runs=1
+        benchtime=10000x
+    fi
+    raw=$(run_suite "$runs")
+    if [ -z "$raw" ]; then
+        echo "bench.sh: no benchmark output" >&2
+        exit 1
+    fi
+    printf '%s\n' "$raw" | awk -v baseline="$baseline" -v timing_ok="$timing_ok" '
+        BEGIN {
+            # Parse the machine-written snapshot: one benchmark object per
+            # line inside the "benchmarks" array (the "baseline" array at
+            # the end lists historic commits and is skipped).
+            inbench = 0
+            while ((getline line < baseline) > 0) {
+                if (line ~ /"benchmarks": \[/) { inbench = 1; continue }
+                if (inbench && line ~ /\]/) { inbench = 0 }
+                if (!inbench) continue
+                if (match(line, /"name": "[^"]*"/)) {
+                    name = substr(line, RSTART + 9, RLENGTH - 10)
+                    ns = field(line, "ns_per_op")
+                    allocs = field(line, "allocs_per_op")
+                    base_ns[name] = ns
+                    base_allocs[name] = allocs
+                }
+            }
+            close(baseline)
+        }
+        function field(line, key,    rest) {
+            if (!match(line, "\"" key "\": [0-9.]+")) return ""
+            rest = substr(line, RSTART, RLENGTH)
+            sub(/.*: /, "", rest)
+            return rest
+        }
+        {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = ""; a = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") ns = $i
+                if ($(i+1) == "allocs/op") a = $i
+            }
+            if (ns == "" || !(name in base_ns)) next
+            if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
+            if (a != "" && (!(name in best_allocs) || a + 0 < best_allocs[name] + 0)) best_allocs[name] = a
+            if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+        }
+        END {
+            for (i = 1; i <= n; i++) {
+                name = order[i]
+                ns = best_ns[name]; a = (name in best_allocs) ? best_allocs[name] : ""
+                compared++
+                status = "ok"
+                if (timing_ok && base_ns[name] + 0 > 0 && ns + 0 > base_ns[name] * 1.15) {
+                    status = sprintf("THROUGHPUT REGRESSION (>15%%: %.0f -> %.0f ns/op)", base_ns[name], ns)
+                    failed++
+                }
+                if (a != "" && base_allocs[name] != "" && a + 0 > base_allocs[name] + 0) {
+                    status = sprintf("ALLOC REGRESSION (%s -> %s allocs/op)", base_allocs[name], a)
+                    failed++
+                }
+                printf "  %-45s ns/op %10s (base %10s)  allocs %3s (base %3s)  %s\n", \
+                    name, ns, base_ns[name], a, base_allocs[name], status
+            }
+            if (compared == 0) {
+                print "bench.sh: no benchmarks matched the baseline" > "/dev/stderr"
+                exit 1
+            }
+            if (failed > 0) {
+                printf "bench.sh: %d regression(s) against %s\n", failed, baseline > "/dev/stderr"
+                exit 1
+            }
+            printf "bench.sh: %d benchmark(s) within budget\n", compared
+        }
+    '
+    exit $?
+fi
+
+out="${1:-BENCH_$(date +%F).json}"
+raw=$(run_suite)
 if [ -z "$raw" ]; then
     echo "bench.sh: no benchmark output" >&2
     exit 1
