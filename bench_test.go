@@ -193,6 +193,47 @@ func BenchmarkScannerThroughput(b *testing.B) {
 		sent += stats.Sent
 	}
 	b.ReportMetric(float64(sent), "probes")
+	b.ReportMetric(float64(dep.Engine.Counters().Events)/float64(sent), "events/probe")
+}
+
+// BenchmarkScannerThroughputInterpreted is BenchmarkScannerThroughput
+// with the compiled forwarding fast path disabled: every link crossing
+// is its own pumped event. The gap between the two benchmarks — both
+// in ns/op and in the events/probe metric — is the fast path's win, and
+// the alloc gate holds the interpreted engine to zero steady-state
+// allocations too.
+func BenchmarkScannerThroughputInterpreted(b *testing.B) {
+	dep, err := topo.Build(topo.Config{
+		Seed: 3, Scale: 0.0005, WindowWidth: 14, MaxDevicesPerISP: 4000, OnlyISPs: []int{13},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep.Engine.SetFastPath(false)
+	isp := dep.ISPs[0]
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	b.ResetTimer()
+	sent := uint64(0)
+	for sent < uint64(b.N) {
+		scanner, err := xmap.New(xmap.Config{
+			Window:     isp.Window,
+			Seed:       []byte(fmt.Sprintf("tpx-%d", sent)),
+			MaxTargets: uint64(b.N) - sent,
+		}, drv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := scanner.Run(context.Background(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Sent == 0 {
+			b.Fatal("no probes sent")
+		}
+		sent += stats.Sent
+	}
+	b.ReportMetric(float64(sent), "probes")
+	b.ReportMetric(float64(dep.Engine.Counters().Events)/float64(sent), "events/probe")
 }
 
 // BenchmarkScannerThroughputInstrumented is BenchmarkScannerThroughput
@@ -280,6 +321,7 @@ func BenchmarkScannerThroughputSharded(b *testing.B) {
 		sent += stats.Sent
 	}
 	b.ReportMetric(float64(sent), "probes")
+	b.ReportMetric(float64(dep.Group.Counters().Events)/float64(sent), "events/probe")
 }
 
 // BenchmarkAmplification measures the per-packet cost of the loop attack

@@ -72,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ckptN    = fs.Uint64("checkpoint-every", 4096, "targets between periodic checkpoints")
 		resumeF  = fs.Bool("resume", false, "resume the scan recorded in the -checkpoint file")
 		monitorN = fs.Int("monitor-every", 0, "print a ZMap-style status line to stderr every N probed targets (0 = off)")
+		fastF    = fs.Bool("fastpath", true, "compiled forwarding fast path in the simulated network (disable to A/B the interpreted engine)")
 		statusF  = fs.String("status-json", "", "write the merged telemetry snapshot as JSON to this file ('-' for stderr)")
 		listenF  = fs.String("listen", "", "serve /telemetry, /trace, expvar and pprof over HTTP on this address for the scan's duration")
 		traceF   = fs.String("trace", "", "write the flight-recorder dump as JSON to this file ('-' for stderr)")
@@ -91,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	dep, err := topo.Build(topo.Config{
 		Seed: *seed, Scale: *scale, WindowWidth: *width, MaxDevicesPerISP: *maxDev,
+		FastPath: fastF,
 	})
 	if err != nil {
 		return err

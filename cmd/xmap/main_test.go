@@ -60,6 +60,9 @@ func TestStatusJSONDeterministic(t *testing.T) {
 	if snap.Counters["sim.transmissions"] == 0 {
 		t.Error("sim.transmissions = 0: engine collector not registered")
 	}
+	if snap.Counters["sim.fastpath.hits"]+snap.Counters["sim.fastpath.misses"] == 0 {
+		t.Error("sim.fastpath.* all zero: fast-path counters not collected")
+	}
 	if snap.Counters["scan.received"] == 0 {
 		t.Error("scan.received = 0: the fixture always answers some probes")
 	}

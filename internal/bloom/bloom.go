@@ -114,6 +114,34 @@ func (f *Filter) Contains(key []byte) bool {
 	return true
 }
 
+// AddIfAbsent inserts key and reports whether it was absent before the
+// call — one hashing pass replacing the Contains-then-Add pair on a
+// dedup hot path. Bit-for-bit equivalent to Contains followed by Add.
+func (f *Filter) AddIfAbsent(key []byte) bool {
+	h1, h2 := f.hashes(key)
+	absent := false
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		w := &f.bits[pos/64]
+		m := uint64(1) << (pos % 64)
+		if *w&m == 0 {
+			absent = true
+			*w |= m
+		}
+	}
+	f.count++
+	return absent
+}
+
+// AddIfAbsentUint64Pair is AddIfAbsent for 128-bit keys held as two
+// words.
+func (f *Filter) AddIfAbsentUint64Pair(hi, lo uint64) bool {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], hi)
+	binary.BigEndian.PutUint64(b[8:], lo)
+	return f.AddIfAbsent(b[:])
+}
+
 // AddUint64Pair is a convenience for 128-bit keys held as two words.
 func (f *Filter) AddUint64Pair(hi, lo uint64) {
 	var b [16]byte

@@ -6,9 +6,11 @@ package lpm
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/ipv6"
+	"repro/internal/uint128"
 )
 
 // Table is a longest-prefix-match table mapping prefixes to values of
@@ -26,6 +28,12 @@ type Table[V any] struct {
 	// Remove, so concurrent read-only lookups stay safe.
 	small      []smallEntry[V]
 	overflowed bool
+
+	// maxBits tracks the longest prefix ever inserted (Remove leaves it
+	// as a conservative upper bound). Route-compilation wideness checks
+	// use it: with maxBits <= 64, every address of one /64 matches the
+	// same entry.
+	maxBits int
 }
 
 type smallEntry[V any] struct {
@@ -64,7 +72,59 @@ func (t *Table[V]) Insert(p ipv6.Prefix, v V) {
 		t.size++
 	}
 	n.val, n.set = v, true
+	if p.Bits() > t.maxBits {
+		t.maxBits = p.Bits()
+	}
 	t.smallInsert(p, v)
+}
+
+// MaxBits returns an upper bound on the length of any installed prefix
+// (0 for an empty table).
+func (t *Table[V]) MaxBits() int { return t.maxBits }
+
+// UniformWidth returns the smallest prefix length w such that every
+// address sharing a's first w bits takes the same Lookup decision: the
+// region prefix(a, w) lies inside the matched prefix (if any) and
+// overlaps no other installed prefix. Route compilation uses it to key
+// flow-cache entries at the widest sound granularity. Tables past the
+// small-mirror bound fall back to the conservative MaxBits answer
+// (which may exceed 64, telling the caller the region is unusable).
+func (t *Table[V]) UniformWidth(a ipv6.Addr) int {
+	if t.overflowed {
+		if t.maxBits <= 64 {
+			return 64
+		}
+		return t.maxBits
+	}
+	w := 1
+	u := a.Uint128()
+	for i := range t.small {
+		p := &t.small[i].p
+		c := commonBits(u, p.Addr().Uint128())
+		if c >= p.Bits() {
+			// An ancestor of a: the region must stay inside it (the
+			// deepest ancestor is the LPM match).
+			if p.Bits() > w {
+				w = p.Bits()
+			}
+		} else if c+1 > w {
+			// Disjoint: the region must stop before the first bit
+			// where a and p diverge.
+			w = c + 1
+		}
+	}
+	return w
+}
+
+// commonBits counts the leading bits a and b share.
+func commonBits(a, b uint128.Uint128) int {
+	if x := a.Hi ^ b.Hi; x != 0 {
+		return bits.LeadingZeros64(x)
+	}
+	if x := a.Lo ^ b.Lo; x != 0 {
+		return 64 + bits.LeadingZeros64(x)
+	}
+	return 128
 }
 
 func (t *Table[V]) smallInsert(p ipv6.Prefix, v V) {

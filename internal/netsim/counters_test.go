@@ -12,8 +12,16 @@ import (
 func TestEngineCounters(t *testing.T) {
 	n := buildGroupNet(t, 1)
 	eng := n.grp.Shard(0)
-	if c := eng.Counters(); c != (Counters{}) {
-		t.Fatalf("fresh engine counters = %+v, want zero", c)
+	c0 := eng.Counters()
+	// Building the topology already bumps the flow-cache generation
+	// (every Connect invalidates compiled paths); traffic counters must
+	// still be zero before the first injection.
+	if c0.FastPathInvalidations == 0 {
+		t.Error("FastPathInvalidations = 0 after Connect, want generation bumps counted")
+	}
+	c0.FastPathInvalidations = 0
+	if c0 != (Counters{}) {
+		t.Fatalf("fresh engine counters = %+v, want zero traffic", c0)
 	}
 	var injected uint64
 	for i := 0; i < 10; i++ {
@@ -79,6 +87,9 @@ func TestGroupCountersSumShards(t *testing.T) {
 		want.Transmissions += c.Transmissions
 		want.Bytes += c.Bytes
 		want.Dropped += c.Dropped
+		want.FastPathHits += c.FastPathHits
+		want.FastPathMisses += c.FastPathMisses
+		want.FastPathInvalidations += c.FastPathInvalidations
 	}
 	if got := n.grp.Counters(); got != want {
 		t.Errorf("group counters = %+v, shard sum = %+v", got, want)

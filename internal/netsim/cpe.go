@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math/bits"
+
 	"repro/internal/ipv6"
 	"repro/internal/wire"
 )
@@ -186,6 +188,236 @@ func (c *CPE) Handle(in *Iface, pkt []byte) []Emission {
 	}
 }
 
+// CompileStep implements CompilableHop for the CPE's statically
+// forwarding regions: the vulnerable loop behaviors (a flawed route
+// sends the packet straight back out the WAN — the paper's routing
+// loop) and the default route. Both are stateless single-decision
+// forwards unless a LoopCap bounds the bounce with per-destination
+// state, which stays interpreted.
+func (c *CPE) CompileStep(in *Iface, dst ipv6.Addr) (CompiledStep, bool) {
+	if dst == c.wan.addr || (c.lanAddr != (ipv6.Addr{}) && dst == c.lanAddr) || c.hosts[dst] {
+		return CompiledStep{}, false
+	}
+	step := CompiledStep{Out: c.wan, Forwarded: &c.CountForwarded}
+	loopOK := c.behavior.LoopCap == 0
+	switch {
+	case c.wanPrefix.Contains(dst):
+		if !c.behavior.VulnWAN || !loopOK {
+			return CompiledStep{}, false
+		}
+		if c.hasLAN && c.behavior.VulnLAN && c.delegated.Contains(dst) {
+			// The WAN /64 sits inside the delegation and both flawed
+			// routes bounce out the WAN identically: one region spans
+			// the whole delegated prefix (minus operated subnets).
+			step.Width = c.loopRegion(dst, &step.Holes, &step.NHole)
+		} else {
+			step.Width = prefixWidth(c.wanPrefix)
+		}
+	case c.inSubnet(dst):
+		return CompiledStep{}, false // error terminal, not a forward
+	case c.hasLAN && c.delegated.Contains(dst):
+		if !c.behavior.VulnLAN || !loopOK {
+			return CompiledStep{}, false
+		}
+		step.Width = c.loopRegion(dst, &step.Holes, &step.NHole)
+	default:
+		// Default route toward the ISP (e.g. a reply transiting the CPE
+		// after an ISP-side hop-limit expiry): uniform up to the nearest
+		// special prefix.
+		step.Width = c.defaultRegion(dst, &step.Holes, &step.NHole)
+	}
+	if step.Width != 0 && !c.exclSpecials(step.Width, dst, &step.Excl, &step.NExcl) {
+		step.Width = 0
+	}
+	if step.Width == 0 {
+		step.NExcl, step.NHole = 0, 0
+	}
+	return step, true
+}
+
+// compileExpiry implements hopExpirer: any non-special destination
+// whose hop limit dies here draws Time Exceeded sourced from the WAN
+// address — how a looping probe ultimately exposes the flawed CPE.
+// Expiry precedes all routing, so the decision is uniform over
+// everything except the CPE's own addresses and operated hosts.
+func (c *CPE) compileExpiry(in *Iface, dst ipv6.Addr) (compiledTerm, bool) {
+	if dst == c.wan.addr || (c.lanAddr != (ipv6.Addr{}) && dst == c.lanAddr) || c.hosts[dst] {
+		return compiledTerm{}, false
+	}
+	t := compiledTerm{
+		typ: wire.ICMPTimeExceeded, code: wire.TimeExceedHopLimit,
+		src: c.wan.addr, gate: &c.gate, width: 1,
+	}
+	if !c.exclSpecials(1, dst, &t.excl, &t.nExcl) {
+		t.width = 0
+		t.nExcl = 0
+	}
+	return t, true
+}
+
+// CompileTerminal implements terminalCompiler for the correct-behavior
+// error regions of the paper's Figure 4 routing table: nonexistent WAN
+// /64 addresses and operated-subnet addresses draw address-unreachable,
+// the Not-used Prefix draws no-route. Vulnerable behaviors (VulnWAN,
+// VulnLAN) loop with per-destination state and stay interpreted, as do
+// local deliveries and the default route.
+func (c *CPE) CompileTerminal(in *Iface, dst ipv6.Addr) (compiledTerm, bool) {
+	if dst == c.wan.addr || (c.lanAddr != (ipv6.Addr{}) && dst == c.lanAddr) || c.hosts[dst] {
+		return compiledTerm{}, false
+	}
+	t := compiledTerm{typ: wire.ICMPDestUnreach, src: c.wan.addr, gate: &c.gate}
+	switch {
+	case c.wanPrefix.Contains(dst):
+		if c.behavior.VulnWAN {
+			return compiledTerm{}, false
+		}
+		t.code = wire.UnreachAddress
+		t.width = prefixWidth(c.wanPrefix)
+	case c.inSubnet(dst):
+		t.code = wire.UnreachAddress
+		// The region is the containing subnet; the WAN prefix is holed
+		// out if it reaches inside (its branch wins in Handle).
+		for _, s := range c.subnets {
+			if !s.Contains(dst) {
+				continue
+			}
+			t.width = prefixWidth(s)
+			if t.width != 0 && c.wanPrefix.Overlaps(s) {
+				t.holes[0] = c.wanPrefix
+				t.nHole = 1
+			}
+			break
+		}
+	case c.hasLAN && c.delegated.Contains(dst):
+		if c.behavior.VulnLAN {
+			return compiledTerm{}, false
+		}
+		t.code = wire.UnreachNoRoute
+		// One region per delegation: the whole Not-used Prefix draws
+		// the same error, with the operated subnets and the WAN /64
+		// (different error code) carved out.
+		t.width = c.loopRegion(dst, &t.holes, &t.nHole)
+	default:
+		return compiledTerm{}, false // default route: the CPE forwards, per-packet
+	}
+	if t.width != 0 && !c.exclSpecials(t.width, dst, &t.excl, &t.nExcl) {
+		t.width = 0
+	}
+	if t.width == 0 {
+		t.nExcl, t.nHole = 0, 0
+	}
+	return t, true
+}
+
+// loopRegion claims the whole delegated prefix as one region, holing
+// out the operated subnets and — unless the flawed WAN route behaves
+// identically — the WAN /64. Holing is conservative: a holed
+// destination compiles its own narrower entry, so over-holing costs
+// only reuse, never correctness. Returns 0 (exact) when the region is
+// unexpressible or the holes overflow.
+func (c *CPE) loopRegion(dst ipv6.Addr, holes *[fpHoleCap]ipv6.Prefix, nHole *uint8) uint8 {
+	w := prefixWidth(c.delegated)
+	if w == 0 {
+		return 0
+	}
+	add := func(p ipv6.Prefix) bool {
+		if p.Contains(dst) {
+			// dst's own branch outranks the hole (Handle checks the
+			// WAN prefix before subnets); holing it would shadow the
+			// entry's own destination.
+			return true
+		}
+		if int(*nHole) == fpHoleCap {
+			return false
+		}
+		holes[*nHole] = p
+		*nHole++
+		return true
+	}
+	for _, s := range c.subnets {
+		if !add(s) {
+			return 0
+		}
+	}
+	sameBehavior := c.behavior.VulnWAN && c.behavior.VulnLAN && c.behavior.LoopCap == 0
+	if !sameBehavior && c.wanPrefix.Overlaps(c.delegated) && !add(c.wanPrefix) {
+		return 0
+	}
+	return w
+}
+
+// defaultRegion claims the largest region around dst inside the CPE's
+// default-route space: it stops at the first bit where dst diverges
+// from each special prefix, and carves out special prefixes narrower
+// than dst's /64.
+func (c *CPE) defaultRegion(dst ipv6.Addr, holes *[fpHoleCap]ipv6.Prefix, nHole *uint8) uint8 {
+	w := uint8(1)
+	dh := dst.Uint128().Hi
+	avoid := func(p ipv6.Prefix) bool {
+		if p.Bits() == 0 {
+			return true
+		}
+		cb := bits.LeadingZeros64(dh ^ p.Addr().Uint128().Hi)
+		if cb >= 64 {
+			// p lives inside dst's /64 (it cannot contain dst — dst is
+			// in the default region): carve it out instead of
+			// narrowing below /64.
+			if int(*nHole) == fpHoleCap {
+				return false
+			}
+			holes[*nHole] = p
+			*nHole++
+			return true
+		}
+		if uint8(cb+1) > w {
+			w = uint8(cb + 1)
+		}
+		return true
+	}
+	if !avoid(c.wanPrefix) {
+		return 0
+	}
+	if c.hasLAN && !avoid(c.delegated) {
+		return 0
+	}
+	for _, s := range c.subnets {
+		if !avoid(s) {
+			return 0
+		}
+	}
+	return w
+}
+
+// exclSpecials folds the CPE's own addresses and operated hosts that
+// fall inside prefix(dst, width) into the exclusion list — lookups to
+// them miss into the interpreter. ok=false on overflow.
+func (c *CPE) exclSpecials(width uint8, dst ipv6.Addr, excl *[fpExclCap]ipv6.Addr, nExcl *uint8) bool {
+	dh := dst.Uint128().Hi
+	add := func(a ipv6.Addr) bool {
+		if a == dst || (dh^a.Uint128().Hi)&fpMask(width) != 0 {
+			return true // dst itself, or outside the region
+		}
+		if int(*nExcl) == fpExclCap {
+			return false
+		}
+		excl[*nExcl] = a
+		*nExcl++
+		return true
+	}
+	if !add(c.wan.addr) {
+		return false
+	}
+	if c.lanAddr != (ipv6.Addr{}) && !add(c.lanAddr) {
+		return false
+	}
+	for h := range c.hosts {
+		if !add(h) {
+			return false
+		}
+	}
+	return true
+}
+
 // loopForward sends the packet back out the WAN default route, applying
 // any per-destination loop cap.
 func (c *CPE) loopForward(in *Iface, dst ipv6.Addr, pkt []byte) []Emission {
@@ -284,6 +516,25 @@ func (u *UE) Iface() *Iface { return u.ifc }
 
 // Addr returns the UE's own address.
 func (u *UE) Addr() ipv6.Addr { return u.ifc.addr }
+
+// CompileTerminal implements terminalCompiler: a nonexistent address
+// inside the UE's prefix draws address-unreachable from the UE itself
+// (paper Figure 1b). The UE's own address is the only special case.
+func (u *UE) CompileTerminal(in *Iface, dst ipv6.Addr) (compiledTerm, bool) {
+	if dst == u.ifc.addr || !u.prefix.Contains(dst) {
+		return compiledTerm{}, false
+	}
+	t := compiledTerm{
+		typ: wire.ICMPDestUnreach, code: wire.UnreachAddress,
+		src: u.ifc.addr, gate: &u.gate,
+		width: prefixWidth(u.prefix),
+	}
+	if t.width != 0 {
+		t.excl[0] = u.ifc.addr
+		t.nExcl = 1
+	}
+	return t, true
+}
 
 // Handle implements Node.
 func (u *UE) Handle(in *Iface, pkt []byte) []Emission {

@@ -59,6 +59,9 @@ type Iface struct {
 	// eng is set by Connect; node handlers use it to build reply packets
 	// into pooled buffers (they run with the engine lock held).
 	eng *Engine
+	// fpID is the engine-local flow-cache key component, assigned by
+	// Connect (0 = never connected).
+	fpID uint32
 }
 
 // NewIface creates an unbound interface for node with the given unicast
@@ -190,6 +193,13 @@ type Engine struct {
 	// which case the pump must not recycle it.
 	owner       *byte
 	ownerReused bool
+
+	// fp is the compiled forwarding fast path (flowcache.go);
+	// fpScratch is the entry under compilation, kept off the stack so
+	// flows that turn out unkeyable can still be served from it
+	// without the compile allocating.
+	fp        flowCache
+	fpScratch flowEntry
 }
 
 // DefaultEventBudget bounds a single Run; loop-attack packets terminate
@@ -203,7 +213,11 @@ const maxPooledBuffers = 256
 // New creates an engine with a deterministic random source for loss
 // decisions.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed)), budget: DefaultEventBudget}
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		budget: DefaultEventBudget,
+		fp:     flowCache{enabled: true, gen: 1},
+	}
 }
 
 // Connect joins two interfaces with a link that drops each packet with
@@ -218,8 +232,19 @@ func (e *Engine) Connect(a, b *Iface, loss float64) *Link {
 	a.eng, b.eng = e, e
 	e.mu.Lock()
 	e.links = append(e.links, l)
+	e.fp.assignIDLocked(a)
+	e.fp.assignIDLocked(b)
+	e.fp.bumpLocked() // topology changed: compiled paths are stale
 	e.mu.Unlock()
 	return l
+}
+
+// Links returns the engine's links in connection order (read-only view
+// for observers; per-direction stats via Link.StatsFrom).
+func (e *Engine) Links() []*Link {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.links
 }
 
 // SetFault installs (or, with nil, removes) a fault-injection layer
@@ -228,6 +253,35 @@ func (e *Engine) Connect(a, b *Iface, loss float64) *Link {
 func (e *Engine) SetFault(f FaultFunc) {
 	e.mu.Lock()
 	e.fault = f
+	// Replay consults the live fault layer, but compiled entries also
+	// cache fault-independent facts (losslessness); recompile.
+	e.fp.bumpLocked()
+	e.mu.Unlock()
+}
+
+// SetFastPath enables or disables the compiled forwarding fast path
+// (flowcache.go). Enabled by default; disabling frees the flow table
+// and forces every delivery onto the interpreted path.
+func (e *Engine) SetFastPath(on bool) {
+	e.mu.Lock()
+	if e.fp.enabled != on {
+		e.fp.enabled = on
+		e.fp.bumpLocked()
+		if !on {
+			e.fp.tags = nil
+			e.fp.slots = nil
+			e.fp.mask = 0
+		}
+	}
+	e.mu.Unlock()
+}
+
+// InvalidateFlows discards every compiled flow. Nodes call it (via
+// their mutators) when routing state changes; tests use it to pin
+// invalidation behavior.
+func (e *Engine) InvalidateFlows() {
+	e.mu.Lock()
+	e.fp.bumpLocked()
 	e.mu.Unlock()
 }
 
@@ -291,6 +345,14 @@ type Counters struct {
 	// Dropped counts transmissions discarded by link loss or a fault
 	// layer's Drop decision.
 	Dropped uint64
+	// FastPathHits counts deliveries served as fused replays from a
+	// warm compiled flow; FastPathMisses counts deliveries that had to
+	// compile first or fall back to the interpreter;
+	// FastPathInvalidations counts generation bumps (each discards
+	// every compiled flow).
+	FastPathHits          uint64
+	FastPathMisses        uint64
+	FastPathInvalidations uint64
 }
 
 // Counters returns the engine totals, consistent under the engine lock.
@@ -298,10 +360,13 @@ func (e *Engine) Counters() Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Counters{
-		Events:        e.steps,
-		Transmissions: e.txPackets,
-		Bytes:         e.txBytes,
-		Dropped:       e.txDropped,
+		Events:                e.steps,
+		Transmissions:         e.txPackets,
+		Bytes:                 e.txBytes,
+		Dropped:               e.txDropped,
+		FastPathHits:          e.fp.hits,
+		FastPathMisses:        e.fp.misses,
+		FastPathInvalidations: e.fp.invalidations,
 	}
 }
 
@@ -486,7 +551,27 @@ func (e *Engine) runLocked() int {
 		} else {
 			d = e.fifo.pop()
 		}
+		// lookupFP gates the fast path per delivery: after a fused
+		// replay hands a packet back to the interpreter (fpContinue),
+		// that delivery runs interpreted once before lookups resume.
+		lookupFP := true
 		for {
+			if lookupFP && e.fp.enabled && e.queuedLocked() == 0 && n < e.budget {
+				res, cont := e.fpAttempt(d)
+				if res != fpMiss {
+					// The fused replay is one event, charged exactly
+					// like a queued delivery.
+					n++
+					e.steps++
+					if res == fpDone {
+						break
+					}
+					d = cont
+					lookupFP = false
+					continue
+				}
+			}
+			lookupFP = true
 			n++
 			e.steps++
 			e.owner, e.ownerReused = bufBase(d.pkt), false

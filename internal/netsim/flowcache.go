@@ -1,0 +1,1193 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// This file is the compiled forwarding fast path: a per-engine flow
+// cache that records, on first delivery, the traversal a packet class
+// takes through statically-forwarding nodes — the ordered links
+// crossed, the per-hop hop-limit decrements, and the terminal action —
+// and replays it for subsequent packets of the same flow as one fused
+// event. Replay charges per-link stats and consumes per-link fault-RNG
+// draws in exactly the order sequential forwarding would, so loss,
+// duplication, reordering and rate-limiting behave identically (pinned
+// by simtest.RunFastPathOracle). Flows are keyed by (ingress interface,
+// destination); entries whose every forwarding decision is uniform
+// across the destination's /64 are stored wide, so the scanner's
+// random-IID probes into one window /64 share a single entry.
+//
+// Only nodes that opt in via CompilableHop participate; anything with
+// per-packet state (a CPE in a vulnerable-loop mode, a UE, a node
+// behind a rate limiter whose decision isn't a pure error gate) falls
+// back to the interpreted path. Entries are validated against a
+// generation counter bumped on topology mutation, fault-layer change,
+// or fast-path toggle — a stale compiled path is never replayed.
+
+// CompiledStep is one statically-forwarding hop recorded by route
+// compilation: the egress interface a packet to dst leaves through and
+// the node's transit counter to charge per replayed packet.
+type CompiledStep struct {
+	Out *Iface
+	// Forwarded, when non-nil, is incremented once per replayed packet
+	// (the node's CountForwarded).
+	Forwarded *uint64
+	// Width, when non-zero, declares the decision uniform across every
+	// destination sharing dst's first Width bits (1..64) — minus the
+	// exclusions below. The flow entry is then shared across that
+	// region: a provider-edge router whose delegations are /60s
+	// declares Width 60, and one cache entry serves the scanner's
+	// probes into all sixteen /64s of the cell. Width 0 means the
+	// decision holds for this exact destination only.
+	Width uint8
+	// Excl[:NExcl] lists addresses inside the region the decision does
+	// NOT cover (the node's own addresses, operated hosts); a wide
+	// entry's lookup hands those back to the interpreter.
+	NExcl uint8
+	// Holes[:NHole] lists sub-prefixes of the region the decision does
+	// not cover (an operated subnet inside a delegated prefix);
+	// lookups to them miss, so they compile their own narrower entry.
+	NHole uint8
+	Excl  [fpExclCap]ipv6.Addr
+	Holes [fpHoleCap]ipv6.Prefix
+}
+
+// CompilableHop is the capability interface a node implements to let
+// the engine compile its forwarding decision into a flow entry. The
+// contract: if CompileStep(in, dst) returns ok, then for any packet
+// arriving on in whose destination is dst (or any address sharing
+// dst's first Width bits, outside the exclusions, when Width > 0),
+// Handle would decrement the hop limit, increment *Forwarded, and emit
+// the packet unchanged out Out — with no other state change. Nodes
+// with per-packet state must not implement it (or must return
+// ok=false).
+type CompilableHop interface {
+	Node
+	CompileStep(in *Iface, dst ipv6.Addr) (CompiledStep, bool)
+}
+
+// fpExclCap bounds the per-entry exclusion list: addresses inside a
+// wide entry's region that the path treats specially (a CPE's own WAN
+// address, LAN hosts). Lookups to them miss into the interpreter.
+const fpExclCap = 4
+
+// fpHoleCap bounds the per-entry excluded-sub-prefix list: regions a
+// wide entry does not cover (operated subnets, the WAN /64 inside a
+// delegation). Lookups to them miss and compile their own entry.
+const fpHoleCap = 3
+
+// compiledTerm is a terminal node's compiled decision: every
+// non-special address in the region draws one ICMPv6 error, subject to
+// the node's error gate.
+type compiledTerm struct {
+	typ, code uint8
+	// width: same contract as CompiledStep.Width (0 = exact only).
+	width uint8
+	nExcl uint8
+	nHole uint8
+	src   ipv6.Addr
+	gate  *errorGate
+	excl  [fpExclCap]ipv6.Addr
+	holes [fpHoleCap]ipv6.Prefix
+}
+
+// terminalCompiler is the package-private capability of nodes whose
+// terminal action (for the given destination) is a pure ICMPv6 error:
+// Router reject/no-route, ISPRouter unassigned space, and the
+// correct-behavior CPE error regions. ok=false means the terminal is
+// not compilable for dst and the flow stays interpreted from this node.
+type terminalCompiler interface {
+	CompileTerminal(in *Iface, dst ipv6.Addr) (compiledTerm, bool)
+}
+
+// hopExpirer is the package-private capability of nodes whose response
+// to an exhausted hop limit is a pure Time Exceeded error: it describes
+// the error a packet arriving on in addressed to dst would draw when
+// the node cannot decrement the hop limit. ok=false when dst is special
+// to the node (delivered locally before the hop-limit check).
+type hopExpirer interface {
+	compileExpiry(in *Iface, dst ipv6.Addr) (compiledTerm, bool)
+}
+
+// entryKind discriminates flow-cache entries.
+type entryKind uint8
+
+const (
+	// entryNeg: compilation failed; the flow is interpreted (cached so
+	// the walk isn't retried per packet). Always exact-match.
+	entryNeg entryKind = iota
+	// entryNode: fused transit crossings, then interpreted delivery to
+	// the terminal node.
+	entryNode
+	// entryEdge: fused transit ending in inline delivery to an Edge.
+	entryEdge
+	// entryError: fused transit, compiled ICMPv6 error at the terminal,
+	// fused reply path, inline delivery to the Edge.
+	entryError
+	// entryLoop: the path ends in hop-limit exhaustion — either a
+	// routing loop (the paper's flawed-CPE bounce, ISP↔CPE until TTL
+	// death) or a short initial hop limit. The entry records the prefix
+	// crossings, one unrolled cycle, the total crossing count to expiry,
+	// the expiring node's Time Exceeded, and the fused reply path; the
+	// dozens of bounce crossings replay as one event with batched
+	// charging. Valid only for the exact compiled incoming hop limit.
+	entryLoop
+)
+
+// maxCompiledHops bounds recorded path length in each direction; longer
+// paths replay their prefix fused and continue interpreted.
+const maxCompiledHops = 6
+
+// fpTmplLen is the inline error-template length: exactly the error's
+// 40-byte IPv6 header plus the 8-byte ICMPv6 header. The invoking
+// packet that follows is spliced in from the live probe at replay, so
+// only the constant header needs caching.
+const fpTmplLen = wire.HeaderLen + 8
+
+// compiledHop is one recorded link crossing.
+type compiledHop struct {
+	out *Iface
+	fwd *uint64 // transit counter to charge, may be nil
+}
+
+// flowEntry is one compiled flow. Everything is inline (fixed-size
+// arrays, no pointers to per-entry heap data) so compiling flows during
+// a benchmark loop costs zero steady-state allocations. Field order is
+// replay order: the steady-state hit path reads the struct roughly
+// front to back (one hardware-prefetch-friendly stream), with the
+// compile-time region bookkeeping (exclusions, holes) at the tail where
+// only shadow checks touch it.
+type flowEntry struct {
+	ifid  uint32
+	kind  entryKind
+	wide  bool
+	// width is the entry's key granularity: hi is masked to its top
+	// `width` bits and the entry serves every destination sharing them
+	// (minus excl/holes). Exact entries use width 64 with lo compared.
+	width uint8
+	// lossless: no crossed link has built-in loss, so replay under a
+	// nil fault layer consumes no RNG draws (matching the interpreter,
+	// which only draws when loss > 0) and can charge stats directly.
+	lossless bool
+	nf, nr   uint8
+	nExcl    uint8
+	nHole    uint8
+	errType  uint8
+	errCode  uint8
+	// entryLoop geometry: valid for packets arriving with hop limit
+	// hlIn; fwd[:loopStart] is the acyclic prefix, fwd[loopStart:nf]
+	// one turn of the cycle, loopCross the total crossings until the
+	// hop limit expires at term.
+	hlIn      uint8
+	loopStart uint8
+	loopLen   uint8
+	loopCross uint16
+	// probeLen validates the error template below: the header splice is
+	// only byte-exact for invoking packets of the compiled length.
+	probeLen uint16
+	// Shadow pre-filter: the region's /64 cells (≤16 of them when width
+	// ≥ 60; cellShift = 64-width) that contain a hole or an exclusion.
+	// A destination in an unmarked cell is definitely not shadowed, so
+	// the hit path skips the hole/exclusion walk at the entry tail.
+	// Regions wider than 16 cells mark everything (always walk).
+	cellShift  uint8
+	shadowCell uint16
+	hi, lo     uint64 // destination (hi masked to width); lo ignored when wide
+	gen      uint64
+	term     *Iface // terminal ingress (entryNode) / error emitter (entryError)
+	edge     *Iface // edge ingress for the reply (entryError) or packet (entryEdge)
+	gate     *errorGate
+	replySrc ipv6.Addr // reply path below is valid only for this probe source
+	fwd      [maxCompiledHops]compiledHop
+	// Error header template, captured on first replay: the error's IPv6
+	// + ICMPv6 headers for a probe of probeLen bytes, plus the partial
+	// checksum of the constant region. Replay copies the header, splices
+	// the invoking packet after it, and finishes the checksum
+	// incrementally.
+	tmplSum uint64
+	tmpl    [fpTmplLen]byte
+	hasTmpl bool
+	errSrc  ipv6.Addr
+	rev     [maxCompiledHops]compiledHop
+	// Excluded sub-prefixes of a wide region, pre-split for the lookup
+	// path: holeBits ≤ 64 compares masked hi only, longer holes compare
+	// hi exactly plus masked lo.
+	holeBits [fpHoleCap]uint8
+	holeHi   [fpHoleCap]uint64
+	holeLo   [fpHoleCap]uint64
+	excl     [fpExclCap]ipv6.Addr
+}
+
+// Flow-table sizing: open-addressed, fixed slot count per generation,
+// grown ×4 up to fpMaxSlots when fill passes 40%. A lookup probes
+// fpProbe consecutive slots; insert evicts within the same window, so a
+// hot flow displaced by a collision is simply recompiled.
+const (
+	fpMinSlots = 1 << 10
+	fpMaxSlots = 1 << 16
+	fpProbe    = 4
+)
+
+// fpWidthCap bounds how many distinct entry widths one cache tracks; a
+// lookup probes once per live width, so topologies keep this tiny (64
+// for exact and /64 entries plus the ISP delegation granularities).
+const fpWidthCap = 8
+
+// flowCache is the per-engine compiled-flow table.
+//
+// tags is a parallel array of one 8-byte hash tag per slot (eight per
+// cache line), so a lookup's probe window costs one dense line load
+// instead of touching the ~half-KiB flowEntry payloads; the payload is
+// read only on a tag match, which the slot's own key fields then
+// confirm (a colliding tag is a wasted slot load, never a wrong hit).
+// Tag zero means the slot has never been written.
+type flowCache struct {
+	enabled bool
+	tags    []uint64
+	slots   []flowEntry
+	mask    uint64
+	fill    int
+	// gen validates entries: a slot is live iff slot.gen == gen.
+	// Bumping gen invalidates every compiled flow at once.
+	gen    uint64
+	nextID uint32
+
+	// widths lists the distinct key widths of live entries. Probe order
+	// is a perf knob, not a correctness one — a wide entry refuses
+	// destinations in its exclusions/holes (shadowed), so any entry a
+	// lookup matches is safe to replay — and lookups bubble the width
+	// that hits toward the front, keeping the workload's dominant
+	// granularity first. Reset on bump along with the entries.
+	widths  [fpWidthCap]uint8
+	nWidths uint8
+
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+}
+
+// bumpLocked invalidates all compiled flows.
+func (fp *flowCache) bumpLocked() {
+	fp.gen++
+	fp.fill = 0
+	fp.nWidths = 0
+	fp.invalidations++
+}
+
+// assignIDLocked gives an interface its engine-local flow-key id.
+func (fp *flowCache) assignIDLocked(i *Iface) {
+	if i.fpID == 0 {
+		fp.nextID++
+		i.fpID = fp.nextID
+	}
+}
+
+func fpHash(ifid uint32, hi uint64) uint64 {
+	x := hi ^ uint64(ifid)*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 29
+	return x
+}
+
+// fpMask is the hi-bits mask of a key width in 1..64.
+func fpMask(w uint8) uint64 { return ^uint64(0) << (64 - w) }
+
+// slotHash keys a slot by (interface, width, masked destination bits);
+// mixing the width keeps one cell's entries at different granularities
+// in distinct probe windows.
+func slotHash(ifid uint32, w uint8, hw uint64) uint64 {
+	return fpHash(ifid, hw) ^ uint64(w)*0x9FB21C651E98DF25
+}
+
+// fpTagWide is the tag of a wide entry: the slot hash itself, with the
+// low bit claimed so live tags are never zero. The hash's high bits
+// discriminate between flows whose windows overlap (the window index
+// consumes only the low bits).
+func fpTagWide(h uint64) uint64 { return h | 1 }
+
+// fpTagExact is the tag of an exact (/128) entry, folding the low
+// destination word in so two addresses in one /64 get distinct tags.
+func fpTagExact(h, lo uint64) uint64 {
+	x := h ^ lo*0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 32
+	return x | 1
+}
+
+// registerWidth records a live entry width. ok=false when the width
+// table is full — the caller must then key the entry exactly.
+func (fp *flowCache) registerWidth(w uint8) bool {
+	for pos := uint8(0); pos < fp.nWidths; pos++ {
+		if fp.widths[pos] == w {
+			return true
+		}
+	}
+	if int(fp.nWidths) == fpWidthCap {
+		return false
+	}
+	fp.widths[fp.nWidths] = w
+	fp.nWidths++
+	return true
+}
+
+// buildShadowCells precomputes a wide entry's shadow pre-filter: one
+// bit per /64 cell of the region that holds a hole or an exclusion.
+// Marking too much is sound (a marked cell just walks the full lists),
+// so anything unexpressible marks everything.
+func (s *flowEntry) buildShadowCells() {
+	shift := 64 - int(s.width)
+	if shift > 4 {
+		s.cellShift = 4
+		s.shadowCell = ^uint16(0)
+		return
+	}
+	s.cellShift = uint8(shift)
+	mask := uint64(1)<<shift - 1
+	var cells uint16
+	for k := uint8(0); k < s.nHole; k++ {
+		hb := int(s.holeBits[k])
+		base := s.holeHi[k] & mask
+		switch {
+		case hb >= 64:
+			cells |= 1 << (base & 15)
+		case hb < int(s.width):
+			cells = ^uint16(0) // hole coarser than the region: mark all
+		default:
+			for c := uint64(0); c < uint64(1)<<(64-hb); c++ {
+				cells |= 1 << ((base + c) & 15)
+			}
+		}
+	}
+	for k := uint8(0); k < s.nExcl; k++ {
+		cells |= 1 << (s.excl[k].Uint128().Hi & mask & 15)
+	}
+	s.shadowCell = cells
+}
+
+// shadowed reports whether dst (hi, lo) falls in one of a wide entry's
+// exclusions — a special address or a carved-out sub-prefix. Such
+// lookups miss, so the excluded destination compiles its own (more
+// specific) entry rather than replaying the wide one.
+func (s *flowEntry) shadowed(hi, lo uint64) bool {
+	for k := uint8(0); k < s.nHole; k++ {
+		hb := s.holeBits[k]
+		if hb <= 64 {
+			if (hi^s.holeHi[k])&fpMask(hb) == 0 {
+				return true
+			}
+		} else if hi == s.holeHi[k] && (lo^s.holeLo[k])&fpMask(hb-64) == 0 {
+			return true
+		}
+	}
+	for k := uint8(0); k < s.nExcl; k++ {
+		if u := s.excl[k].Uint128(); u.Hi == hi && u.Lo == lo {
+			return true
+		}
+	}
+	return false
+}
+
+// lookup finds a live entry for (ifid, dst), probing once per live key
+// width. Wide entries match any address sharing the masked hi bits
+// outside their exclusions; exact entries require the full destination.
+// The width that hits bubbles one position forward, so steady-state
+// traffic resolves against its dominant granularity on the first probe.
+func (fp *flowCache) lookup(ifid uint32, hi, lo uint64) *flowEntry {
+	if fp.tags == nil {
+		return nil
+	}
+	gen := fp.gen
+	for wi := uint8(0); wi < fp.nWidths; wi++ {
+		w := fp.widths[wi]
+		hw := hi & fpMask(w)
+		h := slotHash(ifid, w, hw)
+		// Entries narrower than /64 are always wide; at exactly 64 the
+		// slot may hold either a wide /64 region or an exact address.
+		want, wantExact := fpTagWide(h), fpTagWide(h)
+		if w == 64 {
+			wantExact = fpTagExact(h, lo)
+		}
+		for i := uint64(0); i < fpProbe; i++ {
+			j := (h + i) & fp.mask
+			t := fp.tags[j]
+			if t != want && t != wantExact {
+				continue
+			}
+			s := &fp.slots[j]
+			if s.gen != gen || s.hi != hw || s.ifid != ifid || s.width != w ||
+				(!s.wide && s.lo != lo) {
+				continue
+			}
+			if s.wide && s.nExcl|s.nHole != 0 {
+				cell := uint16(1) << (hi & (uint64(1)<<s.cellShift - 1))
+				if s.shadowCell&cell != 0 && s.shadowed(hi, lo) {
+					continue
+				}
+			}
+			if wi > 0 {
+				fp.widths[wi-1], fp.widths[wi] = fp.widths[wi], fp.widths[wi-1]
+			}
+			return s
+		}
+	}
+	return nil
+}
+
+// insert stores ent and returns its table slot. The table grows when
+// fill passes 40% — or, crucially, whenever a probe window is full of
+// live entries: evictions don't raise fill, so without the second
+// trigger a saturated table would stall below the threshold and churn
+// (every insert killing a live flow) instead of growing.
+func (fp *flowCache) insert(ent *flowEntry) *flowEntry {
+	if fp.slots == nil {
+		fp.tags = make([]uint64, fpMinSlots)
+		fp.slots = make([]flowEntry, fpMinSlots)
+		fp.mask = fpMinSlots - 1
+	} else if (fp.fill+1)*5 > len(fp.slots)*2 && len(fp.slots) < fpMaxSlots {
+		fp.grow()
+	}
+	for {
+		if slot, ok := fp.tryPlace(ent); ok {
+			return slot
+		}
+		if len(fp.slots) >= fpMaxSlots {
+			return fp.place(ent) // capped: evict within the window
+		}
+		fp.grow()
+	}
+}
+
+// fpTag is the tag ent will carry, given its slot hash.
+func (ent *flowEntry) fpTag(h uint64) uint64 {
+	if ent.wide {
+		return fpTagWide(h)
+	}
+	return fpTagExact(h, ent.lo)
+}
+
+// setSlot writes ent into slot j, keeping tag and payload in sync.
+func (fp *flowCache) setSlot(j uint64, ent *flowEntry) *flowEntry {
+	fp.tags[j] = ent.fpTag(slotHash(ent.ifid, ent.width, ent.hi))
+	s := &fp.slots[j]
+	*s = *ent
+	s.gen = fp.gen
+	return s
+}
+
+// tryPlace stores ent if its probe window has a dead slot or already
+// holds the same flow; ok=false when placing would evict a live entry.
+func (fp *flowCache) tryPlace(ent *flowEntry) (*flowEntry, bool) {
+	h := slotHash(ent.ifid, ent.width, ent.hi)
+	tag := ent.fpTag(h)
+	victim := uint64(1) << 63
+	for i := uint64(0); i < fpProbe; i++ {
+		j := (h + i) & fp.mask
+		s := &fp.slots[j]
+		if fp.tags[j] != 0 && s.gen == fp.gen {
+			if fp.tags[j] == tag && s.ifid == ent.ifid && s.width == ent.width &&
+				s.hi == ent.hi && s.wide == ent.wide && (s.wide || s.lo == ent.lo) {
+				return fp.setSlot(j, ent), true // recompile of the same flow
+			}
+			continue
+		}
+		if victim == uint64(1)<<63 {
+			victim = j
+		}
+	}
+	if victim == uint64(1)<<63 {
+		return nil, false
+	}
+	fp.fill++
+	return fp.setSlot(victim, ent), true
+}
+
+func (fp *flowCache) place(ent *flowEntry) *flowEntry {
+	if slot, ok := fp.tryPlace(ent); ok {
+		return slot
+	}
+	h := slotHash(ent.ifid, ent.width, ent.hi)
+	return fp.setSlot(h&fp.mask, ent) // window full: evict
+}
+
+func (fp *flowCache) grow() {
+	oldTags, old := fp.tags, fp.slots
+	gen := fp.gen
+	fp.tags = make([]uint64, len(old)*4)
+	fp.slots = make([]flowEntry, len(old)*4)
+	fp.mask = uint64(len(fp.slots) - 1)
+	fp.fill = 0
+	for i := range old {
+		if oldTags[i] != 0 && old[i].gen == gen {
+			fp.place(&old[i])
+		}
+	}
+}
+
+// avoidAddrs returns the width (≥ width) of the largest claimable
+// region around dst that keeps every element of addrs out of it;
+// addresses sharing dst's full /64 cannot be widened past and join the
+// exclusion list instead. ok=false when the exclusion list overflows
+// (the claim must then be exact). Routers use this to bound region
+// claims by their own interface addresses.
+func avoidAddrs(width uint8, dst ipv6.Addr, addrs []ipv6.Addr, excl *[fpExclCap]ipv6.Addr, nExcl *uint8) (uint8, bool) {
+	dh := dst.Uint128().Hi
+	for _, a := range addrs {
+		c := bits.LeadingZeros64(dh ^ a.Uint128().Hi)
+		if c >= 64 {
+			if a == dst {
+				continue // the caller already handled dst itself
+			}
+			if int(*nExcl) == fpExclCap {
+				return width, false
+			}
+			excl[*nExcl] = a
+			*nExcl++
+			continue
+		}
+		if w := uint8(c + 1); w > width {
+			width = w
+		}
+	}
+	return width, true
+}
+
+// prefixWidth converts a region prefix into a width claim: its length
+// when expressible in the top 64 bits, else 0 (exact).
+func prefixWidth(p ipv6.Prefix) uint8 {
+	if b := p.Bits(); b >= 1 && b <= 64 {
+		return uint8(b)
+	}
+	return 0
+}
+
+// fpResult is the outcome of a fast-path attempt.
+type fpResult uint8
+
+const (
+	// fpMiss: nothing was replayed and no state changed; the caller
+	// interprets the delivery normally.
+	fpMiss fpResult = iota
+	// fpDone: the flow was fully replayed as one fused event.
+	fpDone
+	// fpContinue: a fused prefix of the path was replayed as one event;
+	// the returned delivery continues on the interpreted path.
+	fpContinue
+)
+
+// fpAttempt tries to serve delivery d from the flow cache, compiling
+// the flow on a miss. Called from the pump with the engine lock held
+// and the event queue empty.
+func (e *Engine) fpAttempt(d delivery) (fpResult, delivery) {
+	pkt := d.pkt
+	// Same validation as wire.ForwardDst: anything else takes the
+	// interpreted path (nodes drop it without touching the cache).
+	if len(pkt) < wire.HeaderLen || pkt[0]>>4 != 6 ||
+		len(pkt)-wire.HeaderLen < int(binary.BigEndian.Uint16(pkt[4:6])) {
+		return fpMiss, d
+	}
+	ifid := d.to.fpID
+	if ifid == 0 {
+		return fpMiss, d
+	}
+	hi := binary.BigEndian.Uint64(pkt[24:32])
+	lo := binary.BigEndian.Uint64(pkt[32:40])
+	ent := e.fp.lookup(ifid, hi, lo)
+	cold := ent == nil
+	if cold {
+		ent = e.compileFlow(d.to, pkt)
+	}
+	if ent.kind == entryNeg {
+		e.fp.misses++
+		return fpMiss, d
+	}
+	res, cont := e.fpReplay(ent, d)
+	switch {
+	case res == fpMiss || cold:
+		e.fp.misses++
+	default:
+		e.fp.hits++
+	}
+	return res, cont
+}
+
+// compileFlow dry-walks the path a packet delivered at `to` takes to
+// dst, recording compilable hops, and installs the resulting entry
+// (negative if nothing compiled). No Handle is executed and no state
+// mutated: the walk queries CompileStep/CompileTerminal only. The
+// entry is built in the engine's scratch slot, so even a flow that
+// cannot be cached is compiled without allocating.
+func (e *Engine) compileFlow(to *Iface, pkt []byte) *flowEntry {
+	dst := ipv6.AddrFromBytes(pkt[24:40])
+	u := dst.Uint128()
+	ent := &e.fpScratch
+	*ent = flowEntry{}
+	ent.ifid = to.fpID
+	ent.hi, ent.lo = u.Hi, u.Lo
+	ent.kind = entryNeg
+	ent.wide = true
+	ent.width = 1
+	ent.lossless = true
+	hlIn := pkt[7]
+	hl := hlIn
+	// Visited ingress interfaces, for routing-cycle detection: ins[i]
+	// is where the packet is after i crossings.
+	var ins [maxCompiledHops + 1]*Iface
+	ins[0] = to
+	in := to
+	for {
+		node := in.node
+		if _, isEdge := node.(*Edge); isEdge {
+			if ent.nf > 0 {
+				ent.kind = entryEdge
+				ent.term = in
+			}
+			break
+		}
+		if hl <= 1 {
+			// The hop limit expires at this node before any forwarding.
+			if he, ok := node.(hopExpirer); ok {
+				if term, ok := he.compileExpiry(in, dst); ok {
+					e.compileLoopTerm(ent, in, term, pkt, hlIn,
+						int(ent.nf), 0, int(ent.nf))
+					break
+				}
+			}
+			ent.wide = false
+			if ent.nf > 0 {
+				ent.kind = entryNode
+				ent.term = in
+			}
+			break
+		}
+		if ch, ok := node.(CompilableHop); ok {
+			if step, ok := ch.CompileStep(in, dst); ok {
+				if int(ent.nf) == maxCompiledHops || step.Out.link == nil {
+					// Path too long (replay the recorded prefix fused)
+					// or egress unconnected (interpreted: vanishes).
+					if int(ent.nf) == maxCompiledHops {
+						ent.kind = entryNode
+						ent.term = in
+					}
+					break
+				}
+				applyStepRegion(ent, &step)
+				if step.Out.link.loss != 0 {
+					ent.lossless = false
+				}
+				ent.fwd[ent.nf] = compiledHop{out: step.Out, fwd: step.Forwarded}
+				ent.nf++
+				hl--
+				next := step.Out.link.ends[1-step.Out.end]
+				cycle := -1
+				for j := 0; j < int(ent.nf); j++ {
+					if ins[j] == next {
+						cycle = j
+						break
+					}
+				}
+				if cycle >= 0 {
+					// A routing loop: the packet bounces around the
+					// cycle until its hop limit dies. One decrement per
+					// crossing, so expiry lands after hlIn-1 crossings
+					// at a node fixed by cycle arithmetic.
+					p, l := cycle, int(ent.nf)-cycle
+					k := int(hlIn) - 1
+					exp := ins[p+(k-p)%l]
+					if he, ok := exp.node.(hopExpirer); ok {
+						if term, ok := he.compileExpiry(exp, dst); ok {
+							e.compileLoopTerm(ent, exp, term, pkt, hlIn, p, l, k)
+							break
+						}
+					}
+					// Expiry node uncompilable: replay the recorded
+					// crossings fused, bounce on interpreted.
+					ent.kind = entryNode
+					ent.term = next
+					break
+				}
+				ins[ent.nf] = next
+				in = next
+				continue
+			}
+		}
+		if tc, ok := node.(terminalCompiler); ok {
+			if term, ok := tc.CompileTerminal(in, dst); ok {
+				e.compileErrorTerm(ent, in, term, pkt)
+				break
+			}
+			// Terminal refused (special address, vulnerable behavior):
+			// cache the transit prefix for this destination only.
+			ent.wide = false
+		}
+		if ent.nf > 0 {
+			ent.kind = entryNode
+			ent.term = in
+		}
+		break
+	}
+	if ent.kind == entryNeg || ent.kind == entryNode && ent.term != nil && !compilableTerm(ent.term.node) {
+		// A terminal outside the capability interfaces may treat
+		// different addresses of one region differently; stay exact.
+		ent.wide = false
+	}
+	if ent.kind == entryNeg {
+		ent.nf = 0
+	}
+	if ent.wide && !e.fp.registerWidth(ent.width) {
+		ent.wide = false // width table saturated: key exactly
+	}
+	if ent.wide {
+		ent.hi &= fpMask(ent.width)
+		ent.buildShadowCells()
+	} else {
+		// Exact entries are keyed at /64 with the low half compared,
+		// and never match a special address or hole.
+		ent.width = 64
+		ent.nExcl, ent.nHole = 0, 0
+		if !e.fp.registerWidth(64) {
+			return ent // unkeyable: serve this delivery uncached
+		}
+	}
+	return e.fp.insert(ent)
+}
+
+// applyStepRegion folds one compiled hop's region claim into the
+// entry: the width narrows to the step's (larger width = smaller
+// region), exclusions and holes accumulate; any overflow forces the
+// entry exact.
+func applyStepRegion(ent *flowEntry, step *CompiledStep) {
+	if step.Width == 0 {
+		ent.wide = false
+	} else if step.Width > ent.width {
+		ent.width = step.Width
+	}
+	if step.NExcl > 0 && !mergeExcl(ent, step.Excl[:step.NExcl]) {
+		ent.wide = false
+	}
+	for k := uint8(0); k < step.NHole; k++ {
+		if !mergeHole(ent, step.Holes[k]) {
+			ent.wide = false
+		}
+	}
+}
+
+// applyTermRegion is applyStepRegion for a compiled terminal.
+func applyTermRegion(ent *flowEntry, term *compiledTerm) {
+	if term.width == 0 {
+		ent.wide = false
+	} else if term.width > ent.width {
+		ent.width = term.width
+	}
+	if term.nExcl > 0 && !mergeExcl(ent, term.excl[:term.nExcl]) {
+		ent.wide = false
+	}
+	for k := uint8(0); k < term.nHole; k++ {
+		if !mergeHole(ent, term.holes[k]) {
+			ent.wide = false
+		}
+	}
+}
+
+// mergeHole folds an excluded sub-prefix into the entry,
+// deduplicating; false when the inline list overflows (the entry must
+// then be exact).
+func mergeHole(ent *flowEntry, p ipv6.Prefix) bool {
+	b := p.Bits()
+	if b < 1 || b > 128 {
+		return false
+	}
+	u := p.Addr().Uint128()
+	for k := uint8(0); k < ent.nHole; k++ {
+		if ent.holeBits[k] == uint8(b) && ent.holeHi[k] == u.Hi && ent.holeLo[k] == u.Lo {
+			return true
+		}
+	}
+	if int(ent.nHole) == fpHoleCap {
+		return false
+	}
+	ent.holeBits[ent.nHole] = uint8(b)
+	ent.holeHi[ent.nHole] = u.Hi
+	ent.holeLo[ent.nHole] = u.Lo
+	ent.nHole++
+	return true
+}
+
+// mergeExcl folds addrs into the entry's exclusion list, deduplicating;
+// false when the inline list overflows (the entry must then be exact).
+func mergeExcl(ent *flowEntry, addrs []ipv6.Addr) bool {
+outer:
+	for _, a := range addrs {
+		for k := uint8(0); k < ent.nExcl; k++ {
+			if ent.excl[k] == a {
+				continue outer
+			}
+		}
+		if int(ent.nExcl) == fpExclCap {
+			return false
+		}
+		ent.excl[ent.nExcl] = a
+		ent.nExcl++
+	}
+	return true
+}
+
+func compilableTerm(n Node) bool {
+	_, ok := n.(terminalCompiler)
+	return ok
+}
+
+// compileReply records the error's return path from termIn back to an
+// Edge into ent.rev (rev[0] is the emission out the arrival interface,
+// the rest forwarding crossings). false when any reverse hop is
+// uncompilable; ent.lossless may have been cleared regardless, which is
+// safe (the transmit-path replay is exact, just slower).
+func compileReply(ent *flowEntry, termIn *Iface, rdst ipv6.Addr) bool {
+	if termIn.link == nil {
+		return false
+	}
+	ent.rev[0] = compiledHop{out: termIn}
+	if termIn.link.loss != 0 {
+		ent.lossless = false
+	}
+	nr := 1
+	rin := termIn.link.ends[1-termIn.end]
+	for {
+		node := rin.node
+		if _, isEdge := node.(*Edge); isEdge {
+			ent.edge = rin
+			break
+		}
+		ch, ok := node.(CompilableHop)
+		if !ok {
+			return false
+		}
+		step, ok := ch.CompileStep(rin, rdst)
+		if !ok || nr == maxCompiledHops || step.Out.link == nil {
+			return false
+		}
+		if step.Out.link.loss != 0 {
+			ent.lossless = false
+		}
+		ent.rev[nr] = compiledHop{out: step.Out, fwd: step.Forwarded}
+		nr++
+		rin = step.Out.link.ends[1-step.Out.end]
+	}
+	ent.nr = uint8(nr)
+	return true
+}
+
+// compileErrorTerm upgrades ent to a fully fused error round trip: the
+// terminal's compiled ICMPv6 error plus the compiled reply path back to
+// an Edge. Any obstacle downgrades to entryNode (interpreted terminal).
+func (e *Engine) compileErrorTerm(ent *flowEntry, termIn *Iface, term compiledTerm, pkt []byte) {
+	// The reply path is compiled for this probe's source; replay guards
+	// on it and falls back to the interpreted terminal for other
+	// sources.
+	rdst := ipv6.AddrFromBytes(pkt[8:24])
+	if !compileReply(ent, termIn, rdst) {
+		if ent.nf > 0 {
+			ent.kind = entryNode
+			ent.term = termIn
+		}
+		return
+	}
+	ent.kind = entryError
+	ent.term = termIn
+	ent.errType, ent.errCode = term.typ, term.code
+	ent.errSrc = term.src
+	ent.gate = term.gate
+	ent.replySrc = rdst
+	applyTermRegion(ent, &term)
+}
+
+// compileLoopTerm upgrades ent to a fused hop-limit-expiry round trip:
+// prefix crossings (fwd[:p]), a cycle of l crossings (fwd[p:p+l], zero
+// for a plain short-hop-limit path), cross total crossings until the
+// Time Exceeded fires at expIn's node, and the compiled reply. Only
+// valid for packets arriving with exactly hlIn; replay guards on it.
+// Any obstacle downgrades to entryNode (bounces stay interpreted).
+func (e *Engine) compileLoopTerm(ent *flowEntry, expIn *Iface, term compiledTerm, pkt []byte, hlIn uint8, p, l, cross int) {
+	rdst := ipv6.AddrFromBytes(pkt[8:24])
+	if !compileReply(ent, expIn, rdst) {
+		if ent.nf > 0 {
+			ent.kind = entryNode
+			ent.term = expIn
+		}
+		return
+	}
+	ent.kind = entryLoop
+	ent.term = expIn
+	ent.errType, ent.errCode = term.typ, term.code
+	ent.errSrc = term.src
+	ent.gate = term.gate
+	ent.replySrc = rdst
+	ent.hlIn = hlIn
+	ent.loopStart, ent.loopLen = uint8(p), uint8(l)
+	ent.loopCross = uint16(cross)
+	applyTermRegion(ent, &term)
+}
+
+// fpReplay replays a compiled entry for delivery d. The contract with
+// the interpreter: every link-stat charge, RNG draw, fault consult, tap
+// call, hop-limit decrement, transit-counter increment, error-gate
+// decision and buffer-pool movement happens in exactly the order
+// sequential forwarding would produce.
+func (e *Engine) fpReplay(ent *flowEntry, d delivery) (fpResult, delivery) {
+	pkt := d.pkt
+	if ent.kind == entryLoop {
+		return e.fpReplayLoop(ent, d)
+	}
+	// One fused event can use the pure-add charging loop only when
+	// nothing can observe or perturb individual crossings.
+	plain := ent.lossless && e.fault == nil && e.tap == nil
+
+	in := d.to
+	for j := uint8(0); j < ent.nf; j++ {
+		if pkt[7] <= 1 {
+			// Hop limit expires at this node: its interpreted Handle
+			// emits the Time Exceeded.
+			if j == 0 {
+				return fpMiss, d
+			}
+			return fpContinue, delivery{to: in, pkt: pkt}
+		}
+		pkt[7]--
+		h := &ent.fwd[j]
+		if h.fwd != nil {
+			*h.fwd++
+		}
+		if plain {
+			l := h.out.link
+			st := &l.stats[h.out.end]
+			n := uint64(len(pkt))
+			st.Packets++
+			st.Bytes += n
+			e.txPackets++
+			e.txBytes += n
+			e.seq++
+			in = l.ends[1-h.out.end]
+		} else {
+			nd, ok := e.transmitLocked(h.out, pkt, true)
+			if !ok {
+				// Dropped, deferred or duplicated: the queue owns
+				// whatever survives; the fused event ends here.
+				return fpDone, delivery{}
+			}
+			pkt = nd.pkt
+			in = nd.to
+		}
+	}
+
+	switch ent.kind {
+	case entryEdge:
+		ent.term.node.Handle(ent.term, pkt) // Edge retains; returns nil
+		return fpDone, delivery{}
+	case entryNode:
+		return fpContinue, delivery{to: in, pkt: pkt}
+	}
+
+	// entryError: the terminal's guards, in Handle's order. Bailing
+	// here hands the packet to the terminal's interpreted Handle, which
+	// reaches the same decision point with identical state.
+	bail := func() (fpResult, delivery) {
+		if ent.nf == 0 {
+			return fpMiss, d
+		}
+		return fpContinue, delivery{to: in, pkt: pkt}
+	}
+	if pkt[7] <= 1 {
+		return bail() // interpreted Time Exceeded at the terminal
+	}
+	if binary.BigEndian.Uint64(pkt[8:16]) != ent.replySrc.Uint128().Hi ||
+		binary.BigEndian.Uint64(pkt[16:24]) != ent.replySrc.Uint128().Lo {
+		return bail() // reply path compiled for a different source
+	}
+	pkt[7]--
+	if !ent.gate.allow() {
+		e.putBufLocked(pkt)
+		return fpDone, delivery{}
+	}
+	if isICMPError(pkt) {
+		// RFC 4443 2.4(e): no errors about errors; the interpreter
+		// refunds the gate budget in this case.
+		ent.gate.generated--
+		e.putBufLocked(pkt)
+		return fpDone, delivery{}
+	}
+	reply := e.fpBuildError(ent, pkt)
+	e.putBufLocked(pkt) // the probe's delivery lifecycle ends at the terminal
+	return e.fpReplayReverse(ent, reply, plain)
+}
+
+// fpReplayReverse drives the compiled error reply from the terminal
+// back to the Edge and delivers it inline.
+func (e *Engine) fpReplayReverse(ent *flowEntry, reply []byte, plain bool) (fpResult, delivery) {
+	rin := ent.term
+	for j := uint8(0); j < ent.nr; j++ {
+		if j > 0 {
+			if reply[7] <= 1 {
+				return fpContinue, delivery{to: rin, pkt: reply}
+			}
+			reply[7]--
+			if ent.rev[j].fwd != nil {
+				*ent.rev[j].fwd++
+			}
+		}
+		h := &ent.rev[j]
+		if plain {
+			l := h.out.link
+			st := &l.stats[h.out.end]
+			n := uint64(len(reply))
+			st.Packets++
+			st.Bytes += n
+			e.txPackets++
+			e.txBytes += n
+			e.seq++
+			rin = l.ends[1-h.out.end]
+		} else {
+			nd, ok := e.transmitLocked(h.out, reply, true)
+			if !ok {
+				return fpDone, delivery{}
+			}
+			reply = nd.pkt
+			rin = nd.to
+		}
+	}
+	ent.edge.node.Handle(ent.edge, reply) // Edge retains; returns nil
+	return fpDone, delivery{}
+}
+
+// fpReplayLoop replays a hop-limit-expiry entry: the acyclic prefix
+// plus however many turns of the recorded cycle the packet's hop limit
+// affords, the expiring node's Time Exceeded, and the fused reply. On a
+// lossless fault-free engine the dozens of bounce crossings are charged
+// arithmetically — per recorded hop, not per crossing — in one fused
+// event; otherwise each crossing runs through transmitLocked so every
+// fault consult, RNG draw and tap call happens in interpreted order.
+func (e *Engine) fpReplayLoop(ent *flowEntry, d delivery) (fpResult, delivery) {
+	pkt := d.pkt
+	if pkt[7] != ent.hlIn {
+		// Compiled for a different incoming hop limit (expiry would
+		// land elsewhere): interpret this packet.
+		return fpMiss, d
+	}
+	if binary.BigEndian.Uint64(pkt[8:16]) != ent.replySrc.Uint128().Hi ||
+		binary.BigEndian.Uint64(pkt[16:24]) != ent.replySrc.Uint128().Lo {
+		return fpMiss, d // reply path compiled for a different source
+	}
+	cross := int(ent.loopCross)
+	plain := ent.lossless && e.fault == nil && e.tap == nil
+	if plain {
+		p, l := int(ent.loopStart), int(ent.loopLen)
+		n := uint64(len(pkt))
+		for i := 0; i < int(ent.nf); i++ {
+			var cnt uint64
+			if i < p {
+				if i < cross {
+					cnt = 1
+				}
+			} else {
+				q := cross - p
+				cnt = uint64(q / l)
+				if i-p < q%l {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			h := &ent.fwd[i]
+			if h.fwd != nil {
+				*h.fwd += cnt
+			}
+			lk := h.out.link
+			st := &lk.stats[h.out.end]
+			st.Packets += cnt
+			st.Bytes += cnt * n
+			e.txPackets += cnt
+			e.txBytes += cnt * n
+		}
+		e.seq += uint64(cross)
+		pkt[7] = ent.hlIn - uint8(cross) // what the expiring node sees
+	} else {
+		for j := 0; j < cross; j++ {
+			i := j
+			if p := int(ent.loopStart); j >= p {
+				i = p + (j-p)%int(ent.loopLen)
+			}
+			pkt[7]--
+			h := &ent.fwd[i]
+			if h.fwd != nil {
+				*h.fwd++
+			}
+			nd, ok := e.transmitLocked(h.out, pkt, true)
+			if !ok {
+				// Dropped, deferred or duplicated mid-bounce: the queue
+				// owns whatever survives.
+				return fpDone, delivery{}
+			}
+			pkt = nd.pkt
+		}
+	}
+	// The expiring node's guards, in Handle's order (the hop limit is
+	// exhausted by construction, so the error path is unconditional).
+	if !ent.gate.allow() {
+		e.putBufLocked(pkt)
+		return fpDone, delivery{}
+	}
+	if isICMPError(pkt) {
+		// RFC 4443 2.4(e): no errors about errors; the interpreter
+		// refunds the gate budget in this case.
+		ent.gate.generated--
+		e.putBufLocked(pkt)
+		return fpDone, delivery{}
+	}
+	reply := e.fpBuildError(ent, pkt)
+	e.putBufLocked(pkt)
+	return e.fpReplayReverse(ent, reply, plain)
+}
+
+// fpBuildError produces the terminal's ICMPv6 error for the invoking
+// packet. The first replay builds it through the wire builders
+// (byte-exact by construction) and captures its headers as the entry's
+// template; later replays copy the 48-byte header, splice the invoking
+// packet after it, and finish the checksum from the cached
+// constant-region sum.
+func (e *Engine) fpBuildError(ent *flowEntry, pkt []byte) []byte {
+	const invOff = fpTmplLen
+	n := len(pkt)
+	if ent.hasTmpl && int(ent.probeLen) == n {
+		out := e.getBufLocked(invOff + n)
+		copy(out[:invOff], ent.tmpl[:])
+		copy(out[invOff:], pkt)
+		cs := wire.FoldSum(ent.tmplSum + wire.SumWords(pkt))
+		binary.BigEndian.PutUint16(out[invOff-6:invOff-4], cs)
+		return out
+	}
+	scratch := e.getBufLocked(wire.ErrorLen(pkt))
+	rdst := ipv6.AddrFromBytes(pkt[8:24])
+	var out []byte
+	if ent.errType == wire.ICMPTimeExceeded {
+		out, _ = wire.AppendTimeExceeded(scratch, ent.errSrc, rdst, wire.MaxHopLimit, pkt)
+	} else {
+		out, _ = wire.AppendDestUnreach(scratch, ent.errSrc, rdst, wire.MaxHopLimit, ent.errCode, pkt)
+	}
+	if len(out) == invOff+n {
+		// Untruncated: cache the headers as the template. The constant
+		// checksum region is the pseudo-header plus the 8-byte ICMPv6
+		// header with a zeroed checksum — of which only type and code
+		// are non-zero.
+		copy(ent.tmpl[:], out[:invOff])
+		ent.hasTmpl = true
+		ent.probeLen = uint16(n)
+		ent.tmplSum = wire.PseudoSum(ent.errSrc, rdst, wire.ProtoICMPv6, len(out)-wire.HeaderLen) +
+			uint64(ent.errType)<<8 + uint64(ent.errCode)
+	}
+	return out
+}

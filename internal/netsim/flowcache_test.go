@@ -1,0 +1,326 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/wire"
+)
+
+// mirrorPair is two identically built testNets, one replaying compiled
+// flows and one forced onto the interpreted path. Every differential
+// test drives both with the same inputs and demands byte-identical
+// observable behavior.
+type mirrorPair struct {
+	fast, slow *testNet
+}
+
+func buildMirror(t *testing.T, behavior CPEBehavior, policy ErrorPolicy) mirrorPair {
+	t.Helper()
+	p := mirrorPair{
+		fast: buildTestNet(t, behavior, policy),
+		slow: buildTestNet(t, behavior, policy),
+	}
+	p.slow.eng.SetFastPath(false)
+	return p
+}
+
+// inject sends the same echo request into both nets.
+func (p mirrorPair) inject(t *testing.T, dst ipv6.Addr, hopLimit uint8, seq uint16) {
+	t.Helper()
+	pkt, err := wire.BuildEchoRequest(scannerAddr, dst, hopLimit, 0xbeef, seq, []byte("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.fast.eng.Inject(p.fast.scanner.Iface(), pkt)
+	p.slow.eng.Inject(p.slow.scanner.Iface(), pkt)
+}
+
+// compare drains both scanners and checks every observable the fast
+// path promises to preserve: reply bytes (and order), per-link stats in
+// both directions, engine transmission/byte/drop totals, and the nodes'
+// forwarding counters. Events are exempt — fusing them is the point.
+func (p mirrorPair) compare(t *testing.T, tag string) {
+	t.Helper()
+	fr, sr := p.fast.scanner.Drain(), p.slow.scanner.Drain()
+	if len(fr) != len(sr) {
+		t.Fatalf("%s: fastpath delivered %d replies, interpreted %d", tag, len(fr), len(sr))
+	}
+	for i := range fr {
+		if !bytes.Equal(fr[i], sr[i]) {
+			t.Fatalf("%s: reply %d differs:\nfast %x\nslow %x", tag, i, fr[i], sr[i])
+		}
+	}
+	fl, sl := p.fast.eng.Links(), p.slow.eng.Links()
+	if len(fl) != len(sl) {
+		t.Fatalf("%s: link counts differ", tag)
+	}
+	for i := range fl {
+		fe, se := fl[i].Ends(), sl[i].Ends()
+		for end := 0; end < 2; end++ {
+			if got, want := fl[i].StatsFrom(fe[end]), sl[i].StatsFrom(se[end]); got != want {
+				t.Errorf("%s: link %d dir %s: fastpath %+v, interpreted %+v",
+					tag, i, fe[end].Name(), got, want)
+			}
+		}
+	}
+	fc, sc := p.fast.eng.Counters(), p.slow.eng.Counters()
+	if fc.Transmissions != sc.Transmissions || fc.Bytes != sc.Bytes || fc.Dropped != sc.Dropped {
+		t.Errorf("%s: counters diverge: fastpath %+v, interpreted %+v", tag, fc, sc)
+	}
+	if p.fast.core.CountForwarded != p.slow.core.CountForwarded {
+		t.Errorf("%s: core forwarded %d vs %d", tag, p.fast.core.CountForwarded, p.slow.core.CountForwarded)
+	}
+	if p.fast.isp.CountForwarded != p.slow.isp.CountForwarded {
+		t.Errorf("%s: isp forwarded %d vs %d", tag, p.fast.isp.CountForwarded, p.slow.isp.CountForwarded)
+	}
+	if p.fast.cpe.CountForwarded != p.slow.cpe.CountForwarded {
+		t.Errorf("%s: cpe forwarded %d vs %d", tag, p.fast.cpe.CountForwarded, p.slow.cpe.CountForwarded)
+	}
+}
+
+// TestFlowCachePropertyNoStaleReplay is the randomized invalidation
+// property: under an arbitrary interleaving of probes and topology
+// mutations, a compiled path must never replay stale — the mirrored
+// interpreted engine is ground truth after every single operation.
+// Mutations are applied to both nets; InvalidateFlows additionally
+// fires on the fast net alone, since discarding valid cache state must
+// be invisible.
+func TestFlowCachePropertyNoStaleReplay(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			p := buildMirror(t, CPEBehavior{}, ErrorPolicy{})
+
+			// Destination pool: CPE WAN, LAN host, the ISP's own
+			// interfaces, unassigned space (several /64s of one region
+			// and of distinct regions), unused space inside the LAN
+			// delegation, and off-block transit.
+			dsts := []ipv6.Addr{
+				wanAddr,
+				lanHost,
+				ipv6.MustParseAddr("2001:db8:fffe::2"),
+				ipv6.MustParseAddr("2001:db8:1234:5678::1"),
+				ipv6.MustParseAddr("2001:db8:aaaa:bbbb::1"),
+				ipv6.MustParseAddr("2001:db8:aaaa:bbbc::1"),
+				ipv6.MustParseAddr("2001:db8:cccc::99"),
+				ipv6.MustParseAddr("2001:db8:4321:8769::77"),
+				ipv6.MustParseAddr("2001:beef::55"),
+			}
+			hops := []uint8{64, 64, 64, 255, 3, 2}
+
+			// Fresh /64s the mutation stream delegates one at a time —
+			// each Delegate flips subsequent probes of that /64 (and
+			// shrinks the unassigned region around it).
+			fresh := []ipv6.Prefix{
+				ipv6.MustParsePrefix("2001:db8:aaaa:bbbb::/64"),
+				ipv6.MustParsePrefix("2001:db8:cccc::/64"),
+				ipv6.MustParsePrefix("2001:db8:aaaa:bbb8::/64"),
+			}
+
+			seq := uint16(1)
+			for op := 0; op < 80; op++ {
+				switch r := rng.Intn(10); {
+				case r < 7: // probe
+					p.inject(t, dsts[rng.Intn(len(dsts))], hops[rng.Intn(len(hops))], seq)
+					seq++
+				case r == 7 && len(fresh) > 0: // delegate a fresh /64
+					pf := fresh[0]
+					fresh = fresh[1:]
+					for _, n := range []*testNet{p.fast, p.slow} {
+						down := n.isp.AddIface(ipv6.SLAAC(pf, 1), "isp:extra")
+						if err := n.isp.Delegate(pf, down); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case r == 8: // reroute scan-net return traffic (a no-op route re-insert)
+					for _, n := range []*testNet{p.fast, p.slow} {
+						n.core.AddRoute(ipv6.MustParsePrefix("2001:beef::/64"), n.core.ifs[0])
+					}
+				default: // discard valid cache state on the fast net only
+					p.fast.eng.InvalidateFlows()
+				}
+				p.compare(t, fmt.Sprintf("op %d", op))
+			}
+			if hits := p.fast.eng.Counters().FastPathHits; hits == 0 {
+				t.Error("property run never hit the flow cache; the test lost its teeth")
+			}
+		})
+	}
+}
+
+// TestFlowCacheFaultReplayParity drives the mirror under a
+// deterministic fault layer (drop every 3rd transmission, duplicate
+// every 7th) — replay must consume fault decisions in exactly the
+// interpreted order for the two nets to stay in lockstep.
+func TestFlowCacheFaultReplayParity(t *testing.T) {
+	p := buildMirror(t, CPEBehavior{}, ErrorPolicy{})
+	mkFault := func() FaultFunc {
+		n := 0
+		return func(from *Iface, pkt []byte) FaultOutcome {
+			n++
+			switch {
+			case n%3 == 0:
+				return FaultOutcome{Drop: true}
+			case n%7 == 0:
+				return FaultOutcome{Deliveries: []int{0, 0}}
+			}
+			return FaultOutcome{}
+		}
+	}
+	p.fast.eng.SetFault(mkFault())
+	p.slow.eng.SetFault(mkFault())
+	dsts := []ipv6.Addr{wanAddr, lanHost, ipv6.MustParseAddr("2001:db8:aaaa:bbbb::1")}
+	for i := 0; i < 60; i++ {
+		p.inject(t, dsts[i%len(dsts)], 64, uint16(i+1))
+		p.compare(t, fmt.Sprintf("faulty probe %d", i))
+	}
+	if p.fast.eng.Counters().FastPathHits == 0 {
+		t.Error("fault-layer replays never hit the cache")
+	}
+}
+
+// TestFlowCacheLoopFusionParity pins the routing-loop bounce: a probe
+// into a vulnerable delegation ping-pongs ~253 times on the access
+// link. The fused replay must reproduce the interpreted amplification
+// byte-for-byte while collapsing the crossings into far fewer events,
+// and a later probe arriving with a different hop limit than the
+// compiled entry recorded must fall back, recompile, and still match.
+func TestFlowCacheLoopFusionParity(t *testing.T) {
+	p := buildMirror(t, CPEBehavior{VulnLAN: true}, ErrorPolicy{})
+	notUsed := ipv6.MustParseAddr("2001:db8:4321:8769::77")
+
+	p.inject(t, notUsed, 255, 1) // compiles the loop
+	p.compare(t, "cold loop")
+	p.inject(t, notUsed, 255, 2) // replays it fused
+	p.compare(t, "warm loop")
+	if got := p.fast.cpeLink.TotalPackets(); got < 400 {
+		t.Errorf("access link carried %d packets across two loops, want ~506", got)
+	}
+	fastEvents := p.fast.eng.Counters().Events
+	slowEvents := p.slow.eng.Counters().Events
+	if fastEvents*10 > slowEvents {
+		t.Errorf("loop fusion saved too little: %d events fastpath vs %d interpreted",
+			fastEvents, slowEvents)
+	}
+
+	// hlIn mismatch: the entry recorded arrival hop limits for 255;
+	// these probes must not replay it blindly.
+	for i, hl := range []uint8{250, 64, 5, 255} {
+		p.inject(t, notUsed, hl, uint16(10+i))
+		p.compare(t, fmt.Sprintf("hop limit %d", hl))
+	}
+}
+
+// TestFlowCacheWideEntrySharing pins region-width compilation: two
+// destinations in different /64s of one unassigned delegation cell
+// share a compiled entry (the second probe is a cache hit), while the
+// ISP's own interface address — which sits inside a compilable region —
+// keeps answering as itself rather than inheriting the region's fate.
+func TestFlowCacheWideEntrySharing(t *testing.T) {
+	p := buildMirror(t, CPEBehavior{}, ErrorPolicy{})
+
+	// The finest delegation table in buildTestNet is /64-grained, so the
+	// uniform cell around unassigned 2001:db8:aaaa:bbbb::/64 is exactly
+	// one /64: probing two IIDs of it shares the entry; probing the
+	// adjacent /64 compiles its own.
+	a1 := ipv6.MustParseAddr("2001:db8:aaaa:bbbb::1")
+	a2 := ipv6.MustParseAddr("2001:db8:aaaa:bbbb::2")
+	p.inject(t, a1, 64, 1)
+	p.compare(t, "cold region")
+	before := p.fast.eng.Counters()
+	p.inject(t, a2, 64, 2)
+	p.compare(t, "warm region")
+	after := p.fast.eng.Counters()
+	if after.FastPathHits <= before.FastPathHits {
+		t.Errorf("second probe of the region missed: hits %d -> %d (misses %d -> %d)",
+			before.FastPathHits, after.FastPathHits, before.FastPathMisses, after.FastPathMisses)
+	}
+
+	// The provider-side WAN interface address lies inside the delegated
+	// WAN /64 whose other addresses forward to the CPE: the compiled
+	// region must exclude it (excl/shadow machinery), in both orders.
+	local := ipv6.MustParseAddr("2001:db8:1234:5678::1")
+	other := ipv6.SLAAC(wanPrefix, 0xdeadbeef)
+	p.inject(t, other, 64, 3) // compile the forwarding region first
+	p.compare(t, "wan region")
+	p.inject(t, local, 64, 4) // then the excluded local address
+	p.compare(t, "wan local addr")
+	p.inject(t, local, 64, 5) // warm local
+	p.inject(t, other, 64, 6) // warm region
+	p.compare(t, "wan interleaved")
+}
+
+// TestFlowCacheInvalidationCounter pins the observability contract:
+// every mutation class that must discard compiled flows also ticks
+// Counters().FastPathInvalidations.
+func TestFlowCacheInvalidationCounter(t *testing.T) {
+	n := buildTestNet(t, CPEBehavior{}, ErrorPolicy{})
+	last := n.eng.Counters().FastPathInvalidations
+	expect := func(tag string) {
+		t.Helper()
+		now := n.eng.Counters().FastPathInvalidations
+		if now <= last {
+			t.Errorf("%s did not tick FastPathInvalidations (still %d)", tag, now)
+		}
+		last = now
+	}
+	if err := n.isp.Delegate(ipv6.MustParsePrefix("2001:db8:7777::/64"),
+		n.isp.AddIface(ipv6.MustParseAddr("2001:db8:7777::1"), "isp:x")); err != nil {
+		t.Fatal(err)
+	}
+	expect("Delegate")
+	n.core.AddRoute(ipv6.MustParsePrefix("2001:dead::/64"), n.core.ifs[0])
+	expect("AddRoute")
+	n.eng.SetFault(func(*Iface, []byte) FaultOutcome { return FaultOutcome{} })
+	expect("SetFault")
+	n.eng.InvalidateFlows()
+	expect("InvalidateFlows")
+	n.eng.SetFastPath(false)
+	expect("SetFastPath(false)")
+}
+
+// TestFlowCacheConcurrentInject hammers one engine from several
+// goroutines with interleaved InvalidateFlows calls. The engine lock
+// serializes them; the test exists for the -race runner, which CI
+// points at the FlowCache tests explicitly.
+func TestFlowCacheConcurrentInject(t *testing.T) {
+	n := buildTestNet(t, CPEBehavior{}, ErrorPolicy{})
+	dsts := []ipv6.Addr{
+		wanAddr, lanHost,
+		ipv6.MustParseAddr("2001:db8:aaaa:bbbb::1"),
+		ipv6.MustParseAddr("2001:db8:cccc::99"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dst := dsts[(g+i)%len(dsts)]
+				pkt, err := wire.BuildEchoRequest(scannerAddr, dst, 64, uint16(g+1), uint16(i+1), nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n.eng.Inject(n.scanner.Iface(), pkt)
+				if i%50 == 25 {
+					n.eng.InvalidateFlows()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := n.eng.Counters()
+	if c.FastPathHits == 0 {
+		t.Error("concurrent run never hit the flow cache")
+	}
+	if got := uint64(n.scanner.Pending()); got == 0 {
+		t.Error("no replies delivered")
+	}
+}

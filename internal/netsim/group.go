@@ -192,6 +192,13 @@ func (g *EngineGroup) SetTap(t TapFunc) {
 	}
 }
 
+// SetFastPath toggles the compiled forwarding fast path on every shard.
+func (g *EngineGroup) SetFastPath(on bool) {
+	for _, e := range g.shards {
+		e.SetFastPath(on)
+	}
+}
+
 // Steps sums events processed across all shards.
 func (g *EngineGroup) Steps() uint64 {
 	var n uint64
@@ -210,6 +217,9 @@ func (g *EngineGroup) Counters() Counters {
 		c.Transmissions += sc.Transmissions
 		c.Bytes += sc.Bytes
 		c.Dropped += sc.Dropped
+		c.FastPathHits += sc.FastPathHits
+		c.FastPathMisses += sc.FastPathMisses
+		c.FastPathInvalidations += sc.FastPathInvalidations
 	}
 	return c
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/ipv6"
 	"repro/internal/wire"
@@ -102,12 +103,16 @@ func (r *ISPRouter) AddIface(addr ipv6.Addr, name string) *Iface {
 		r.addrs[addr] = struct{}{}
 		r.addrList = append(r.addrList, addr)
 	}
+	bumpFlows(r.ifs)
 	return ifc
 }
 
 // SetUpstream nominates the interface toward the Internet core; traffic
 // not covered by the block or delegations leaves through it.
-func (r *ISPRouter) SetUpstream(ifc *Iface) { r.upstream = ifc }
+func (r *ISPRouter) SetUpstream(ifc *Iface) {
+	r.upstream = ifc
+	bumpFlows(r.ifs)
+}
 
 // Delegate routes the sub-prefix p of the block to the subscriber behind
 // out. All delegations of the same length share one exact-match table.
@@ -125,6 +130,7 @@ func (r *ISPRouter) Delegate(p ipv6.Prefix, out *Iface) error {
 	for _, t := range r.delegs {
 		if t.subLen == p.Bits() {
 			t.set(idx.Lo, out)
+			bumpFlows(r.ifs)
 			return nil
 		}
 	}
@@ -138,6 +144,7 @@ func (r *ISPRouter) Delegate(p ipv6.Prefix, out *Iface) error {
 	r.delegs = append(r.delegs, nil)
 	copy(r.delegs[pos+1:], r.delegs[pos:])
 	r.delegs[pos] = t
+	bumpFlows(r.ifs)
 	return nil
 }
 
@@ -204,6 +211,121 @@ func (r *ISPRouter) Handle(in *Iface, pkt []byte) []Emission {
 		return r.sc.emit(r.upstream, pkt)
 	}
 	return r.emitError(in, pkt, wire.ICMPDestUnreach, wire.UnreachNoRoute)
+}
+
+// uniformWidth returns the width of the largest region around dst over
+// which the forwarding decision is uniform: one cell of the finest
+// delegation table (every address of a delegated /60 resolves to the
+// same subscriber, every address of an unassigned cell to none),
+// clipped to the block boundary. For destinations outside the block
+// the region extends to the first bit where dst and the block diverge.
+// 0 means unexpressible in the top 64 bits (claim must be exact).
+func (r *ISPRouter) uniformWidth(dst ipv6.Addr) uint8 {
+	if r.block.Bits() > 64 {
+		return 0
+	}
+	w := uint8(1)
+	if len(r.delegs) > 0 {
+		if r.delegs[0].subLen > 64 { // sorted longest-first
+			return 0
+		}
+		w = uint8(r.delegs[0].subLen)
+	}
+	if r.block.Contains(dst) {
+		if bw := uint8(r.block.Bits()); bw > w {
+			w = bw
+		}
+	} else {
+		// Outside the block the decision (upstream default) is uniform
+		// up to the first bit where dst and the block diverge.
+		c := bits.LeadingZeros64(dst.Uint128().Hi ^ r.block.Addr().Uint128().Hi)
+		if c >= 64 {
+			return 0
+		}
+		if uint8(c+1) > w {
+			w = uint8(c + 1)
+		}
+	}
+	return w
+}
+
+// regionClaim is uniformWidth bounded away from the router's own
+// interface addresses (same-/64 ones are excluded instead).
+func (r *ISPRouter) regionClaim(dst ipv6.Addr, excl *[fpExclCap]ipv6.Addr, nExcl *uint8) uint8 {
+	w := r.uniformWidth(dst)
+	if w == 0 {
+		return 0
+	}
+	width, ok := avoidAddrs(w, dst, r.addrList, excl, nExcl)
+	if !ok {
+		*nExcl = 0
+		return 0
+	}
+	return width
+}
+
+// CompileStep implements CompilableHop: transit via a delegation or the
+// upstream default.
+func (r *ISPRouter) CompileStep(in *Iface, dst ipv6.Addr) (CompiledStep, bool) {
+	if r.isLocal(dst) {
+		return CompiledStep{}, false
+	}
+	out, ok := r.lookup(dst)
+	if !ok {
+		if r.block.Contains(dst) || r.upstream == nil || in == r.upstream {
+			return CompiledStep{}, false
+		}
+		out = r.upstream
+	}
+	step := CompiledStep{Out: out, Forwarded: &r.CountForwarded}
+	step.Width = r.regionClaim(dst, &step.Excl, &step.NExcl)
+	return step, true
+}
+
+// CompileTerminal implements terminalCompiler: unassigned space within
+// the block — and, absent a usable upstream, anything unrouted — draws
+// Destination Unreachable / no route. This is the error the paper's
+// periphery discovery exploits one hop early; the whole unassigned
+// delegation cell compiles to one wide entry.
+func (r *ISPRouter) CompileTerminal(in *Iface, dst ipv6.Addr) (compiledTerm, bool) {
+	if r.isLocal(dst) {
+		return compiledTerm{}, false
+	}
+	if _, ok := r.lookup(dst); ok {
+		return compiledTerm{}, false
+	}
+	if !r.block.Contains(dst) && r.upstream != nil && in != r.upstream {
+		return compiledTerm{}, false // transit hop, not a terminal
+	}
+	t := compiledTerm{
+		typ:  wire.ICMPDestUnreach,
+		code: wire.UnreachNoRoute,
+		src:  in.addr,
+		gate: &r.gate,
+	}
+	t.width = r.regionClaim(dst, &t.excl, &t.nExcl)
+	return t, true
+}
+
+// compileExpiry implements hopExpirer: Time Exceeded from the arrival
+// interface's address for any non-local destination. This is the node
+// half of the bounce when a looping probe's hop limit happens to die on
+// the provider side rather than at the CPE.
+func (r *ISPRouter) compileExpiry(in *Iface, dst ipv6.Addr) (compiledTerm, bool) {
+	if r.isLocal(dst) {
+		return compiledTerm{}, false
+	}
+	t := compiledTerm{
+		typ: wire.ICMPTimeExceeded, code: wire.TimeExceedHopLimit,
+		src:  in.addr,
+		gate: &r.gate,
+	}
+	if width, ok := avoidAddrs(1, dst, r.addrList, &t.excl, &t.nExcl); ok {
+		t.width = width
+	} else {
+		t.nExcl = 0
+	}
+	return t, true
 }
 
 func (r *ISPRouter) emitError(in *Iface, invoking []byte, typ, code uint8) []Emission {

@@ -141,17 +141,34 @@ func (r *Router) AddIface(addr ipv6.Addr, name string) *Iface {
 	ifc := NewIface(r, addr, name)
 	r.ifs = append(r.ifs, ifc)
 	r.addrs = append(r.addrs, addr)
+	bumpFlows(r.ifs)
 	return ifc
 }
 
 // AddRoute installs a forwarding route.
 func (r *Router) AddRoute(p ipv6.Prefix, out *Iface) {
 	r.table.Insert(p, Route{Kind: RouteForward, Out: out})
+	bumpFlows(r.ifs)
 }
 
 // AddRejectRoute installs an unreachable route.
 func (r *Router) AddRejectRoute(p ipv6.Prefix) {
 	r.table.Insert(p, Route{Kind: RouteReject})
+	bumpFlows(r.ifs)
+}
+
+// bumpFlows invalidates compiled flows on every engine the node's
+// interfaces are connected to, deduplicating the common single-engine
+// case. Node mutators call it so a routing change can never let a stale
+// compiled path replay.
+func bumpFlows(ifs []*Iface) {
+	var last *Engine
+	for _, ifc := range ifs {
+		if ifc.eng != nil && ifc.eng != last {
+			ifc.eng.InvalidateFlows()
+			last = ifc.eng
+		}
+	}
 }
 
 // isLocal reports whether dst is one of the router's interface addresses.
@@ -182,6 +199,82 @@ func (r *Router) Handle(in *Iface, pkt []byte) []Emission {
 	}
 	r.CountForwarded++
 	return r.sc.emit(route.Out, pkt)
+}
+
+// regionClaim computes the width of the largest region around dst over
+// which the routing table's decision is uniform, bounded away from the
+// router's own addresses (same-/64 ones are excluded instead). 0 means
+// the claim must be exact.
+func (r *Router) regionClaim(dst ipv6.Addr, excl *[fpExclCap]ipv6.Addr, nExcl *uint8) uint8 {
+	w := r.table.UniformWidth(dst)
+	if w > 64 {
+		return 0
+	}
+	width, ok := avoidAddrs(uint8(w), dst, r.addrs, excl, nExcl)
+	if !ok {
+		*nExcl = 0
+		return 0
+	}
+	return width
+}
+
+// CompileStep implements CompilableHop: a Router is statically
+// forwarding for dst when dst is not local and the table yields a
+// forwarding route. The claimed region is the uniform neighborhood of
+// dst in the routing table — the whole matched prefix when nothing
+// more specific is installed nearby.
+func (r *Router) CompileStep(in *Iface, dst ipv6.Addr) (CompiledStep, bool) {
+	if r.isLocal(dst) {
+		return CompiledStep{}, false
+	}
+	route, ok := r.table.Lookup(dst)
+	if !ok || route.Kind != RouteForward || route.Out == nil {
+		return CompiledStep{}, false
+	}
+	step := CompiledStep{Out: route.Out, Forwarded: &r.CountForwarded}
+	step.Width = r.regionClaim(dst, &step.Excl, &step.NExcl)
+	return step, true
+}
+
+// CompileTerminal implements terminalCompiler: a destination with no
+// route (or a reject route) draws Destination Unreachable / no route.
+func (r *Router) CompileTerminal(in *Iface, dst ipv6.Addr) (compiledTerm, bool) {
+	if r.isLocal(dst) {
+		return compiledTerm{}, false
+	}
+	route, ok := r.table.Lookup(dst)
+	if ok && route.Kind != RouteReject {
+		return compiledTerm{}, false
+	}
+	t := compiledTerm{
+		typ:  wire.ICMPDestUnreach,
+		code: wire.UnreachNoRoute,
+		src:  in.addr,
+		gate: &r.gate,
+	}
+	t.width = r.regionClaim(dst, &t.excl, &t.nExcl)
+	return t, true
+}
+
+// compileExpiry implements hopExpirer: Time Exceeded from the arrival
+// interface's address for any non-local destination. The decision
+// precedes routing entirely, so the claim is bounded only by the
+// router's own addresses.
+func (r *Router) compileExpiry(in *Iface, dst ipv6.Addr) (compiledTerm, bool) {
+	if r.isLocal(dst) {
+		return compiledTerm{}, false
+	}
+	t := compiledTerm{
+		typ: wire.ICMPTimeExceeded, code: wire.TimeExceedHopLimit,
+		src:  in.addr,
+		gate: &r.gate,
+	}
+	if width, ok := avoidAddrs(1, dst, r.addrs, &t.excl, &t.nExcl); ok {
+		t.width = width
+	} else {
+		t.nExcl = 0
+	}
+	return t, true
 }
 
 // emitError generates an ICMPv6 error from the incoming interface's

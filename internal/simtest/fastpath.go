@@ -1,0 +1,159 @@
+package simtest
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ipv6"
+	"repro/internal/netsim"
+	"repro/internal/xmap"
+)
+
+// fastPathLeg is one leg of the compiled-vs-interpreted oracle: the
+// results of two back-to-back scans of one fixture plus every
+// engine-side statistic a compiled replay must charge identically to
+// sequential forwarding. Two passes because the fixture's delegation
+// granularity is /64 and each pass probes every /64 once: pass one
+// exercises cold compilation, pass two replays the warm cache.
+type fastPathLeg struct {
+	stats    [2]xmap.Stats
+	set      map[ipv6.Addr]bool
+	counters netsim.Counters
+	links    []fastPathLink
+}
+
+// fastPathLink is one link's per-direction transmission counters,
+// labeled by endpoint interface names (identical seeds build identical
+// topologies, so legs correspond link-for-link in connection order).
+type fastPathLink struct {
+	ends  [2]string
+	stats [2]netsim.LinkStats
+}
+
+// runFastPathLeg scans one freshly built, identically seeded fault
+// world twice with the engine's compiled forwarding fast path on or
+// off.
+func runFastPathLeg(seed int64, p FaultProfile, fastpath bool) (fastPathLeg, error) {
+	f, err := reliabilityFixture(seed, p)
+	if err != nil {
+		return fastPathLeg{}, err
+	}
+	f.Eng.SetFastPath(fastpath)
+	leg := fastPathLeg{set: map[ipv6.Addr]bool{}}
+	for pass := 0; pass < 2; pass++ {
+		seedTag := append(scanSeed(seed), byte('a'+pass))
+		s, err := xmap.New(xmap.Config{Window: f.Window, Seed: seedTag, DedupExact: true}, f.Drv)
+		if err != nil {
+			return fastPathLeg{}, err
+		}
+		leg.stats[pass], err = s.Run(context.Background(), func(r xmap.Response) { leg.set[r.Responder] = true })
+		if err != nil {
+			return fastPathLeg{}, err
+		}
+	}
+	leg.counters = f.Eng.Counters()
+	for _, l := range f.Eng.Links() {
+		ends := l.Ends()
+		leg.links = append(leg.links, fastPathLink{
+			ends:  [2]string{ends[0].Name(), ends[1].Name()},
+			stats: [2]netsim.LinkStats{l.StatsFrom(ends[0]), l.StatsFrom(ends[1])},
+		})
+	}
+	return leg, nil
+}
+
+// RunFastPathOracle is the compiled-vs-interpreted differential oracle:
+// the same seeded scan, against the same seeded fault world, with the
+// netsim flow cache on (fused replays) and off (every crossing
+// interpreted). The fast path must be invisible to everything except
+// the event count: identical responder sets, identical dedup accounting,
+// identical engine transmission/byte/drop totals, and identical
+// per-link per-direction stats under EVERY fault profile — which only
+// holds because replay charges stats and consumes fault-RNG draws in
+// exactly the interpreted order. Counters.Events is deliberately NOT
+// compared: collapsing ~13 events per probe into one fused event is the
+// fast path's entire point.
+func RunFastPathOracle(seed int64, p FaultProfile) ([]string, error) {
+	on, err := runFastPathLeg(seed, p, true)
+	if err != nil {
+		return nil, err
+	}
+	off, err := runFastPathLeg(seed, p, false)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	type check struct {
+		field    string
+		got, ref uint64
+	}
+	checks := []check{
+		{"Transmissions", on.counters.Transmissions, off.counters.Transmissions},
+		{"Bytes", on.counters.Bytes, off.counters.Bytes},
+		{"Dropped", on.counters.Dropped, off.counters.Dropped},
+	}
+	for pass := 0; pass < 2; pass++ {
+		g, r := on.stats[pass], off.stats[pass]
+		tag := fmt.Sprintf("pass %d ", pass+1)
+		checks = append(checks,
+			check{tag + "Sent", g.Sent, r.Sent},
+			check{tag + "Received", g.Received, r.Received},
+			check{tag + "Unique", g.Unique, r.Unique},
+			check{tag + "Duplicates", g.Duplicates, r.Duplicates},
+			check{tag + "Invalid", g.Invalid, r.Invalid},
+		)
+	}
+	for _, c := range checks {
+		if c.got != c.ref {
+			problems = append(problems, fmt.Sprintf(
+				"fastpath leg %s = %d, interpreted %d", c.field, c.got, c.ref))
+		}
+	}
+	for a := range off.set {
+		if !on.set[a] {
+			problems = append(problems, fmt.Sprintf("fastpath leg missed responder %s", a))
+		}
+	}
+	for a := range on.set {
+		if !off.set[a] {
+			problems = append(problems, fmt.Sprintf("fastpath leg found phantom responder %s", a))
+		}
+	}
+	if len(on.links) != len(off.links) {
+		problems = append(problems, fmt.Sprintf(
+			"leg link counts differ: %d vs %d (fixtures diverged)", len(on.links), len(off.links)))
+	} else {
+		for i := range on.links {
+			a, b := on.links[i], off.links[i]
+			for end := 0; end < 2; end++ {
+				if a.ends[end] != b.ends[end] {
+					problems = append(problems, fmt.Sprintf(
+						"link %d endpoint %d is %s vs %s (fixtures diverged)", i, end, a.ends[end], b.ends[end]))
+					continue
+				}
+				if a.stats[end] != b.stats[end] {
+					problems = append(problems, fmt.Sprintf(
+						"link %s->%s stats %+v with fastpath, %+v interpreted",
+						a.ends[end], a.ends[1-end], a.stats[end], b.stats[end]))
+				}
+			}
+		}
+	}
+	// The comparison is only meaningful if each leg took the path it
+	// claims: fused replays on one side, none on the other.
+	if on.counters.FastPathHits == 0 {
+		problems = append(problems, "fastpath leg recorded zero flow-cache hits: fast path never engaged")
+	}
+	if off.counters.FastPathHits != 0 || off.counters.FastPathMisses != 0 {
+		problems = append(problems, fmt.Sprintf(
+			"interpreted leg recorded flow-cache traffic (%d hits, %d misses): SetFastPath(false) leaked",
+			off.counters.FastPathHits, off.counters.FastPathMisses))
+	}
+	if on.counters.Events >= off.counters.Events {
+		problems = append(problems, fmt.Sprintf(
+			"fastpath leg pumped %d events, interpreted %d: fusing saved nothing",
+			on.counters.Events, off.counters.Events))
+	}
+	return problems, nil
+}

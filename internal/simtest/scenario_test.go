@@ -65,6 +65,12 @@ func TestScenarios(t *testing.T) {
 					report(t, "batch-vs-per-packet/"+p.Name, problems, err)
 				}
 			})
+			t.Run("oracle-fastpath", func(t *testing.T) {
+				for _, p := range Profiles {
+					problems, err := RunFastPathOracle(seed, p)
+					report(t, "fastpath-vs-interpreted/"+p.Name, problems, err)
+				}
+			})
 			t.Run("oracle-resume", func(t *testing.T) {
 				for _, p := range Profiles {
 					if !p.Lossless() {

@@ -173,6 +173,9 @@ func (m *Monitor) lineLocked(targets uint64, final bool) {
 	}
 	fmt.Fprintf(m.w, "; send: %d (%.0f p/s); recv: %d hits, %.2f%% hit rate; drops: %d; retries: %d; window: %d",
 		t[ScanSent], rate, t[ScanUnique], hit, drops, t[ScanRetried], m.reg.GaugeTotal(GaugeWindow))
+	if att := t[SimFastPathHits] + t[SimFastPathMisses]; att > 0 {
+		fmt.Fprintf(m.w, "; fastpath: %.1f%%", 100*float64(t[SimFastPathHits])/float64(att))
+	}
 	switch {
 	case final:
 		fmt.Fprintf(m.w, "; done\n")

@@ -58,6 +58,9 @@ const (
 	SimTransmissions
 	SimBytes
 	SimDropped
+	SimFastPathHits
+	SimFastPathMisses
+	SimFastPathInvalidations
 	LoopProbes
 	LoopResponses
 	LoopConfirmed
@@ -69,32 +72,35 @@ const (
 )
 
 var counterNames = [NumCounters]string{
-	ScanTargets:         "scan.targets",
-	ScanSent:            "scan.sent",
-	ScanSendErrors:      "scan.send_errors",
-	ScanReceived:        "scan.received",
-	ScanInvalid:         "scan.invalid",
-	ScanDuplicates:      "scan.duplicates",
-	ScanUnique:          "scan.unique",
-	ScanBlocked:         "scan.blocked",
-	ScanRetried:         "scan.retried",
-	ScanRetryDropped:    "scan.retry_dropped",
-	ScanRetryExhausted:  "scan.retry_exhausted",
-	ScanRetryAbandoned:  "scan.retry_abandoned",
-	ScanRateUp:          "scan.rate_up",
-	ScanRateDown:        "scan.rate_down",
-	ScanCheckpoints:     "scan.checkpoints",
-	SimEvents:           "sim.events",
-	SimTransmissions:    "sim.transmissions",
-	SimBytes:            "sim.bytes",
-	SimDropped:          "sim.dropped",
-	LoopProbes:          "loop.probes",
-	LoopResponses:       "loop.responses",
-	LoopConfirmed:       "loop.confirmed",
-	InjectTransmissions: "inject.transmissions",
-	InjectDropped:       "inject.dropped",
-	InjectDuplicated:    "inject.duplicated",
-	InjectDelayed:       "inject.delayed",
+	ScanTargets:              "scan.targets",
+	ScanSent:                 "scan.sent",
+	ScanSendErrors:           "scan.send_errors",
+	ScanReceived:             "scan.received",
+	ScanInvalid:              "scan.invalid",
+	ScanDuplicates:           "scan.duplicates",
+	ScanUnique:               "scan.unique",
+	ScanBlocked:              "scan.blocked",
+	ScanRetried:              "scan.retried",
+	ScanRetryDropped:         "scan.retry_dropped",
+	ScanRetryExhausted:       "scan.retry_exhausted",
+	ScanRetryAbandoned:       "scan.retry_abandoned",
+	ScanRateUp:               "scan.rate_up",
+	ScanRateDown:             "scan.rate_down",
+	ScanCheckpoints:          "scan.checkpoints",
+	SimEvents:                "sim.events",
+	SimTransmissions:         "sim.transmissions",
+	SimBytes:                 "sim.bytes",
+	SimDropped:               "sim.dropped",
+	SimFastPathHits:          "sim.fastpath.hits",
+	SimFastPathMisses:        "sim.fastpath.misses",
+	SimFastPathInvalidations: "sim.fastpath.invalidations",
+	LoopProbes:               "loop.probes",
+	LoopResponses:            "loop.responses",
+	LoopConfirmed:            "loop.confirmed",
+	InjectTransmissions:      "inject.transmissions",
+	InjectDropped:            "inject.dropped",
+	InjectDuplicated:         "inject.duplicated",
+	InjectDelayed:            "inject.delayed",
 }
 
 // String returns the counter's snapshot key.

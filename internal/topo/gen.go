@@ -44,6 +44,11 @@ type Config struct {
 	// With more than one shard, inject through Deployment.Group (or
 	// xmap.NewGroupDriver), which routes each probe to the owning shard.
 	Shards int
+	// FastPath toggles the engines' compiled forwarding fast path
+	// (netsim flow cache). nil means the engine default (enabled);
+	// pointing at false forces every delivery onto the interpreted
+	// path, for A/B measurement and differential testing.
+	FastPath *bool
 }
 
 // DefaultScale is 1/1024 of the paper's population.
@@ -182,6 +187,9 @@ func Build(cfg Config) (*Deployment, error) {
 		Geo:   registry.NewGeoDB(),
 		OUI:   registry.NewOUIDB(),
 		byWAN: make(map[ipv6.Addr]*Device),
+	}
+	if cfg.FastPath != nil && !*cfg.FastPath {
+		dep.Group.SetFastPath(false)
 	}
 	dep.Engine = dep.Group.Shard(0)
 	dep.Edge = netsim.NewEdge("scanner", ScannerAddr)

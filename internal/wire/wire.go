@@ -100,9 +100,18 @@ func ForwardDst(b []byte) (ipv6.Addr, bool) {
 // Checksum computes the Internet checksum (RFC 1071) of the upper-layer
 // packet body over the IPv6 pseudo-header (RFC 8200 section 8.1).
 func Checksum(src, dst ipv6.Addr, proto uint8, body []byte) uint16 {
+	return FoldSum(PseudoSum(src, dst, proto, len(body)) + SumWords(body))
+}
+
+// PseudoSum returns the partial checksum sum of the IPv6 pseudo-header
+// for an upper-layer packet of the given length. Combine with SumWords
+// partial sums and finish with FoldSum; incremental callers (the
+// simulator's compiled error templates) cache it so only the varying
+// byte region is re-summed per packet.
+func PseudoSum(src, dst ipv6.Addr, proto uint8, length int) uint64 {
 	// Accumulate 32-bit words: 2^16 ≡ 1 (mod 65535), so the end-around
-	// fold below reduces a sum of 32-bit words to the same value as the
-	// RFC's 16-bit word sum, at half the loop iterations.
+	// fold in FoldSum reduces a sum of 32-bit words to the same value as
+	// the RFC's 16-bit word sum, at half the loop iterations.
 	// Eight-byte reads, added as two 32-bit words each: at most
 	// ~2^32 such adds fit in the uint64 accumulator, far beyond any
 	// packet, so no intermediate folding is needed.
@@ -113,25 +122,36 @@ func Checksum(src, dst ipv6.Addr, proto uint8, body []byte) uint16 {
 		w := binary.BigEndian.Uint64(d[i : i+8])
 		sum += v>>32 + v&0xffffffff + w>>32 + w&0xffffffff
 	}
-	sum += uint64(len(body)) // upper-layer packet length
-	sum += uint64(proto)     // next header
+	return sum + uint64(length) + uint64(proto)
+}
 
-	for len(body) >= 8 {
-		v := binary.BigEndian.Uint64(body[:8])
+// SumWords returns the partial 16-bit-word sum of b. Sums over disjoint
+// regions add as long as every region but the last starts and ends on a
+// 16-bit boundary.
+func SumWords(b []byte) uint64 {
+	var sum uint64
+	for len(b) >= 8 {
+		v := binary.BigEndian.Uint64(b[:8])
 		sum += v>>32 + v&0xffffffff
-		body = body[8:]
+		b = b[8:]
 	}
-	if len(body) >= 4 {
-		sum += uint64(binary.BigEndian.Uint32(body[:4]))
-		body = body[4:]
+	if len(b) >= 4 {
+		sum += uint64(binary.BigEndian.Uint32(b[:4]))
+		b = b[4:]
 	}
-	if len(body) >= 2 {
-		sum += uint64(binary.BigEndian.Uint16(body[:2]))
-		body = body[2:]
+	if len(b) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
 	}
-	if len(body) == 1 {
-		sum += uint64(body[0]) << 8
+	if len(b) == 1 {
+		sum += uint64(b[0]) << 8
 	}
+	return sum
+}
+
+// FoldSum reduces a partial sum to the final complemented 16-bit
+// Internet checksum.
+func FoldSum(sum uint64) uint16 {
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
 	}

@@ -26,6 +26,10 @@ const (
 type dedupSet interface {
 	seen(a ipv6.Addr) bool
 	add(a ipv6.Addr)
+	// checkAdd is the fused seen-then-add of the receive hot path: it
+	// records a and reports whether it was new (one hashing/probing pass
+	// instead of two).
+	checkAdd(a ipv6.Addr) bool
 	kind() byte
 	appendState(dst []byte) []byte
 }
@@ -41,6 +45,12 @@ var _ dedupSet = (mapDedup)(nil)
 func (m mapDedup) seen(a ipv6.Addr) bool { return m[a] > 0 }
 
 func (m mapDedup) add(a ipv6.Addr) { m[a]++ }
+
+func (m mapDedup) checkAdd(a ipv6.Addr) bool {
+	c := m[a]
+	m[a] = c + 1
+	return c == 0
+}
 
 func (m mapDedup) kind() byte { return dedupKindExact }
 
@@ -122,6 +132,11 @@ func (b *bloomDedup) seen(a ipv6.Addr) bool {
 func (b *bloomDedup) add(a ipv6.Addr) {
 	u := a.Uint128()
 	b.f.AddUint64Pair(u.Hi, u.Lo)
+}
+
+func (b *bloomDedup) checkAdd(a ipv6.Addr) bool {
+	u := a.Uint128()
+	return b.f.AddIfAbsentUint64Pair(u.Hi, u.Lo)
 }
 
 func (b *bloomDedup) kind() byte { return dedupKindBloom }

@@ -208,6 +208,9 @@ func engineCollector(counters func() netsim.Counters) telemetry.Collector {
 		add(telemetry.SimTransmissions, c.Transmissions)
 		add(telemetry.SimBytes, c.Bytes)
 		add(telemetry.SimDropped, c.Dropped)
+		add(telemetry.SimFastPathHits, c.FastPathHits)
+		add(telemetry.SimFastPathMisses, c.FastPathMisses)
+		add(telemetry.SimFastPathInvalidations, c.FastPathInvalidations)
 	}
 }
 

@@ -1,7 +1,9 @@
 package xmap
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dnswire"
 	"repro/internal/ipv6"
@@ -88,13 +90,33 @@ type AppendProbeModule interface {
 
 // ICMPEchoProbe is the icmp6_echoscan module — the paper's discovery
 // workhorse. The validation value rides in the echo identifier and
-// sequence fields.
+// sequence fields. HopLimit and Data are configuration: set them before
+// the scan starts and leave them fixed while probes are being built.
 type ICMPEchoProbe struct {
 	// HopLimit of outgoing probes (default 64). The routing-loop scan
 	// uses elevated values per Section VI-B.
 	HopLimit uint8
 	// Data is the echo payload.
 	Data []byte
+
+	// tmpl caches the probe image for the current (src, hop limit,
+	// payload): only the destination, id/seq and checksum vary probe to
+	// probe, so AppendProbe copies the image and patches those four
+	// fields instead of re-marshaling the packet. Atomic because shards
+	// share the module instance.
+	tmpl atomic.Pointer[echoTmpl]
+}
+
+// echoTmpl is an immutable compiled probe image. sum carries the
+// checksum partial over everything that does not vary per probe: the
+// pseudo-header minus the destination, the type/code word, and the
+// payload (the checksum, id and seq fields count as zero).
+type echoTmpl struct {
+	src     ipv6.Addr
+	hop     uint8
+	dataLen int
+	pkt     []byte
+	sum     uint64
 }
 
 var _ ProbeModule = (*ICMPEchoProbe)(nil)
@@ -117,7 +139,40 @@ func (p *ICMPEchoProbe) MakeProbe(src, dst ipv6.Addr, val uint32) ([]byte, error
 
 // AppendProbe implements AppendProbeModule.
 func (p *ICMPEchoProbe) AppendProbe(buf []byte, src, dst ipv6.Addr, val uint32) ([]byte, error) {
-	return wire.AppendEchoRequest(buf, src, dst, p.hopLimit(), uint16(val>>16), uint16(val), p.Data)
+	t := p.tmpl.Load()
+	if t == nil || t.src != src || t.hop != p.hopLimit() || t.dataLen != len(p.Data) {
+		// Template fields that vary per probe are patched below, so the
+		// placeholder destination/id/seq baked in here never escape.
+		pkt, err := wire.BuildEchoRequest(src, ipv6.Addr{}, p.hopLimit(), 0, 0, p.Data)
+		if err != nil {
+			return nil, err
+		}
+		t = &echoTmpl{
+			src:     src,
+			hop:     p.hopLimit(),
+			dataLen: len(p.Data),
+			pkt:     pkt,
+			sum: wire.PseudoSum(src, ipv6.Addr{}, wire.ProtoICMPv6, 8+len(p.Data)) +
+				uint64(wire.ICMPEchoRequest)<<8 + wire.SumWords(p.Data),
+		}
+		p.tmpl.Store(t)
+	}
+	n := len(t.pkt)
+	var out []byte
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]byte, n)
+	}
+	copy(out, t.pkt)
+	db := dst.Bytes()
+	copy(out[24:40], db[:])
+	id, seq := uint16(val>>16), uint16(val)
+	binary.BigEndian.PutUint16(out[wire.HeaderLen+4:wire.HeaderLen+6], id)
+	binary.BigEndian.PutUint16(out[wire.HeaderLen+6:wire.HeaderLen+8], seq)
+	cs := wire.FoldSum(t.sum + wire.SumWords(out[24:40]) + uint64(id) + uint64(seq))
+	binary.BigEndian.PutUint16(out[wire.HeaderLen+2:wire.HeaderLen+4], cs)
+	return out, nil
 }
 
 // Classify implements ProbeModule.

@@ -828,13 +828,11 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 				s.tel.Observe(telemetry.HistReplyLatency, stats.Sent-sentAt)
 			}
 		}
-		if s.dedup.seen(resp.Responder) {
+		if !s.dedup.checkAdd(resp.Responder) {
 			stats.Duplicates++
 			s.tel.Inc(telemetry.ScanDuplicates)
-			s.dedup.add(resp.Responder) // keep per-responder counts exact
 			continue
 		}
-		s.dedup.add(resp.Responder)
 		stats.Unique++
 		s.tel.Inc(telemetry.ScanUnique)
 		if handler != nil {

@@ -15,9 +15,13 @@
 #                                      # than the baseline snapshot (default:
 #                                      # newest BENCH_*.json in the repo root)
 #
-# Each entry records name, ns/op, B/op, allocs/op and probes/sec
-# (derived as 1e9/ns_per_op for benchmarks that report a "probes"
-# metric). The snapshot also embeds the growth-seed baseline so
+# Each entry records name, ns/op, B/op, allocs/op, probes/sec (derived
+# as 1e9/ns_per_op for benchmarks that report a "probes" metric) and
+# events_per_probe (the simulator's pumped-events-per-probe ratio, the
+# quantity the forwarding fast path compresses). The -check gate also
+# fails if events_per_probe rises >10% over the baseline — unlike the
+# timing gate this is a deterministic count, so it holds in -short runs
+# too. The snapshot also embeds the growth-seed baseline so
 # before/after is visible in one file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -98,8 +102,10 @@ if [ "$check" = 1 ]; then
                     name = substr(line, RSTART + 9, RLENGTH - 10)
                     ns = field(line, "ns_per_op")
                     allocs = field(line, "allocs_per_op")
+                    ev = field(line, "events_per_probe")
                     base_ns[name] = ns
                     base_allocs[name] = allocs
+                    base_ev[name] = ev
                 }
             }
             close(baseline)
@@ -112,14 +118,16 @@ if [ "$check" = 1 ]; then
         }
         {
             name = $1; sub(/-[0-9]+$/, "", name)
-            ns = ""; a = ""
+            ns = ""; a = ""; ev = ""
             for (i = 2; i < NF; i++) {
                 if ($(i+1) == "ns/op") ns = $i
                 if ($(i+1) == "allocs/op") a = $i
+                if ($(i+1) == "events/probe") ev = $i
             }
             if (ns == "" || !(name in base_ns)) next
             if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
             if (a != "" && (!(name in best_allocs) || a + 0 < best_allocs[name] + 0)) best_allocs[name] = a
+            if (ev != "" && (!(name in best_ev) || ev + 0 < best_ev[name] + 0)) best_ev[name] = ev
             if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
         }
         END {
@@ -134,6 +142,10 @@ if [ "$check" = 1 ]; then
                 }
                 if (a != "" && base_allocs[name] != "" && a + 0 > base_allocs[name] + 0) {
                     status = sprintf("ALLOC REGRESSION (%s -> %s allocs/op)", base_allocs[name], a)
+                    failed++
+                }
+                if (name in best_ev && base_ev[name] != "" && best_ev[name] + 0 > base_ev[name] * 1.10) {
+                    status = sprintf("EVENTS REGRESSION (>10%%: %s -> %s events/probe)", base_ev[name], best_ev[name])
                     failed++
                 }
                 printf "  %-45s ns/op %10s (base %10s)  allocs %3s (base %3s)  %s\n", \
@@ -173,18 +185,21 @@ gover=$(go env GOVERSION)
     printf '%s\n' "$raw" | awk '
         {
             name = $1; sub(/-[0-9]+$/, "", name)
-            ns = ""; b = ""; a = ""; probes = 0
+            ns = ""; b = ""; a = ""; probes = 0; ev = ""
             for (i = 2; i < NF; i++) {
                 if ($(i+1) == "ns/op") ns = $i
                 if ($(i+1) == "B/op") b = $i
                 if ($(i+1) == "allocs/op") a = $i
                 if ($(i+1) == "probes") probes = 1
+                if ($(i+1) == "events/probe") ev = $i
             }
             if (ns == "") next
             if (out != "") printf "%s,\n", out
             out = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, b == "" ? "null" : b, a == "" ? "null" : a)
             if (probes && ns + 0 > 0)
                 out = out sprintf(", \"probes_per_sec\": %d", 1e9 / ns)
+            if (ev != "")
+                out = out sprintf(", \"events_per_probe\": %s", ev)
             out = out "}"
         }
         END { if (out != "") printf "%s\n", out }
