@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -160,6 +162,22 @@ func BenchmarkTableXII(b *testing.B) {
 	})
 }
 
+// benchBatch returns the scanner drain window (send burst size) the
+// throughput benchmarks run with: the XMAP_BENCH_BATCH environment
+// variable when set (CI exercises 1 — per-probe sends — against the
+// default), otherwise 0 for the scanner's default window.
+func benchBatch(b *testing.B) int {
+	v := os.Getenv("XMAP_BENCH_BATCH")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		b.Fatalf("bad XMAP_BENCH_BATCH %q", v)
+	}
+	return n
+}
+
 // BenchmarkScannerThroughput measures end-to-end probes per second
 // against the simulator (Section IV-E: the paper sends 25 kpps against
 // the real Internet; the simulated substrate is the bottleneck here).
@@ -178,6 +196,7 @@ func BenchmarkScannerThroughput(b *testing.B) {
 		scanner, err := xmap.New(xmap.Config{
 			Window:     isp.Window,
 			Seed:       []byte(fmt.Sprintf("tp-%d", sent)),
+			DrainEvery: benchBatch(b),
 			MaxTargets: uint64(b.N) - sent,
 		}, drv)
 		if err != nil {
@@ -218,6 +237,7 @@ func BenchmarkScannerThroughputInterpreted(b *testing.B) {
 		scanner, err := xmap.New(xmap.Config{
 			Window:     isp.Window,
 			Seed:       []byte(fmt.Sprintf("tpx-%d", sent)),
+			DrainEvery: benchBatch(b),
 			MaxTargets: uint64(b.N) - sent,
 		}, drv)
 		if err != nil {
@@ -263,6 +283,7 @@ func BenchmarkScannerThroughputInstrumented(b *testing.B) {
 		scanner, err := xmap.New(xmap.Config{
 			Window:     isp.Window,
 			Seed:       []byte(fmt.Sprintf("tpi-%d", sent)),
+			DrainEvery: benchBatch(b),
 			MaxTargets: uint64(b.N) - sent,
 			Telemetry:  reg,
 			Monitor:    mon,
@@ -309,6 +330,7 @@ func BenchmarkScannerThroughputSharded(b *testing.B) {
 		stats, err := xmap.ScanParallel(context.Background(), xmap.Config{
 			Window:     isp.Window,
 			Seed:       []byte(fmt.Sprintf("tps-%d", sent)),
+			DrainEvery: benchBatch(b),
 			MaxTargets: (remaining + shards - 1) / shards,
 			RingSize:   1024,
 		}, drv, shards, nil)

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		shards   = fs.Int("shards", 1, "total shards")
 		shard    = fs.Int("shard", 0, "this instance's shard index")
 		rate     = fs.Int("rate", 0, "probe rate limit in pps (0 = unlimited)")
+		batchN   = fs.Int("batch", 0, "probes per send burst / receive drain window (0 = default 64; 1 = per-probe sends)")
 		probesN  = fs.Int("probes", 1, "probes per target (ZMap -P)")
 		blockF   = fs.String("blocklist", "", "blocklist file (one prefix per line, # comments)")
 		outputF  = fs.String("output", "csv", "output module: csv or json")
@@ -163,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Shards:          *shards,
 		ShardIndex:      *shard,
 		Rate:            *rate,
+		DrainEvery:      *batchN,
 		MaxTargets:      *maxTgt,
 		ProbesPerTarget: *probesN,
 		Blocklist:       blocklist,

@@ -135,3 +135,52 @@ func TestRunTwiceNoGlobalState(t *testing.T) {
 	runOnce(t, "-max-targets", "5", "-quiet")
 	runOnce(t, "-max-targets", "5", "-quiet", "-output", "json")
 }
+
+// TestBatchFlag: -batch sets the scanner's drain window (the send burst
+// size, visible as the scan.window gauge), and the batch size is purely
+// a throughput knob — a per-probe scan (-batch 1) must report the same
+// targets, sends and responders as the default burst of 64. (Batched
+// fast-path *replay* needs warm flows, i.e. repeated scans over one
+// deployment; a single cold CLI pass probes each destination once, so
+// that engagement is asserted by the engine and oracle tests instead.)
+func TestBatchFlag(t *testing.T) {
+	readSnap := func(path string) (map[string]uint64, map[string]int64) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Counters map[string]uint64 `json:"counters"`
+			Gauges   map[string]int64  `json:"gauges"`
+		}
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap.Counters, snap.Gauges
+	}
+
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.json")
+	deflt := filepath.Join(dir, "default.json")
+	runOnce(t, "-max-targets", "200", "-quiet", "-seed", "9", "-batch", "1", "-status-json", single)
+	runOnce(t, "-max-targets", "200", "-quiet", "-seed", "9", "-status-json", deflt)
+
+	sc, sg := readSnap(single)
+	dc, dg := readSnap(deflt)
+	if got := sg["scan.window"]; got != 1 {
+		t.Errorf("scan.window gauge = %d, want the -batch value 1", got)
+	}
+	if got := dg["scan.window"]; got != 64 {
+		t.Errorf("scan.window gauge = %d, want the default drain window 64", got)
+	}
+	for _, key := range []string{"scan.targets", "scan.sent", "scan.received", "scan.unique"} {
+		if sc[key] != dc[key] {
+			t.Errorf("%s = %d with -batch 1 vs %d with the default window; batch size must not change scan results",
+				key, sc[key], dc[key])
+		}
+	}
+	if sc["scan.sent"] != 200 {
+		t.Errorf("scan.sent = %d, want 200", sc["scan.sent"])
+	}
+}

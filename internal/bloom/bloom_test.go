@@ -214,7 +214,8 @@ func TestUnmarshalRejectsMalformed(t *testing.T) {
 		"truncated":   good[:len(good)-1],
 		"oversized":   append(append([]byte{}, good...), 0),
 		"bad magic":   append([]byte{0xde, 0xad, 0xbe, 0xef}, good[4:]...),
-		"version up":  append([]byte{0x42, 0x46, 0x00, 0x02}, good[4:]...),
+		"version up":  append([]byte{0x42, 0x46, 0x00, 0x03}, good[4:]...),
+		"version old": append([]byte{0x42, 0x46, 0x00, 0x01}, good[4:]...),
 		"zero hashes": append(append(append([]byte{}, good[:4]...), 0, 0, 0, 0), good[8:]...),
 	}
 	// Huge bit count must be rejected before any allocation.

@@ -62,6 +62,23 @@ func (e *Edge) Handle(_ *Iface, pkt []byte) []Emission {
 	return nil
 }
 
+// handleBatch is Handle for a burst: the batched fast path (inject.go)
+// delivers a whole group's packets under one lock acquisition and one
+// notify, in the same order k sequential Handle calls would append
+// them.
+func (e *Edge) handleBatch(pkts [][]byte) {
+	if len(pkts) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.buf = append(e.buf, pkts...)
+	if e.notify != nil {
+		close(e.notify)
+		e.notify = nil
+	}
+	e.mu.Unlock()
+}
+
 // Drain returns and clears all buffered packets. The returned slice is
 // surrendered (the next arrival starts a fresh one); drain loops that
 // want to reuse their own slice use DrainInto.

@@ -195,11 +195,14 @@ type Engine struct {
 	ownerReused bool
 
 	// fp is the compiled forwarding fast path (flowcache.go);
-	// fpScratch is the entry under compilation, kept off the stack so
-	// flows that turn out unkeyable can still be served from it
-	// without the compile allocating.
-	fp        flowCache
-	fpScratch flowEntry
+	// fpScratchH/fpScratchC are the hot/cold halves of the entry under
+	// compilation, kept off the stack so flows that turn out unkeyable
+	// can still be served from them without the compile allocating.
+	fp         flowCache
+	fpScratchH flowHot
+	fpScratchC flowCold
+	// inj is the batched-injection scratch (inject.go).
+	inj injScratch
 }
 
 // DefaultEventBudget bounds a single Run; loop-attack packets terminate
@@ -269,7 +272,8 @@ func (e *Engine) SetFastPath(on bool) {
 		e.fp.bumpLocked()
 		if !on {
 			e.fp.tags = nil
-			e.fp.slots = nil
+			e.fp.hot = nil
+			e.fp.cold = nil
 			e.fp.mask = 0
 		}
 	}
@@ -306,21 +310,30 @@ func (e *Engine) Inject(from *Iface, pkt []byte) int {
 }
 
 // InjectBatch is Inject for multiple packets from the same interface
-// under one lock acquisition. Each packet is transmitted and pumped to
-// quiescence before the next, so the simulation — including every
-// seeded loss and fault decision — unfolds exactly as it would for the
-// same packets injected one Inject call at a time. That equivalence is
-// what lets the batched scanner path be diffed against the per-packet
-// path under fault injection.
+// under one lock acquisition. Observable behavior is exactly as if the
+// packets were injected one Inject call at a time — every stat charge,
+// seeded loss and fault decision lands identically — which is what lets
+// the batched scanner path be diffed against the per-packet path under
+// fault injection. Runs of packets that resolve to warm lossless flow
+// entries are replayed batch-at-a-time (inject.go); everything else
+// falls back to the per-packet transmit-and-pump loop.
 func (e *Engine) InjectBatch(from *Iface, pkts [][]byte) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	n := 0
-	for _, pkt := range pkts {
+	i := 0
+	for i < len(pkts) {
+		if k, ev := e.injectFastLocked(from, pkts[i:]); k > 0 {
+			n += ev
+			i += k
+			continue
+		}
+		pkt := pkts[i]
 		cp := e.getBufLocked(len(pkt))
 		copy(cp, pkt)
 		e.transmitLocked(from, cp, false)
 		n += e.runLocked()
+		i++
 	}
 	return n
 }
@@ -349,10 +362,12 @@ type Counters struct {
 	// warm compiled flow; FastPathMisses counts deliveries that had to
 	// compile first or fall back to the interpreter;
 	// FastPathInvalidations counts generation bumps (each discards
-	// every compiled flow).
+	// every compiled flow). FastPathBatched is the subset of hits
+	// served by the batched injection path (group-charged replays).
 	FastPathHits          uint64
 	FastPathMisses        uint64
 	FastPathInvalidations uint64
+	FastPathBatched       uint64
 }
 
 // Counters returns the engine totals, consistent under the engine lock.
@@ -367,6 +382,7 @@ func (e *Engine) Counters() Counters {
 		FastPathHits:          e.fp.hits,
 		FastPathMisses:        e.fp.misses,
 		FastPathInvalidations: e.fp.invalidations,
+		FastPathBatched:       e.fp.batched,
 	}
 }
 

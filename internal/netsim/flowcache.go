@@ -3,6 +3,7 @@ package netsim
 import (
 	"encoding/binary"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/ipv6"
 	"repro/internal/wire"
@@ -148,61 +149,104 @@ const maxCompiledHops = 6
 // only the constant header needs caching.
 const fpTmplLen = wire.HeaderLen + 8
 
-// compiledHop is one recorded link crossing.
+// compiledHop is one recorded link crossing. st caches &out.link.
+// stats[out.end] so replay charges the crossing with one load from the
+// hop list instead of chasing out -> link -> stats through two cold
+// lines per hop; the pointer stays valid because links never reallocate
+// their stats and every topology mutation invalidates compiled flows.
 type compiledHop struct {
 	out *Iface
-	fwd *uint64 // transit counter to charge, may be nil
+	fwd *uint64    // transit counter to charge, may be nil
+	st  *LinkStats // out's per-direction stat block
 }
 
-// flowEntry is one compiled flow. Everything is inline (fixed-size
-// arrays, no pointers to per-entry heap data) so compiling flows during
-// a benchmark loop costs zero steady-state allocations. Field order is
-// replay order: the steady-state hit path reads the struct roughly
-// front to back (one hardware-prefetch-friendly stream), with the
-// compile-time region bookkeeping (exclusions, holes) at the tail where
-// only shadow checks touch it.
-type flowEntry struct {
-	ifid  uint32
-	kind  entryKind
-	wide  bool
-	// width is the entry's key granularity: hi is masked to its top
-	// `width` bits and the entry serves every destination sharing them
-	// (minus excl/holes). Exact entries use width 64 with lo compared.
-	width uint8
-	// lossless: no crossed link has built-in loss, so replay under a
-	// nil fault layer consumes no RNG draws (matching the interpreter,
+// hopTo builds the compiled crossing out of an interface.
+func hopTo(out *Iface, fwd *uint64) compiledHop {
+	return compiledHop{out: out, fwd: fwd, st: &out.link.stats[out.end]}
+}
+
+// flowHot flag bits.
+const (
+	// fpFlagWide: the entry serves every destination sharing its masked
+	// hi bits (minus the cold tail's exclusions/holes).
+	fpFlagWide = 1 << 0
+	// fpFlagLossless: no crossed link has built-in loss, so replay under
+	// a nil fault layer consumes no RNG draws (matching the interpreter,
 	// which only draws when loss > 0) and can charge stats directly.
-	lossless bool
-	nf, nr   uint8
-	nExcl    uint8
-	nHole    uint8
-	errType  uint8
-	errCode  uint8
-	// entryLoop geometry: valid for packets arriving with hop limit
-	// hlIn; fwd[:loopStart] is the acyclic prefix, fwd[loopStart:nf]
-	// one turn of the cycle, loopCross the total crossings until the
-	// hop limit expires at term.
-	hlIn      uint8
-	loopStart uint8
-	loopLen   uint8
-	loopCross uint16
-	// probeLen validates the error template below: the header splice is
-	// only byte-exact for invoking packets of the compiled length.
-	probeLen uint16
+	fpFlagLossless = 1 << 1
+	// fpFlagTmpl: the cold tail's error template is valid.
+	fpFlagTmpl = 1 << 2
+)
+
+// flowHot is the hot header of one compiled flow: everything the
+// lookup's key confirmation and the replay dispatch decision need,
+// packed into exactly one 64-byte cache line. A warm probe touches one
+// tag line and this line before committing to a replay; the cold tail
+// (flowCold, a parallel array) is reached only once the entry is going
+// to be used. The layout is pinned by a compile-time assertion below
+// and by TestFlowEntryLayout — widening it past a cache line is a
+// silent ~30% lookup regression, so it fails the build instead.
+type flowHot struct {
+	hi, lo uint64 // destination (hi masked to width); lo ignored when wide
+	// gen validates the slot: live iff gen == flowCache.gen.
+	gen  uint64
+	term *Iface // terminal ingress (entryNode) / error emitter (entryError)
+	gate *errorGate
+	ifid uint32
 	// Shadow pre-filter: the region's /64 cells (≤16 of them when width
 	// ≥ 60; cellShift = 64-width) that contain a hole or an exclusion.
 	// A destination in an unmarked cell is definitely not shadowed, so
-	// the hit path skips the hole/exclusion walk at the entry tail.
+	// the hit path skips the hole/exclusion walk in the cold tail.
 	// Regions wider than 16 cells mark everything (always walk).
-	cellShift  uint8
 	shadowCell uint16
-	hi, lo     uint64 // destination (hi masked to width); lo ignored when wide
-	gen      uint64
-	term     *Iface // terminal ingress (entryNode) / error emitter (entryError)
-	edge     *Iface // edge ingress for the reply (entryError) or packet (entryEdge)
-	gate     *errorGate
+	loopCross  uint16 // entryLoop: total crossings until expiry
+	// probeLen validates the cold error template: the header splice is
+	// only byte-exact for invoking packets of the compiled length.
+	probeLen uint16
+	kind     entryKind
+	flags    uint8 // fpFlag* bits
+	// width is the entry's key granularity: hi is masked to its top
+	// `width` bits and the entry serves every destination sharing them
+	// (minus excl/holes). Exact entries use width 64 with lo compared.
+	width  uint8
+	nf, nr uint8
+	nExcl  uint8
+	nHole  uint8
+	// entryLoop geometry: valid for packets arriving with hop limit
+	// hlIn; fwd[:loopStart] is the acyclic prefix, fwd[loopStart:nf]
+	// one turn of the cycle.
+	cellShift uint8
+	errType   uint8
+	errCode   uint8
+	hlIn      uint8
+	loopStart uint8
+	loopLen   uint8
+	_         [1]byte // explicit pad: 64 bytes total, asserted below
+}
+
+// flowHotSize pins flowHot to one cache line; either assertion failing
+// to compile means a field change altered the hot layout.
+const flowHotSize = 64
+
+var _ [flowHotSize - unsafe.Sizeof(flowHot{})]byte
+var _ [unsafe.Sizeof(flowHot{}) - flowHotSize]byte
+
+func (h *flowHot) wide() bool     { return h.flags&fpFlagWide != 0 }
+func (h *flowHot) lossless() bool { return h.flags&fpFlagLossless != 0 }
+func (h *flowHot) hasTmpl() bool  { return h.flags&fpFlagTmpl != 0 }
+
+// flowCold is the cold tail of one compiled flow, held in an array
+// parallel to the hot headers: the forward/reverse hop lists, the reply
+// path metadata, the cached error template and the wide-region
+// exclusion bookkeeping. Field order is replay order — the batched
+// resolve guard (replySrc), the delivery target (edge) and the template
+// checksum share the tail's first cache line, which the batched warm
+// pass pulls alongside the hot header — with the shadow-walk data
+// (holes, exclusions) last, touched only for destinations whose /64
+// cell the hot pre-filter marked.
+type flowCold struct {
 	replySrc ipv6.Addr // reply path below is valid only for this probe source
-	fwd      [maxCompiledHops]compiledHop
+	edge     *Iface    // edge ingress for the reply (entryError) or packet (entryEdge)
 	// Error header template, captured on first replay: the error's IPv6
 	// + ICMPv6 headers for a probe of probeLen bytes, plus the partial
 	// checksum of the constant region. Replay copies the header, splices
@@ -210,9 +254,9 @@ type flowEntry struct {
 	// incrementally.
 	tmplSum uint64
 	tmpl    [fpTmplLen]byte
-	hasTmpl bool
-	errSrc  ipv6.Addr
 	rev     [maxCompiledHops]compiledHop
+	fwd     [maxCompiledHops]compiledHop
+	errSrc  ipv6.Addr
 	// Excluded sub-prefixes of a wide region, pre-split for the lookup
 	// path: holeBits ≤ 64 compares masked hi only, longer holes compare
 	// hi exactly plus masked lo.
@@ -241,17 +285,21 @@ const fpWidthCap = 8
 //
 // tags is a parallel array of one 8-byte hash tag per slot (eight per
 // cache line), so a lookup's probe window costs one dense line load
-// instead of touching the ~half-KiB flowEntry payloads; the payload is
-// read only on a tag match, which the slot's own key fields then
-// confirm (a colliding tag is a wasted slot load, never a wrong hit).
-// Tag zero means the slot has never been written.
+// instead of touching the entry payloads; a tag match reads the 64-byte
+// hot header, whose own key fields confirm it (a colliding tag is a
+// wasted slot load, never a wrong hit). Tag zero means the slot has
+// never been written. The payload itself is split hot/cold into two
+// further parallel arrays (flowHot, flowCold), so the per-probe line
+// budget of a warm error replay is tags + hot + the cold tail's first
+// line instead of the ~8 lines a single monolithic struct cost.
 type flowCache struct {
 	enabled bool
 	tags    []uint64
-	slots   []flowEntry
+	hot     []flowHot
+	cold    []flowCold
 	mask    uint64
 	fill    int
-	// gen validates entries: a slot is live iff slot.gen == gen.
+	// gen validates entries: a slot is live iff hot.gen == gen.
 	// Bumping gen invalidates every compiled flow at once.
 	gen    uint64
 	nextID uint32
@@ -268,6 +316,10 @@ type flowCache struct {
 	hits          uint64
 	misses        uint64
 	invalidations uint64
+	// batched counts the hits served by the batched injection path
+	// (inject.go) — a subset of hits, surfaced so telemetry can show
+	// how much of a scan ran batch-grained.
+	batched uint64
 }
 
 // bumpLocked invalidates all compiled flows.
@@ -340,53 +392,53 @@ func (fp *flowCache) registerWidth(w uint8) bool {
 // bit per /64 cell of the region that holds a hole or an exclusion.
 // Marking too much is sound (a marked cell just walks the full lists),
 // so anything unexpressible marks everything.
-func (s *flowEntry) buildShadowCells() {
-	shift := 64 - int(s.width)
+func buildShadowCells(h *flowHot, c *flowCold) {
+	shift := 64 - int(h.width)
 	if shift > 4 {
-		s.cellShift = 4
-		s.shadowCell = ^uint16(0)
+		h.cellShift = 4
+		h.shadowCell = ^uint16(0)
 		return
 	}
-	s.cellShift = uint8(shift)
+	h.cellShift = uint8(shift)
 	mask := uint64(1)<<shift - 1
 	var cells uint16
-	for k := uint8(0); k < s.nHole; k++ {
-		hb := int(s.holeBits[k])
-		base := s.holeHi[k] & mask
+	for k := uint8(0); k < h.nHole; k++ {
+		hb := int(c.holeBits[k])
+		base := c.holeHi[k] & mask
 		switch {
 		case hb >= 64:
 			cells |= 1 << (base & 15)
-		case hb < int(s.width):
+		case hb < int(h.width):
 			cells = ^uint16(0) // hole coarser than the region: mark all
 		default:
-			for c := uint64(0); c < uint64(1)<<(64-hb); c++ {
-				cells |= 1 << ((base + c) & 15)
+			for cc := uint64(0); cc < uint64(1)<<(64-hb); cc++ {
+				cells |= 1 << ((base + cc) & 15)
 			}
 		}
 	}
-	for k := uint8(0); k < s.nExcl; k++ {
-		cells |= 1 << (s.excl[k].Uint128().Hi & mask & 15)
+	for k := uint8(0); k < h.nExcl; k++ {
+		cells |= 1 << (c.excl[k].Uint128().Hi & mask & 15)
 	}
-	s.shadowCell = cells
+	h.shadowCell = cells
 }
 
 // shadowed reports whether dst (hi, lo) falls in one of a wide entry's
 // exclusions — a special address or a carved-out sub-prefix. Such
 // lookups miss, so the excluded destination compiles its own (more
 // specific) entry rather than replaying the wide one.
-func (s *flowEntry) shadowed(hi, lo uint64) bool {
-	for k := uint8(0); k < s.nHole; k++ {
-		hb := s.holeBits[k]
+func shadowed(h *flowHot, c *flowCold, hi, lo uint64) bool {
+	for k := uint8(0); k < h.nHole; k++ {
+		hb := c.holeBits[k]
 		if hb <= 64 {
-			if (hi^s.holeHi[k])&fpMask(hb) == 0 {
+			if (hi^c.holeHi[k])&fpMask(hb) == 0 {
 				return true
 			}
-		} else if hi == s.holeHi[k] && (lo^s.holeLo[k])&fpMask(hb-64) == 0 {
+		} else if hi == c.holeHi[k] && (lo^c.holeLo[k])&fpMask(hb-64) == 0 {
 			return true
 		}
 	}
-	for k := uint8(0); k < s.nExcl; k++ {
-		if u := s.excl[k].Uint128(); u.Hi == hi && u.Lo == lo {
+	for k := uint8(0); k < h.nExcl; k++ {
+		if u := c.excl[k].Uint128(); u.Hi == hi && u.Lo == lo {
 			return true
 		}
 	}
@@ -394,13 +446,14 @@ func (s *flowEntry) shadowed(hi, lo uint64) bool {
 }
 
 // lookup finds a live entry for (ifid, dst), probing once per live key
-// width. Wide entries match any address sharing the masked hi bits
-// outside their exclusions; exact entries require the full destination.
-// The width that hits bubbles one position forward, so steady-state
-// traffic resolves against its dominant granularity on the first probe.
-func (fp *flowCache) lookup(ifid uint32, hi, lo uint64) *flowEntry {
+// width, and returns its slot index (-1 on miss). Wide entries match
+// any address sharing the masked hi bits outside their exclusions;
+// exact entries require the full destination. The width that hits
+// bubbles one position forward, so steady-state traffic resolves
+// against its dominant granularity on the first probe.
+func (fp *flowCache) lookup(ifid uint32, hi, lo uint64) int {
 	if fp.tags == nil {
-		return nil
+		return -1
 	}
 	gen := fp.gen
 	for wi := uint8(0); wi < fp.nWidths; wi++ {
@@ -419,80 +472,85 @@ func (fp *flowCache) lookup(ifid uint32, hi, lo uint64) *flowEntry {
 			if t != want && t != wantExact {
 				continue
 			}
-			s := &fp.slots[j]
+			s := &fp.hot[j]
 			if s.gen != gen || s.hi != hw || s.ifid != ifid || s.width != w ||
-				(!s.wide && s.lo != lo) {
+				(s.flags&fpFlagWide == 0 && s.lo != lo) {
 				continue
 			}
-			if s.wide && s.nExcl|s.nHole != 0 {
+			if s.flags&fpFlagWide != 0 && s.nExcl|s.nHole != 0 {
 				cell := uint16(1) << (hi & (uint64(1)<<s.cellShift - 1))
-				if s.shadowCell&cell != 0 && s.shadowed(hi, lo) {
+				if s.shadowCell&cell != 0 && shadowed(s, &fp.cold[j], hi, lo) {
 					continue
 				}
 			}
 			if wi > 0 {
 				fp.widths[wi-1], fp.widths[wi] = fp.widths[wi], fp.widths[wi-1]
 			}
-			return s
+			return int(j)
 		}
 	}
-	return nil
+	return -1
 }
 
-// insert stores ent and returns its table slot. The table grows when
-// fill passes 40% — or, crucially, whenever a probe window is full of
-// live entries: evictions don't raise fill, so without the second
-// trigger a saturated table would stall below the threshold and churn
-// (every insert killing a live flow) instead of growing.
-func (fp *flowCache) insert(ent *flowEntry) *flowEntry {
-	if fp.slots == nil {
+// insert stores the (hot, cold) pair and returns its table slot index.
+// The table grows when fill passes 40% — or, crucially, whenever a
+// probe window is full of live entries: evictions don't raise fill, so
+// without the second trigger a saturated table would stall below the
+// threshold and churn (every insert killing a live flow) instead of
+// growing.
+func (fp *flowCache) insert(h *flowHot, c *flowCold) int {
+	if fp.hot == nil {
 		fp.tags = make([]uint64, fpMinSlots)
-		fp.slots = make([]flowEntry, fpMinSlots)
+		fp.hot = make([]flowHot, fpMinSlots)
+		fp.cold = make([]flowCold, fpMinSlots)
 		fp.mask = fpMinSlots - 1
-	} else if (fp.fill+1)*5 > len(fp.slots)*2 && len(fp.slots) < fpMaxSlots {
+	} else if (fp.fill+1)*5 > len(fp.hot)*2 && len(fp.hot) < fpMaxSlots {
 		fp.grow()
 	}
 	for {
-		if slot, ok := fp.tryPlace(ent); ok {
-			return slot
+		if j, ok := fp.tryPlace(h, c); ok {
+			return j
 		}
-		if len(fp.slots) >= fpMaxSlots {
-			return fp.place(ent) // capped: evict within the window
+		if len(fp.hot) >= fpMaxSlots {
+			return fp.place(h, c) // capped: evict within the window
 		}
 		fp.grow()
 	}
 }
 
-// fpTag is the tag ent will carry, given its slot hash.
-func (ent *flowEntry) fpTag(h uint64) uint64 {
-	if ent.wide {
-		return fpTagWide(h)
+// fpTag is the tag the entry will carry, given its slot hash.
+func (h *flowHot) fpTag(hash uint64) uint64 {
+	if h.wide() {
+		return fpTagWide(hash)
 	}
-	return fpTagExact(h, ent.lo)
+	return fpTagExact(hash, h.lo)
 }
 
-// setSlot writes ent into slot j, keeping tag and payload in sync.
-func (fp *flowCache) setSlot(j uint64, ent *flowEntry) *flowEntry {
-	fp.tags[j] = ent.fpTag(slotHash(ent.ifid, ent.width, ent.hi))
-	s := &fp.slots[j]
-	*s = *ent
+// setSlot writes the entry into slot j, keeping tag and payload in sync.
+func (fp *flowCache) setSlot(j uint64, h *flowHot, c *flowCold) int {
+	fp.tags[j] = h.fpTag(slotHash(h.ifid, h.width, h.hi))
+	s := &fp.hot[j]
+	*s = *h
 	s.gen = fp.gen
-	return s
+	fp.cold[j] = *c
+	return int(j)
 }
 
-// tryPlace stores ent if its probe window has a dead slot or already
-// holds the same flow; ok=false when placing would evict a live entry.
-func (fp *flowCache) tryPlace(ent *flowEntry) (*flowEntry, bool) {
-	h := slotHash(ent.ifid, ent.width, ent.hi)
-	tag := ent.fpTag(h)
+// tryPlace stores the entry if its probe window has a dead slot or
+// already holds the same flow; ok=false when placing would evict a live
+// entry.
+func (fp *flowCache) tryPlace(h *flowHot, c *flowCold) (int, bool) {
+	hash := slotHash(h.ifid, h.width, h.hi)
+	tag := h.fpTag(hash)
 	victim := uint64(1) << 63
 	for i := uint64(0); i < fpProbe; i++ {
-		j := (h + i) & fp.mask
-		s := &fp.slots[j]
+		j := (hash + i) & fp.mask
+		s := &fp.hot[j]
 		if fp.tags[j] != 0 && s.gen == fp.gen {
-			if fp.tags[j] == tag && s.ifid == ent.ifid && s.width == ent.width &&
-				s.hi == ent.hi && s.wide == ent.wide && (s.wide || s.lo == ent.lo) {
-				return fp.setSlot(j, ent), true // recompile of the same flow
+			if fp.tags[j] == tag && s.ifid == h.ifid && s.width == h.width &&
+				s.hi == h.hi && s.flags&fpFlagWide == h.flags&fpFlagWide &&
+				(h.wide() || s.lo == h.lo) {
+				return fp.setSlot(j, h, c), true // recompile of the same flow
 			}
 			continue
 		}
@@ -501,30 +559,31 @@ func (fp *flowCache) tryPlace(ent *flowEntry) (*flowEntry, bool) {
 		}
 	}
 	if victim == uint64(1)<<63 {
-		return nil, false
+		return 0, false
 	}
 	fp.fill++
-	return fp.setSlot(victim, ent), true
+	return fp.setSlot(victim, h, c), true
 }
 
-func (fp *flowCache) place(ent *flowEntry) *flowEntry {
-	if slot, ok := fp.tryPlace(ent); ok {
-		return slot
+func (fp *flowCache) place(h *flowHot, c *flowCold) int {
+	if j, ok := fp.tryPlace(h, c); ok {
+		return j
 	}
-	h := slotHash(ent.ifid, ent.width, ent.hi)
-	return fp.setSlot(h&fp.mask, ent) // window full: evict
+	hash := slotHash(h.ifid, h.width, h.hi)
+	return fp.setSlot(hash&fp.mask, h, c) // window full: evict
 }
 
 func (fp *flowCache) grow() {
-	oldTags, old := fp.tags, fp.slots
+	oldTags, oldHot, oldCold := fp.tags, fp.hot, fp.cold
 	gen := fp.gen
-	fp.tags = make([]uint64, len(old)*4)
-	fp.slots = make([]flowEntry, len(old)*4)
-	fp.mask = uint64(len(fp.slots) - 1)
+	fp.tags = make([]uint64, len(oldHot)*4)
+	fp.hot = make([]flowHot, len(oldHot)*4)
+	fp.cold = make([]flowCold, len(oldHot)*4)
+	fp.mask = uint64(len(fp.hot) - 1)
 	fp.fill = 0
-	for i := range old {
-		if oldTags[i] != 0 && old[i].gen == gen {
-			fp.place(&old[i])
+	for i := range oldHot {
+		if oldTags[i] != 0 && oldHot[i].gen == gen {
+			fp.place(&oldHot[i], &oldCold[i])
 		}
 	}
 }
@@ -597,16 +656,20 @@ func (e *Engine) fpAttempt(d delivery) (fpResult, delivery) {
 	}
 	hi := binary.BigEndian.Uint64(pkt[24:32])
 	lo := binary.BigEndian.Uint64(pkt[32:40])
-	ent := e.fp.lookup(ifid, hi, lo)
-	cold := ent == nil
+	j := e.fp.lookup(ifid, hi, lo)
+	cold := j < 0
+	var h *flowHot
+	var c *flowCold
 	if cold {
-		ent = e.compileFlow(d.to, pkt)
+		h, c = e.compileFlow(d.to, pkt)
+	} else {
+		h, c = &e.fp.hot[j], &e.fp.cold[j]
 	}
-	if ent.kind == entryNeg {
+	if h.kind == entryNeg {
 		e.fp.misses++
 		return fpMiss, d
 	}
-	res, cont := e.fpReplay(ent, d)
+	res, cont := e.fpReplay(h, c, d)
 	switch {
 	case res == fpMiss || cold:
 		e.fp.misses++
@@ -620,19 +683,20 @@ func (e *Engine) fpAttempt(d delivery) (fpResult, delivery) {
 // dst, recording compilable hops, and installs the resulting entry
 // (negative if nothing compiled). No Handle is executed and no state
 // mutated: the walk queries CompileStep/CompileTerminal only. The
-// entry is built in the engine's scratch slot, so even a flow that
+// entry is built in the engine's scratch pair, so even a flow that
 // cannot be cached is compiled without allocating.
-func (e *Engine) compileFlow(to *Iface, pkt []byte) *flowEntry {
+func (e *Engine) compileFlow(to *Iface, pkt []byte) (*flowHot, *flowCold) {
 	dst := ipv6.AddrFromBytes(pkt[24:40])
 	u := dst.Uint128()
-	ent := &e.fpScratch
-	*ent = flowEntry{}
+	ent := &e.fpScratchH
+	cld := &e.fpScratchC
+	*ent = flowHot{}
+	*cld = flowCold{}
 	ent.ifid = to.fpID
 	ent.hi, ent.lo = u.Hi, u.Lo
 	ent.kind = entryNeg
-	ent.wide = true
+	ent.flags = fpFlagWide | fpFlagLossless
 	ent.width = 1
-	ent.lossless = true
 	hlIn := pkt[7]
 	hl := hlIn
 	// Visited ingress interfaces, for routing-cycle detection: ins[i]
@@ -653,12 +717,12 @@ func (e *Engine) compileFlow(to *Iface, pkt []byte) *flowEntry {
 			// The hop limit expires at this node before any forwarding.
 			if he, ok := node.(hopExpirer); ok {
 				if term, ok := he.compileExpiry(in, dst); ok {
-					e.compileLoopTerm(ent, in, term, pkt, hlIn,
+					e.compileLoopTerm(ent, cld, in, term, pkt, hlIn,
 						int(ent.nf), 0, int(ent.nf))
 					break
 				}
 			}
-			ent.wide = false
+			ent.flags &^= fpFlagWide
 			if ent.nf > 0 {
 				ent.kind = entryNode
 				ent.term = in
@@ -676,11 +740,11 @@ func (e *Engine) compileFlow(to *Iface, pkt []byte) *flowEntry {
 					}
 					break
 				}
-				applyStepRegion(ent, &step)
+				applyStepRegion(ent, cld, &step)
 				if step.Out.link.loss != 0 {
-					ent.lossless = false
+					ent.flags &^= fpFlagLossless
 				}
-				ent.fwd[ent.nf] = compiledHop{out: step.Out, fwd: step.Forwarded}
+				cld.fwd[ent.nf] = hopTo(step.Out, step.Forwarded)
 				ent.nf++
 				hl--
 				next := step.Out.link.ends[1-step.Out.end]
@@ -701,7 +765,7 @@ func (e *Engine) compileFlow(to *Iface, pkt []byte) *flowEntry {
 					exp := ins[p+(k-p)%l]
 					if he, ok := exp.node.(hopExpirer); ok {
 						if term, ok := he.compileExpiry(exp, dst); ok {
-							e.compileLoopTerm(ent, exp, term, pkt, hlIn, p, l, k)
+							e.compileLoopTerm(ent, cld, exp, term, pkt, hlIn, p, l, k)
 							break
 						}
 					}
@@ -718,12 +782,12 @@ func (e *Engine) compileFlow(to *Iface, pkt []byte) *flowEntry {
 		}
 		if tc, ok := node.(terminalCompiler); ok {
 			if term, ok := tc.CompileTerminal(in, dst); ok {
-				e.compileErrorTerm(ent, in, term, pkt)
+				e.compileErrorTerm(ent, cld, in, term, pkt)
 				break
 			}
 			// Terminal refused (special address, vulnerable behavior):
 			// cache the transit prefix for this destination only.
-			ent.wide = false
+			ent.flags &^= fpFlagWide
 		}
 		if ent.nf > 0 {
 			ent.kind = entryNode
@@ -734,62 +798,63 @@ func (e *Engine) compileFlow(to *Iface, pkt []byte) *flowEntry {
 	if ent.kind == entryNeg || ent.kind == entryNode && ent.term != nil && !compilableTerm(ent.term.node) {
 		// A terminal outside the capability interfaces may treat
 		// different addresses of one region differently; stay exact.
-		ent.wide = false
+		ent.flags &^= fpFlagWide
 	}
 	if ent.kind == entryNeg {
 		ent.nf = 0
 	}
-	if ent.wide && !e.fp.registerWidth(ent.width) {
-		ent.wide = false // width table saturated: key exactly
+	if ent.wide() && !e.fp.registerWidth(ent.width) {
+		ent.flags &^= fpFlagWide // width table saturated: key exactly
 	}
-	if ent.wide {
+	if ent.wide() {
 		ent.hi &= fpMask(ent.width)
-		ent.buildShadowCells()
+		buildShadowCells(ent, cld)
 	} else {
 		// Exact entries are keyed at /64 with the low half compared,
 		// and never match a special address or hole.
 		ent.width = 64
 		ent.nExcl, ent.nHole = 0, 0
 		if !e.fp.registerWidth(64) {
-			return ent // unkeyable: serve this delivery uncached
+			return ent, cld // unkeyable: serve this delivery uncached
 		}
 	}
-	return e.fp.insert(ent)
+	j := e.fp.insert(ent, cld)
+	return &e.fp.hot[j], &e.fp.cold[j]
 }
 
 // applyStepRegion folds one compiled hop's region claim into the
 // entry: the width narrows to the step's (larger width = smaller
 // region), exclusions and holes accumulate; any overflow forces the
 // entry exact.
-func applyStepRegion(ent *flowEntry, step *CompiledStep) {
+func applyStepRegion(h *flowHot, c *flowCold, step *CompiledStep) {
 	if step.Width == 0 {
-		ent.wide = false
-	} else if step.Width > ent.width {
-		ent.width = step.Width
+		h.flags &^= fpFlagWide
+	} else if step.Width > h.width {
+		h.width = step.Width
 	}
-	if step.NExcl > 0 && !mergeExcl(ent, step.Excl[:step.NExcl]) {
-		ent.wide = false
+	if step.NExcl > 0 && !mergeExcl(h, c, step.Excl[:step.NExcl]) {
+		h.flags &^= fpFlagWide
 	}
 	for k := uint8(0); k < step.NHole; k++ {
-		if !mergeHole(ent, step.Holes[k]) {
-			ent.wide = false
+		if !mergeHole(h, c, step.Holes[k]) {
+			h.flags &^= fpFlagWide
 		}
 	}
 }
 
 // applyTermRegion is applyStepRegion for a compiled terminal.
-func applyTermRegion(ent *flowEntry, term *compiledTerm) {
+func applyTermRegion(h *flowHot, c *flowCold, term *compiledTerm) {
 	if term.width == 0 {
-		ent.wide = false
-	} else if term.width > ent.width {
-		ent.width = term.width
+		h.flags &^= fpFlagWide
+	} else if term.width > h.width {
+		h.width = term.width
 	}
-	if term.nExcl > 0 && !mergeExcl(ent, term.excl[:term.nExcl]) {
-		ent.wide = false
+	if term.nExcl > 0 && !mergeExcl(h, c, term.excl[:term.nExcl]) {
+		h.flags &^= fpFlagWide
 	}
 	for k := uint8(0); k < term.nHole; k++ {
-		if !mergeHole(ent, term.holes[k]) {
-			ent.wide = false
+		if !mergeHole(h, c, term.holes[k]) {
+			h.flags &^= fpFlagWide
 		}
 	}
 }
@@ -797,42 +862,42 @@ func applyTermRegion(ent *flowEntry, term *compiledTerm) {
 // mergeHole folds an excluded sub-prefix into the entry,
 // deduplicating; false when the inline list overflows (the entry must
 // then be exact).
-func mergeHole(ent *flowEntry, p ipv6.Prefix) bool {
+func mergeHole(h *flowHot, c *flowCold, p ipv6.Prefix) bool {
 	b := p.Bits()
 	if b < 1 || b > 128 {
 		return false
 	}
 	u := p.Addr().Uint128()
-	for k := uint8(0); k < ent.nHole; k++ {
-		if ent.holeBits[k] == uint8(b) && ent.holeHi[k] == u.Hi && ent.holeLo[k] == u.Lo {
+	for k := uint8(0); k < h.nHole; k++ {
+		if c.holeBits[k] == uint8(b) && c.holeHi[k] == u.Hi && c.holeLo[k] == u.Lo {
 			return true
 		}
 	}
-	if int(ent.nHole) == fpHoleCap {
+	if int(h.nHole) == fpHoleCap {
 		return false
 	}
-	ent.holeBits[ent.nHole] = uint8(b)
-	ent.holeHi[ent.nHole] = u.Hi
-	ent.holeLo[ent.nHole] = u.Lo
-	ent.nHole++
+	c.holeBits[h.nHole] = uint8(b)
+	c.holeHi[h.nHole] = u.Hi
+	c.holeLo[h.nHole] = u.Lo
+	h.nHole++
 	return true
 }
 
 // mergeExcl folds addrs into the entry's exclusion list, deduplicating;
 // false when the inline list overflows (the entry must then be exact).
-func mergeExcl(ent *flowEntry, addrs []ipv6.Addr) bool {
+func mergeExcl(h *flowHot, c *flowCold, addrs []ipv6.Addr) bool {
 outer:
 	for _, a := range addrs {
-		for k := uint8(0); k < ent.nExcl; k++ {
-			if ent.excl[k] == a {
+		for k := uint8(0); k < h.nExcl; k++ {
+			if c.excl[k] == a {
 				continue outer
 			}
 		}
-		if int(ent.nExcl) == fpExclCap {
+		if int(h.nExcl) == fpExclCap {
 			return false
 		}
-		ent.excl[ent.nExcl] = a
-		ent.nExcl++
+		c.excl[h.nExcl] = a
+		h.nExcl++
 	}
 	return true
 }
@@ -843,24 +908,25 @@ func compilableTerm(n Node) bool {
 }
 
 // compileReply records the error's return path from termIn back to an
-// Edge into ent.rev (rev[0] is the emission out the arrival interface,
-// the rest forwarding crossings). false when any reverse hop is
-// uncompilable; ent.lossless may have been cleared regardless, which is
-// safe (the transmit-path replay is exact, just slower).
-func compileReply(ent *flowEntry, termIn *Iface, rdst ipv6.Addr) bool {
+// Edge into the cold tail's rev list (rev[0] is the emission out the
+// arrival interface, the rest forwarding crossings). false when any
+// reverse hop is uncompilable; the lossless flag may have been cleared
+// regardless, which is safe (the transmit-path replay is exact, just
+// slower).
+func compileReply(h *flowHot, c *flowCold, termIn *Iface, rdst ipv6.Addr) bool {
 	if termIn.link == nil {
 		return false
 	}
-	ent.rev[0] = compiledHop{out: termIn}
+	c.rev[0] = hopTo(termIn, nil)
 	if termIn.link.loss != 0 {
-		ent.lossless = false
+		h.flags &^= fpFlagLossless
 	}
 	nr := 1
 	rin := termIn.link.ends[1-termIn.end]
 	for {
 		node := rin.node
 		if _, isEdge := node.(*Edge); isEdge {
-			ent.edge = rin
+			c.edge = rin
 			break
 		}
 		ch, ok := node.(CompilableHop)
@@ -872,65 +938,66 @@ func compileReply(ent *flowEntry, termIn *Iface, rdst ipv6.Addr) bool {
 			return false
 		}
 		if step.Out.link.loss != 0 {
-			ent.lossless = false
+			h.flags &^= fpFlagLossless
 		}
-		ent.rev[nr] = compiledHop{out: step.Out, fwd: step.Forwarded}
+		c.rev[nr] = hopTo(step.Out, step.Forwarded)
 		nr++
 		rin = step.Out.link.ends[1-step.Out.end]
 	}
-	ent.nr = uint8(nr)
+	h.nr = uint8(nr)
 	return true
 }
 
-// compileErrorTerm upgrades ent to a fully fused error round trip: the
-// terminal's compiled ICMPv6 error plus the compiled reply path back to
-// an Edge. Any obstacle downgrades to entryNode (interpreted terminal).
-func (e *Engine) compileErrorTerm(ent *flowEntry, termIn *Iface, term compiledTerm, pkt []byte) {
+// compileErrorTerm upgrades the entry to a fully fused error round
+// trip: the terminal's compiled ICMPv6 error plus the compiled reply
+// path back to an Edge. Any obstacle downgrades to entryNode
+// (interpreted terminal).
+func (e *Engine) compileErrorTerm(h *flowHot, c *flowCold, termIn *Iface, term compiledTerm, pkt []byte) {
 	// The reply path is compiled for this probe's source; replay guards
 	// on it and falls back to the interpreted terminal for other
 	// sources.
 	rdst := ipv6.AddrFromBytes(pkt[8:24])
-	if !compileReply(ent, termIn, rdst) {
-		if ent.nf > 0 {
-			ent.kind = entryNode
-			ent.term = termIn
+	if !compileReply(h, c, termIn, rdst) {
+		if h.nf > 0 {
+			h.kind = entryNode
+			h.term = termIn
 		}
 		return
 	}
-	ent.kind = entryError
-	ent.term = termIn
-	ent.errType, ent.errCode = term.typ, term.code
-	ent.errSrc = term.src
-	ent.gate = term.gate
-	ent.replySrc = rdst
-	applyTermRegion(ent, &term)
+	h.kind = entryError
+	h.term = termIn
+	h.errType, h.errCode = term.typ, term.code
+	c.errSrc = term.src
+	h.gate = term.gate
+	c.replySrc = rdst
+	applyTermRegion(h, c, &term)
 }
 
-// compileLoopTerm upgrades ent to a fused hop-limit-expiry round trip:
-// prefix crossings (fwd[:p]), a cycle of l crossings (fwd[p:p+l], zero
-// for a plain short-hop-limit path), cross total crossings until the
-// Time Exceeded fires at expIn's node, and the compiled reply. Only
+// compileLoopTerm upgrades the entry to a fused hop-limit-expiry round
+// trip: prefix crossings (fwd[:p]), a cycle of l crossings (fwd[p:p+l],
+// zero for a plain short-hop-limit path), cross total crossings until
+// the Time Exceeded fires at expIn's node, and the compiled reply. Only
 // valid for packets arriving with exactly hlIn; replay guards on it.
 // Any obstacle downgrades to entryNode (bounces stay interpreted).
-func (e *Engine) compileLoopTerm(ent *flowEntry, expIn *Iface, term compiledTerm, pkt []byte, hlIn uint8, p, l, cross int) {
+func (e *Engine) compileLoopTerm(h *flowHot, c *flowCold, expIn *Iface, term compiledTerm, pkt []byte, hlIn uint8, p, l, cross int) {
 	rdst := ipv6.AddrFromBytes(pkt[8:24])
-	if !compileReply(ent, expIn, rdst) {
-		if ent.nf > 0 {
-			ent.kind = entryNode
-			ent.term = expIn
+	if !compileReply(h, c, expIn, rdst) {
+		if h.nf > 0 {
+			h.kind = entryNode
+			h.term = expIn
 		}
 		return
 	}
-	ent.kind = entryLoop
-	ent.term = expIn
-	ent.errType, ent.errCode = term.typ, term.code
-	ent.errSrc = term.src
-	ent.gate = term.gate
-	ent.replySrc = rdst
-	ent.hlIn = hlIn
-	ent.loopStart, ent.loopLen = uint8(p), uint8(l)
-	ent.loopCross = uint16(cross)
-	applyTermRegion(ent, &term)
+	h.kind = entryLoop
+	h.term = expIn
+	h.errType, h.errCode = term.typ, term.code
+	c.errSrc = term.src
+	h.gate = term.gate
+	c.replySrc = rdst
+	h.hlIn = hlIn
+	h.loopStart, h.loopLen = uint8(p), uint8(l)
+	h.loopCross = uint16(cross)
+	applyTermRegion(h, c, &term)
 }
 
 // fpReplay replays a compiled entry for delivery d. The contract with
@@ -938,14 +1005,14 @@ func (e *Engine) compileLoopTerm(ent *flowEntry, expIn *Iface, term compiledTerm
 // call, hop-limit decrement, transit-counter increment, error-gate
 // decision and buffer-pool movement happens in exactly the order
 // sequential forwarding would produce.
-func (e *Engine) fpReplay(ent *flowEntry, d delivery) (fpResult, delivery) {
+func (e *Engine) fpReplay(ent *flowHot, cld *flowCold, d delivery) (fpResult, delivery) {
 	pkt := d.pkt
 	if ent.kind == entryLoop {
-		return e.fpReplayLoop(ent, d)
+		return e.fpReplayLoop(ent, cld, d)
 	}
 	// One fused event can use the pure-add charging loop only when
 	// nothing can observe or perturb individual crossings.
-	plain := ent.lossless && e.fault == nil && e.tap == nil
+	plain := ent.lossless() && e.fault == nil && e.tap == nil
 
 	in := d.to
 	for j := uint8(0); j < ent.nf; j++ {
@@ -958,7 +1025,7 @@ func (e *Engine) fpReplay(ent *flowEntry, d delivery) (fpResult, delivery) {
 			return fpContinue, delivery{to: in, pkt: pkt}
 		}
 		pkt[7]--
-		h := &ent.fwd[j]
+		h := &cld.fwd[j]
 		if h.fwd != nil {
 			*h.fwd++
 		}
@@ -1004,8 +1071,8 @@ func (e *Engine) fpReplay(ent *flowEntry, d delivery) (fpResult, delivery) {
 	if pkt[7] <= 1 {
 		return bail() // interpreted Time Exceeded at the terminal
 	}
-	if binary.BigEndian.Uint64(pkt[8:16]) != ent.replySrc.Uint128().Hi ||
-		binary.BigEndian.Uint64(pkt[16:24]) != ent.replySrc.Uint128().Lo {
+	if binary.BigEndian.Uint64(pkt[8:16]) != cld.replySrc.Uint128().Hi ||
+		binary.BigEndian.Uint64(pkt[16:24]) != cld.replySrc.Uint128().Lo {
 		return bail() // reply path compiled for a different source
 	}
 	pkt[7]--
@@ -1020,14 +1087,14 @@ func (e *Engine) fpReplay(ent *flowEntry, d delivery) (fpResult, delivery) {
 		e.putBufLocked(pkt)
 		return fpDone, delivery{}
 	}
-	reply := e.fpBuildError(ent, pkt)
+	reply := e.fpBuildError(ent, cld, pkt)
 	e.putBufLocked(pkt) // the probe's delivery lifecycle ends at the terminal
-	return e.fpReplayReverse(ent, reply, plain)
+	return e.fpReplayReverse(ent, cld, reply, plain)
 }
 
 // fpReplayReverse drives the compiled error reply from the terminal
 // back to the Edge and delivers it inline.
-func (e *Engine) fpReplayReverse(ent *flowEntry, reply []byte, plain bool) (fpResult, delivery) {
+func (e *Engine) fpReplayReverse(ent *flowHot, cld *flowCold, reply []byte, plain bool) (fpResult, delivery) {
 	rin := ent.term
 	for j := uint8(0); j < ent.nr; j++ {
 		if j > 0 {
@@ -1035,11 +1102,11 @@ func (e *Engine) fpReplayReverse(ent *flowEntry, reply []byte, plain bool) (fpRe
 				return fpContinue, delivery{to: rin, pkt: reply}
 			}
 			reply[7]--
-			if ent.rev[j].fwd != nil {
-				*ent.rev[j].fwd++
+			if cld.rev[j].fwd != nil {
+				*cld.rev[j].fwd++
 			}
 		}
-		h := &ent.rev[j]
+		h := &cld.rev[j]
 		if plain {
 			l := h.out.link
 			st := &l.stats[h.out.end]
@@ -1059,7 +1126,7 @@ func (e *Engine) fpReplayReverse(ent *flowEntry, reply []byte, plain bool) (fpRe
 			rin = nd.to
 		}
 	}
-	ent.edge.node.Handle(ent.edge, reply) // Edge retains; returns nil
+	cld.edge.node.Handle(cld.edge, reply) // Edge retains; returns nil
 	return fpDone, delivery{}
 }
 
@@ -1070,39 +1137,28 @@ func (e *Engine) fpReplayReverse(ent *flowEntry, reply []byte, plain bool) (fpRe
 // arithmetically — per recorded hop, not per crossing — in one fused
 // event; otherwise each crossing runs through transmitLocked so every
 // fault consult, RNG draw and tap call happens in interpreted order.
-func (e *Engine) fpReplayLoop(ent *flowEntry, d delivery) (fpResult, delivery) {
+func (e *Engine) fpReplayLoop(ent *flowHot, cld *flowCold, d delivery) (fpResult, delivery) {
 	pkt := d.pkt
 	if pkt[7] != ent.hlIn {
 		// Compiled for a different incoming hop limit (expiry would
 		// land elsewhere): interpret this packet.
 		return fpMiss, d
 	}
-	if binary.BigEndian.Uint64(pkt[8:16]) != ent.replySrc.Uint128().Hi ||
-		binary.BigEndian.Uint64(pkt[16:24]) != ent.replySrc.Uint128().Lo {
+	if binary.BigEndian.Uint64(pkt[8:16]) != cld.replySrc.Uint128().Hi ||
+		binary.BigEndian.Uint64(pkt[16:24]) != cld.replySrc.Uint128().Lo {
 		return fpMiss, d // reply path compiled for a different source
 	}
 	cross := int(ent.loopCross)
-	plain := ent.lossless && e.fault == nil && e.tap == nil
+	plain := ent.lossless() && e.fault == nil && e.tap == nil
 	if plain {
 		p, l := int(ent.loopStart), int(ent.loopLen)
 		n := uint64(len(pkt))
 		for i := 0; i < int(ent.nf); i++ {
-			var cnt uint64
-			if i < p {
-				if i < cross {
-					cnt = 1
-				}
-			} else {
-				q := cross - p
-				cnt = uint64(q / l)
-				if i-p < q%l {
-					cnt++
-				}
-			}
+			cnt := loopHopCount(i, p, l, cross)
 			if cnt == 0 {
 				continue
 			}
-			h := &ent.fwd[i]
+			h := &cld.fwd[i]
 			if h.fwd != nil {
 				*h.fwd += cnt
 			}
@@ -1122,7 +1178,7 @@ func (e *Engine) fpReplayLoop(ent *flowEntry, d delivery) (fpResult, delivery) {
 				i = p + (j-p)%int(ent.loopLen)
 			}
 			pkt[7]--
-			h := &ent.fwd[i]
+			h := &cld.fwd[i]
 			if h.fwd != nil {
 				*h.fwd++
 			}
@@ -1148,9 +1204,27 @@ func (e *Engine) fpReplayLoop(ent *flowEntry, d delivery) (fpResult, delivery) {
 		e.putBufLocked(pkt)
 		return fpDone, delivery{}
 	}
-	reply := e.fpBuildError(ent, pkt)
+	reply := e.fpBuildError(ent, cld, pkt)
 	e.putBufLocked(pkt)
-	return e.fpReplayReverse(ent, reply, plain)
+	return e.fpReplayReverse(ent, cld, reply, plain)
+}
+
+// loopHopCount is how many times recorded hop i is crossed when a loop
+// entry with acyclic prefix p and cycle length l expires after cross
+// total crossings.
+func loopHopCount(i, p, l, cross int) uint64 {
+	if i < p {
+		if i < cross {
+			return 1
+		}
+		return 0
+	}
+	q := cross - p
+	cnt := uint64(q / l)
+	if i-p < q%l {
+		cnt++
+	}
+	return cnt
 }
 
 // fpBuildError produces the terminal's ICMPv6 error for the invoking
@@ -1159,14 +1233,14 @@ func (e *Engine) fpReplayLoop(ent *flowEntry, d delivery) (fpResult, delivery) {
 // template; later replays copy the 48-byte header, splice the invoking
 // packet after it, and finish the checksum from the cached
 // constant-region sum.
-func (e *Engine) fpBuildError(ent *flowEntry, pkt []byte) []byte {
+func (e *Engine) fpBuildError(ent *flowHot, cld *flowCold, pkt []byte) []byte {
 	const invOff = fpTmplLen
 	n := len(pkt)
-	if ent.hasTmpl && int(ent.probeLen) == n {
+	if ent.hasTmpl() && int(ent.probeLen) == n {
 		out := e.getBufLocked(invOff + n)
-		copy(out[:invOff], ent.tmpl[:])
+		copy(out[:invOff], cld.tmpl[:])
 		copy(out[invOff:], pkt)
-		cs := wire.FoldSum(ent.tmplSum + wire.SumWords(pkt))
+		cs := wire.FoldSum(cld.tmplSum + wire.SumWords(pkt))
 		binary.BigEndian.PutUint16(out[invOff-6:invOff-4], cs)
 		return out
 	}
@@ -1174,19 +1248,19 @@ func (e *Engine) fpBuildError(ent *flowEntry, pkt []byte) []byte {
 	rdst := ipv6.AddrFromBytes(pkt[8:24])
 	var out []byte
 	if ent.errType == wire.ICMPTimeExceeded {
-		out, _ = wire.AppendTimeExceeded(scratch, ent.errSrc, rdst, wire.MaxHopLimit, pkt)
+		out, _ = wire.AppendTimeExceeded(scratch, cld.errSrc, rdst, wire.MaxHopLimit, pkt)
 	} else {
-		out, _ = wire.AppendDestUnreach(scratch, ent.errSrc, rdst, wire.MaxHopLimit, ent.errCode, pkt)
+		out, _ = wire.AppendDestUnreach(scratch, cld.errSrc, rdst, wire.MaxHopLimit, ent.errCode, pkt)
 	}
 	if len(out) == invOff+n {
 		// Untruncated: cache the headers as the template. The constant
 		// checksum region is the pseudo-header plus the 8-byte ICMPv6
 		// header with a zeroed checksum — of which only type and code
 		// are non-zero.
-		copy(ent.tmpl[:], out[:invOff])
-		ent.hasTmpl = true
+		copy(cld.tmpl[:], out[:invOff])
+		ent.flags |= fpFlagTmpl
 		ent.probeLen = uint16(n)
-		ent.tmplSum = wire.PseudoSum(ent.errSrc, rdst, wire.ProtoICMPv6, len(out)-wire.HeaderLen) +
+		cld.tmplSum = wire.PseudoSum(cld.errSrc, rdst, wire.ProtoICMPv6, len(out)-wire.HeaderLen) +
 			uint64(ent.errType)<<8 + uint64(ent.errCode)
 	}
 	return out

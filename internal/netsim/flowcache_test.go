@@ -324,3 +324,50 @@ func TestFlowCacheConcurrentInject(t *testing.T) {
 		t.Error("no replies delivered")
 	}
 }
+
+// TestFlowCacheConcurrentInjectBatch hammers one engine with
+// concurrent InjectBatch calls of mixed sizes (1 up to a full resolve
+// run) interleaved with InvalidateFlows, for the -race runner: the
+// batched resolve/replay passes and their engine-inline scratch must
+// stay entirely under the engine lock.
+func TestFlowCacheConcurrentInjectBatch(t *testing.T) {
+	n := buildTestNet(t, CPEBehavior{}, ErrorPolicy{})
+	dsts := []ipv6.Addr{
+		wanAddr, lanHost,
+		ipv6.MustParseAddr("2001:db8:aaaa:bbbb::1"),
+		ipv6.MustParseAddr("2001:db8:cccc::99"),
+	}
+	sizes := []int{1, 3, 17, 64, InjectRunLen}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				size := sizes[(g+i)%len(sizes)]
+				batch := make([][]byte, 0, size)
+				for j := 0; j < size; j++ {
+					dst := dsts[(g+i+j)%len(dsts)]
+					pkt, err := wire.BuildEchoRequest(scannerAddr, dst, 64, uint16(g+1), uint16(i*InjectRunLen+j+1), nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					batch = append(batch, pkt)
+				}
+				n.eng.InjectBatch(n.scanner.Iface(), batch)
+				if i%13 == 7 {
+					n.eng.InvalidateFlows()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := n.eng.Counters()
+	if c.FastPathBatched == 0 {
+		t.Error("concurrent batches never took the batched replay path")
+	}
+	if got := uint64(n.scanner.Pending()); got == 0 {
+		t.Error("no replies delivered")
+	}
+}

@@ -220,6 +220,7 @@ func (g *EngineGroup) Counters() Counters {
 		c.FastPathHits += sc.FastPathHits
 		c.FastPathMisses += sc.FastPathMisses
 		c.FastPathInvalidations += sc.FastPathInvalidations
+		c.FastPathBatched += sc.FastPathBatched
 	}
 	return c
 }

@@ -90,6 +90,28 @@ func (g *errorGate) allow() bool {
 	return true
 }
 
+// allowN is allow for a batch of k error draws against one gate: it
+// returns how many of the k may be generated — budget is consumed in
+// order, so the first allowN(k) callers' probes draw errors and the
+// rest are suppressed, exactly as k sequential allow calls would
+// decide.
+func (g *errorGate) allowN(k int) int {
+	if g.policy.Suppress || k <= 0 {
+		return 0
+	}
+	if g.policy.Budget > 0 {
+		rem := g.policy.Budget - g.generated
+		if rem <= 0 {
+			return 0
+		}
+		if k > rem {
+			k = rem
+		}
+	}
+	g.generated += k
+	return k
+}
+
 // RouteKind discriminates routing-table entries.
 type RouteKind int
 

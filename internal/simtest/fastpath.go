@@ -30,19 +30,58 @@ type fastPathLink struct {
 	stats [2]netsim.LinkStats
 }
 
+// chunkDriver splits every SendBatch into sub-batches of at most n
+// packets before handing them to the underlying driver, forcing the
+// engine to see a chosen batch size regardless of the scanner's drain
+// window. n = 1 is the per-probe injection path.
+type chunkDriver struct {
+	under xmap.Driver
+	n     int
+}
+
+func (c *chunkDriver) SendBatch(pkts [][]byte) (int, error) {
+	sent := 0
+	for len(pkts) > 0 {
+		m := min(c.n, len(pkts))
+		k, err := c.under.SendBatch(pkts[:m])
+		sent += k
+		if err != nil || k < m {
+			return sent, err
+		}
+		pkts = pkts[m:]
+	}
+	return sent, nil
+}
+
+func (c *chunkDriver) RecvBatch(buf [][]byte) [][]byte { return c.under.RecvBatch(buf) }
+func (c *chunkDriver) SourceAddr() ipv6.Addr           { return c.under.SourceAddr() }
+
+// Release forwards buffer recycling when the underlying driver supports
+// it, so chunked legs keep the zero-alloc buffer loop.
+func (c *chunkDriver) Release(pkts [][]byte) {
+	if r, ok := c.under.(xmap.Releaser); ok {
+		r.Release(pkts)
+	}
+}
+
 // runFastPathLeg scans one freshly built, identically seeded fault
 // world twice with the engine's compiled forwarding fast path on or
-// off.
-func runFastPathLeg(seed int64, p FaultProfile, fastpath bool) (fastPathLeg, error) {
+// off. batch > 0 caps the engine-visible send batch size via
+// chunkDriver; 0 leaves the scanner's native bursts intact.
+func runFastPathLeg(seed int64, p FaultProfile, fastpath bool, batch int) (fastPathLeg, error) {
 	f, err := reliabilityFixture(seed, p)
 	if err != nil {
 		return fastPathLeg{}, err
 	}
 	f.Eng.SetFastPath(fastpath)
+	var drv xmap.Driver = f.Drv
+	if batch > 0 {
+		drv = &chunkDriver{under: f.Drv, n: batch}
+	}
 	leg := fastPathLeg{set: map[ipv6.Addr]bool{}}
 	for pass := 0; pass < 2; pass++ {
 		seedTag := append(scanSeed(seed), byte('a'+pass))
-		s, err := xmap.New(xmap.Config{Window: f.Window, Seed: seedTag, DedupExact: true}, f.Drv)
+		s, err := xmap.New(xmap.Config{Window: f.Window, Seed: seedTag, DedupExact: true}, drv)
 		if err != nil {
 			return fastPathLeg{}, err
 		}
@@ -62,39 +101,22 @@ func runFastPathLeg(seed int64, p FaultProfile, fastpath bool) (fastPathLeg, err
 	return leg, nil
 }
 
-// RunFastPathOracle is the compiled-vs-interpreted differential oracle:
-// the same seeded scan, against the same seeded fault world, with the
-// netsim flow cache on (fused replays) and off (every crossing
-// interpreted). The fast path must be invisible to everything except
-// the event count: identical responder sets, identical dedup accounting,
-// identical engine transmission/byte/drop totals, and identical
-// per-link per-direction stats under EVERY fault profile — which only
-// holds because replay charges stats and consumes fault-RNG draws in
-// exactly the interpreted order. Counters.Events is deliberately NOT
-// compared: collapsing ~13 events per probe into one fused event is the
-// fast path's entire point.
-func RunFastPathOracle(seed int64, p FaultProfile) ([]string, error) {
-	on, err := runFastPathLeg(seed, p, true)
-	if err != nil {
-		return nil, err
-	}
-	off, err := runFastPathLeg(seed, p, false)
-	if err != nil {
-		return nil, err
-	}
-
+// diffFastPathLegs compares one leg against the interpreted reference:
+// dedup accounting per pass, engine totals, the responder set, and
+// every link's per-direction stats must be identical.
+func diffFastPathLegs(name string, got, ref fastPathLeg) []string {
 	var problems []string
 	type check struct {
 		field    string
 		got, ref uint64
 	}
 	checks := []check{
-		{"Transmissions", on.counters.Transmissions, off.counters.Transmissions},
-		{"Bytes", on.counters.Bytes, off.counters.Bytes},
-		{"Dropped", on.counters.Dropped, off.counters.Dropped},
+		{"Transmissions", got.counters.Transmissions, ref.counters.Transmissions},
+		{"Bytes", got.counters.Bytes, ref.counters.Bytes},
+		{"Dropped", got.counters.Dropped, ref.counters.Dropped},
 	}
 	for pass := 0; pass < 2; pass++ {
-		g, r := on.stats[pass], off.stats[pass]
+		g, r := got.stats[pass], ref.stats[pass]
 		tag := fmt.Sprintf("pass %d ", pass+1)
 		checks = append(checks,
 			check{tag + "Sent", g.Sent, r.Sent},
@@ -107,39 +129,74 @@ func RunFastPathOracle(seed int64, p FaultProfile) ([]string, error) {
 	for _, c := range checks {
 		if c.got != c.ref {
 			problems = append(problems, fmt.Sprintf(
-				"fastpath leg %s = %d, interpreted %d", c.field, c.got, c.ref))
+				"%s leg %s = %d, interpreted %d", name, c.field, c.got, c.ref))
 		}
 	}
-	for a := range off.set {
-		if !on.set[a] {
-			problems = append(problems, fmt.Sprintf("fastpath leg missed responder %s", a))
+	for a := range ref.set {
+		if !got.set[a] {
+			problems = append(problems, fmt.Sprintf("%s leg missed responder %s", name, a))
 		}
 	}
-	for a := range on.set {
-		if !off.set[a] {
-			problems = append(problems, fmt.Sprintf("fastpath leg found phantom responder %s", a))
+	for a := range got.set {
+		if !ref.set[a] {
+			problems = append(problems, fmt.Sprintf("%s leg found phantom responder %s", name, a))
 		}
 	}
-	if len(on.links) != len(off.links) {
+	if len(got.links) != len(ref.links) {
 		problems = append(problems, fmt.Sprintf(
-			"leg link counts differ: %d vs %d (fixtures diverged)", len(on.links), len(off.links)))
-	} else {
-		for i := range on.links {
-			a, b := on.links[i], off.links[i]
-			for end := 0; end < 2; end++ {
-				if a.ends[end] != b.ends[end] {
-					problems = append(problems, fmt.Sprintf(
-						"link %d endpoint %d is %s vs %s (fixtures diverged)", i, end, a.ends[end], b.ends[end]))
-					continue
-				}
-				if a.stats[end] != b.stats[end] {
-					problems = append(problems, fmt.Sprintf(
-						"link %s->%s stats %+v with fastpath, %+v interpreted",
-						a.ends[end], a.ends[1-end], a.stats[end], b.stats[end]))
-				}
+			"%s leg link counts differ: %d vs %d (fixtures diverged)", name, len(got.links), len(ref.links)))
+		return problems
+	}
+	for i := range got.links {
+		a, b := got.links[i], ref.links[i]
+		for end := 0; end < 2; end++ {
+			if a.ends[end] != b.ends[end] {
+				problems = append(problems, fmt.Sprintf(
+					"%s leg link %d endpoint %d is %s vs %s (fixtures diverged)", name, i, end, a.ends[end], b.ends[end]))
+				continue
+			}
+			if a.stats[end] != b.stats[end] {
+				problems = append(problems, fmt.Sprintf(
+					"%s leg link %s->%s stats %+v, interpreted %+v",
+					name, a.ends[end], a.ends[1-end], a.stats[end], b.stats[end]))
 			}
 		}
 	}
+	return problems
+}
+
+// RunFastPathOracle is the compiled-vs-interpreted differential oracle:
+// the same seeded scan, against the same seeded fault world, with the
+// netsim flow cache on (fused replays) and off (every crossing
+// interpreted). The fast path must be invisible to everything except
+// the event count: identical responder sets, identical dedup accounting,
+// identical engine transmission/byte/drop totals, and identical
+// per-link per-direction stats under EVERY fault profile — which only
+// holds because replay charges stats and consumes fault-RNG draws in
+// exactly the interpreted order. Counters.Events is deliberately NOT
+// compared: collapsing ~13 events per probe into one fused event is the
+// fast path's entire point.
+//
+// The same interpreted reference also judges the batched replay: extra
+// fast-path legs rerun the scan with the engine-visible send batch
+// clamped to 1, 7 (odd, straddles drain windows), 64 (the scanner's
+// native drain window) and netsim.InjectRunLen (the resolve-run scratch
+// size, so larger bursts span multiple locked runs). The aggregated
+// charging in InjectBatch must be invisible at every batch size — in
+// particular batch 1 pins that a trivial batch and the per-probe path
+// agree, so batched-vs-per-probe equivalence is transitive through the
+// reference.
+func RunFastPathOracle(seed int64, p FaultProfile) ([]string, error) {
+	on, err := runFastPathLeg(seed, p, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	off, err := runFastPathLeg(seed, p, false, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	problems := diffFastPathLegs("fastpath", on, off)
 	// The comparison is only meaningful if each leg took the path it
 	// claims: fused replays on one side, none on the other.
 	if on.counters.FastPathHits == 0 {
@@ -154,6 +211,24 @@ func RunFastPathOracle(seed int64, p FaultProfile) ([]string, error) {
 		problems = append(problems, fmt.Sprintf(
 			"fastpath leg pumped %d events, interpreted %d: fusing saved nothing",
 			on.counters.Events, off.counters.Events))
+	}
+
+	for _, bs := range []int{1, 7, 64, netsim.InjectRunLen} {
+		name := fmt.Sprintf("fastpath[batch=%d]", bs)
+		leg, err := runFastPathLeg(seed, p, true, bs)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, diffFastPathLegs(name, leg, off)...)
+		if leg.counters.FastPathHits == 0 {
+			problems = append(problems, name+" leg recorded zero flow-cache hits: fast path never engaged")
+		}
+		// A fault-free world must actually exercise the batched resolve
+		// path (profiles with an armed fault layer legitimately fall
+		// back to per-packet interpretation).
+		if !p.Active() && leg.counters.FastPathBatched == 0 {
+			problems = append(problems, name+" leg replayed zero probes through the batched path")
+		}
 	}
 	return problems, nil
 }

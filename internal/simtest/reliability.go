@@ -13,14 +13,20 @@ import (
 const resumeCheckpointEvery = 32
 
 // reliabilityFixture is one seeded fixture with the profile's injector
-// installed — every oracle leg starts from an identical world.
+// installed — every oracle leg starts from an identical world. An
+// inactive profile ("none") installs no fault layer at all, keeping the
+// engine's batched replay eligible; a no-op injector would pin every
+// leg to per-packet interpretation and hide the batched path from the
+// oracles.
 func reliabilityFixture(seed int64, p FaultProfile) (*ISPFixture, error) {
 	f, err := BuildISPFixture(seed)
 	if err != nil {
 		return nil, err
 	}
-	inj := NewInjector(seed, p)
-	f.Eng.SetFault(inj.Apply)
+	if p.Active() {
+		inj := NewInjector(seed, p)
+		f.Eng.SetFault(inj.Apply)
+	}
 	return f, nil
 }
 

@@ -60,6 +60,16 @@ func (p FaultProfile) Lossless() bool {
 	return p.LossProb == 0 && p.ErrBurstLen == 0 && p.FlapLen == 0
 }
 
+// Active reports whether the profile injects any fault at all. An
+// inactive profile leaves the engine's fault layer uninstalled, so the
+// fixture exercises the engine's fully fused fast paths (an armed fault
+// layer — even a no-op one — forces per-packet interpretation so fault
+// decisions land in sequential order).
+func (p FaultProfile) Active() bool {
+	return p.LossProb > 0 || p.DupProb > 0 || p.ReorderProb > 0 ||
+		p.ErrBurstLen > 0 || p.FlapLen > 0
+}
+
 // Duplicates reports whether the profile can deliver a packet twice.
 func (p FaultProfile) Duplicates() bool { return p.DupProb > 0 }
 

@@ -61,6 +61,7 @@ const (
 	SimFastPathHits
 	SimFastPathMisses
 	SimFastPathInvalidations
+	SimFastPathBatched
 	LoopProbes
 	LoopResponses
 	LoopConfirmed
@@ -94,6 +95,7 @@ var counterNames = [NumCounters]string{
 	SimFastPathHits:          "sim.fastpath.hits",
 	SimFastPathMisses:        "sim.fastpath.misses",
 	SimFastPathInvalidations: "sim.fastpath.invalidations",
+	SimFastPathBatched:       "sim.fastpath.batched",
 	LoopProbes:               "loop.probes",
 	LoopResponses:            "loop.responses",
 	LoopConfirmed:            "loop.confirmed",

@@ -11,17 +11,25 @@
 #   scripts/bench.sh -check [baseline.json]
 #                                      # regression gate: rerun the suite and
 #                                      # fail if any benchmark regresses >15%
-#                                      # in ns/op or allocates more per op
-#                                      # than the baseline snapshot (default:
-#                                      # newest BENCH_*.json in the repo root)
+#                                      # in ns/op, grows bytes/op >15%+8B, or
+#                                      # allocates more per op than the
+#                                      # baseline snapshot. Default baseline:
+#                                      # the newest *previous* BENCH_*.json —
+#                                      # today's own snapshot is skipped
+#                                      # unless it is the only one, so a
+#                                      # same-day "snapshot then check" cycle
+#                                      # still compares against history
+#                                      # instead of trivially against itself.
 #
 # Each entry records name, ns/op, B/op, allocs/op, probes/sec (derived
 # as 1e9/ns_per_op for benchmarks that report a "probes" metric) and
 # events_per_probe (the simulator's pumped-events-per-probe ratio, the
 # quantity the forwarding fast path compresses). The -check gate also
 # fails if events_per_probe rises >10% over the baseline — unlike the
-# timing gate this is a deterministic count, so it holds in -short runs
-# too. The snapshot also embeds the growth-seed baseline so
+# timing and bytes gates this is a deterministic count, so it holds in
+# -short runs too. Snapshots take the per-benchmark minimum of three timed runs (the
+# least-noise estimate on a shared machine), so they are stable enough
+# to gate against. The snapshot also embeds the growth-seed baseline so
 # before/after is visible in one file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,7 +64,14 @@ run_suite() {
 if [ "$check" = 1 ]; then
     baseline="${1:-}"
     if [ -z "$baseline" ]; then
-        baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+        # Newest snapshot that is not today's: a fresh same-day snapshot
+        # would make the gate compare the code against itself and pass
+        # vacuously. Fall back to today's only when nothing older exists.
+        today="BENCH_$(date +%F).json"
+        baseline=$(ls -1 BENCH_*.json 2>/dev/null | grep -Fvx "$today" | sort | tail -1 || true)
+        if [ -z "$baseline" ]; then
+            baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+        fi
     fi
     if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
         echo "bench.sh: no baseline snapshot found (run scripts/bench.sh first)" >&2
@@ -103,9 +118,11 @@ if [ "$check" = 1 ]; then
                     ns = field(line, "ns_per_op")
                     allocs = field(line, "allocs_per_op")
                     ev = field(line, "events_per_probe")
+                    bytes = field(line, "bytes_per_op")
                     base_ns[name] = ns
                     base_allocs[name] = allocs
                     base_ev[name] = ev
+                    base_bytes[name] = bytes
                 }
             }
             close(baseline)
@@ -118,16 +135,18 @@ if [ "$check" = 1 ]; then
         }
         {
             name = $1; sub(/-[0-9]+$/, "", name)
-            ns = ""; a = ""; ev = ""
+            ns = ""; a = ""; ev = ""; b = ""
             for (i = 2; i < NF; i++) {
                 if ($(i+1) == "ns/op") ns = $i
                 if ($(i+1) == "allocs/op") a = $i
                 if ($(i+1) == "events/probe") ev = $i
+                if ($(i+1) == "B/op") b = $i
             }
             if (ns == "" || !(name in base_ns)) next
             if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
             if (a != "" && (!(name in best_allocs) || a + 0 < best_allocs[name] + 0)) best_allocs[name] = a
             if (ev != "" && (!(name in best_ev) || ev + 0 < best_ev[name] + 0)) best_ev[name] = ev
+            if (b != "" && (!(name in best_b) || b + 0 < best_b[name] + 0)) best_b[name] = b
             if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
         }
         END {
@@ -142,6 +161,15 @@ if [ "$check" = 1 ]; then
                 }
                 if (a != "" && base_allocs[name] != "" && a + 0 > base_allocs[name] + 0) {
                     status = sprintf("ALLOC REGRESSION (%s -> %s allocs/op)", base_allocs[name], a)
+                    failed++
+                }
+                # bytes/op is amortized pool/GC traffic; allow 15% plus a
+                # flat 8-byte slack so near-zero baselines do not flag on
+                # a one-byte wiggle. Like the timing gate it only holds in
+                # full runs: -short iteration counts do not amortize
+                # per-scan setup (dedup filter allocation) out of B/op.
+                if (timing_ok && name in best_b && base_bytes[name] != "" && best_b[name] + 0 > base_bytes[name] * 1.15 + 8) {
+                    status = sprintf("BYTES REGRESSION (>15%%+8B: %s -> %s B/op)", base_bytes[name], best_b[name])
                     failed++
                 }
                 if (name in best_ev && base_ev[name] != "" && best_ev[name] + 0 > base_ev[name] * 1.10) {
@@ -166,7 +194,14 @@ if [ "$check" = 1 ]; then
 fi
 
 out="${1:-BENCH_$(date +%F).json}"
-raw=$(run_suite)
+# Full snapshots take the minimum of three timed runs per benchmark so
+# the recorded numbers are stable enough to serve as -check baselines;
+# -short keeps a single pass (its numbers are noise by design).
+snap_runs=3
+if [ "$short" = 1 ]; then
+    snap_runs=1
+fi
+raw=$(run_suite "$snap_runs")
 if [ -z "$raw" ]; then
     echo "bench.sh: no benchmark output" >&2
     exit 1
@@ -185,24 +220,36 @@ gover=$(go env GOVERSION)
     printf '%s\n' "$raw" | awk '
         {
             name = $1; sub(/-[0-9]+$/, "", name)
-            ns = ""; b = ""; a = ""; probes = 0; ev = ""
+            ns = ""; b = ""; a = ""; ev = ""
             for (i = 2; i < NF; i++) {
                 if ($(i+1) == "ns/op") ns = $i
                 if ($(i+1) == "B/op") b = $i
                 if ($(i+1) == "allocs/op") a = $i
-                if ($(i+1) == "probes") probes = 1
+                if ($(i+1) == "probes") has_probes[name] = 1
                 if ($(i+1) == "events/probe") ev = $i
             }
             if (ns == "") next
-            if (out != "") printf "%s,\n", out
-            out = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, b == "" ? "null" : b, a == "" ? "null" : a)
-            if (probes && ns + 0 > 0)
-                out = out sprintf(", \"probes_per_sec\": %d", 1e9 / ns)
-            if (ev != "")
-                out = out sprintf(", \"events_per_probe\": %s", ev)
-            out = out "}"
+            # Per-benchmark minimum across the repeated runs.
+            if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
+            if (b != "" && (!(name in best_b) || b + 0 < best_b[name] + 0)) best_b[name] = b
+            if (a != "" && (!(name in best_a) || a + 0 < best_a[name] + 0)) best_a[name] = a
+            if (ev != "" && (!(name in best_ev) || ev + 0 < best_ev[name] + 0)) best_ev[name] = ev
+            if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
         }
-        END { if (out != "") printf "%s\n", out }
+        END {
+            for (i = 1; i <= n; i++) {
+                name = order[i]
+                ns = best_ns[name]
+                out = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+                    name, ns, (name in best_b) ? best_b[name] : "null", (name in best_a) ? best_a[name] : "null")
+                if ((name in has_probes) && ns + 0 > 0)
+                    out = out sprintf(", \"probes_per_sec\": %d", 1e9 / ns)
+                if (name in best_ev)
+                    out = out sprintf(", \"events_per_probe\": %s", best_ev[name])
+                out = out "}"
+                printf "%s%s\n", out, (i < n) ? "," : ""
+            }
+        }
     '
     printf '  ],\n'
     # Growth-seed numbers (commit 3e0df98) and the pre-telemetry scanner
