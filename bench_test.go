@@ -215,6 +215,53 @@ func BenchmarkScannerThroughput(b *testing.B) {
 	b.ReportMetric(float64(dep.Engine.Counters().Events)/float64(sent), "events/probe")
 }
 
+// BenchmarkScannerDefended is BenchmarkScannerThroughput with the
+// adversarial defenses armed (Config.Defend): the alias detector rides
+// every validated reply and the shedding check every drain. Against the
+// honest benchmark deployment the detector's trie stays empty, so this
+// measures the pure bookkeeping overhead — the contract is a few
+// percent over BenchmarkScannerThroughput in the same run. (The name
+// deliberately avoids bench.sh's gate pattern: the defended path is a
+// contract between these two benchmarks, not a snapshot series.)
+func BenchmarkScannerDefended(b *testing.B) {
+	dep, err := topo.Build(topo.Config{
+		Seed: 3, Scale: 0.0005, WindowWidth: 14, MaxDevicesPerISP: 4000, OnlyISPs: []int{13},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	isp := dep.ISPs[0]
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := uint64(0)
+	for sent < uint64(b.N) {
+		scanner, err := xmap.New(xmap.Config{
+			Window:     isp.Window,
+			Seed:       []byte(fmt.Sprintf("tpd-%d", sent)),
+			DrainEvery: benchBatch(b),
+			MaxTargets: uint64(b.N) - sent,
+			Defend:     true,
+		}, drv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := scanner.Run(context.Background(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Sent == 0 {
+			b.Fatal("no probes sent")
+		}
+		if stats.AliasDetected != 0 || stats.Quarantined != 0 {
+			b.Fatalf("defenses tripped on the honest deployment: detected=%d quarantined=%d",
+				stats.AliasDetected, stats.Quarantined)
+		}
+		sent += stats.Sent
+	}
+	b.ReportMetric(float64(sent), "probes")
+}
+
 // BenchmarkScannerThroughputInterpreted is BenchmarkScannerThroughput
 // with the compiled forwarding fast path disabled: every link crossing
 // is its own pumped event. The gap between the two benchmarks — both

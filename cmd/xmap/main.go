@@ -68,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel = fs.Int("parallel", 1, "run this many shard scanners concurrently in this process")
 		ringSize = fs.Int("ring", 0, "per-shard SPSC transmission ring capacity under -parallel (0 = direct sends)")
 		retries  = fs.Int("retries", 0, "re-probe unanswered targets up to this many times with backoff")
+		defend   = fs.Bool("defend", false, "adversarial defenses: alias/cooldown detection, strict reply validation, overload shedding")
 		aimd     = fs.Bool("aimd", false, "adapt the send window to the reply rate (AIMD)")
 		ckptF    = fs.String("checkpoint", "", "write a resumable scan checkpoint to this file (periodically, on SIGINT/SIGTERM, and on exit)")
 		ckptN    = fs.Uint64("checkpoint-every", 4096, "targets between periodic checkpoints")
@@ -171,6 +172,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Retries:         *retries,
 		AIMD:            *aimd,
 		RingSize:        *ringSize,
+		Defend:          *defend,
 	}
 	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
 
@@ -297,6 +299,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 				"reliability: retried %d, retry-dropped %d, exhausted %d, abandoned %d, aimd up/down %d/%d\n",
 				stats.Retried, stats.RetryDropped, stats.RetryExhausted, stats.RetryAbandoned,
 				stats.RateUp, stats.RateDown)
+		}
+		if stats.AliasDetected > 0 || stats.Quarantined > 0 || stats.Shed > 0 {
+			fmt.Fprintf(stderr,
+				"defense: aliases detected %d, cooldown probes %d, blocked %d, quarantined %d, shed %d\n",
+				stats.AliasDetected, stats.AliasCooldown, stats.AliasBlocked, stats.Quarantined, stats.Shed)
 		}
 	}
 	if *metaF != "" {

@@ -69,6 +69,58 @@ func TestStatusJSONDeterministic(t *testing.T) {
 	if got := snap.Gauges["scan.window"]; got != 64 {
 		t.Errorf("scan.window gauge = %d, want the default drain window 64", got)
 	}
+	// The adversarial-defense counters are part of the snapshot schema,
+	// and an honest deployment must leave every one at zero.
+	for _, key := range []string{
+		"scan.alias.detected", "scan.alias.cooldown", "scan.alias.blocked",
+		"scan.replies.quarantined", "scan.shed",
+	} {
+		got, ok := snap.Counters[key]
+		if !ok {
+			t.Errorf("counter %s missing from the status snapshot", key)
+		}
+		if got != 0 {
+			t.Errorf("%s = %d on an honest deployment, want 0", key, got)
+		}
+	}
+}
+
+// TestDefendFlag: -defend wires the adversarial defenses into the scan;
+// on the honest generated deployment they must be inert — identical
+// results to an undefended run and zero defense counters.
+func TestDefendFlag(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.json")
+	defended := filepath.Join(dir, "defended.json")
+	args := []string{"-max-targets", "200", "-quiet", "-seed", "7", "-status-json"}
+	runOnce(t, append(args, plain)...)
+	runOnce(t, append([]string{"-defend"}, append(args, defended)...)...)
+	read := func(path string) map[string]uint64 {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Counters map[string]uint64 `json:"counters"`
+		}
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap.Counters
+	}
+	pc, dc := read(plain), read(defended)
+	for _, key := range []string{"scan.targets", "scan.sent", "scan.received", "scan.unique"} {
+		if pc[key] != dc[key] {
+			t.Errorf("%s = %d defended vs %d undefended; defenses must be inert on honest traffic",
+				key, dc[key], pc[key])
+		}
+	}
+	for _, key := range []string{"scan.alias.detected", "scan.alias.blocked", "scan.replies.quarantined", "scan.shed"} {
+		if dc[key] != 0 {
+			t.Errorf("%s = %d on an honest deployment with -defend, want 0", key, dc[key])
+		}
+	}
 }
 
 // TestMonitorLines: -monitor-every prints periodic status lines plus a

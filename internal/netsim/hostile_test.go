@@ -1,0 +1,215 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/ipv6"
+	"repro/internal/uint128"
+	"repro/internal/wire"
+)
+
+var (
+	hostileScanner = ipv6.MustParseAddr("2001:beef::100")
+	hostileRegion  = ipv6.MustParsePrefix("2001:db8:0:50::/60")
+)
+
+func hostileProbe(t *testing.T, dst ipv6.Addr, seq uint16) []byte {
+	t.Helper()
+	pkt, err := wire.BuildEchoRequest(hostileScanner, dst, 64, 0x4242, seq, []byte("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func hostileTarget(t *testing.T, i uint64) ipv6.Addr {
+	t.Helper()
+	sub, err := hostileRegion.Sub(64, uint128.From64(i%16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ipv6.SLAAC(sub, 0x1000+i)
+}
+
+func newTestHostile(mode HostileMode, storm int) *Hostile {
+	return NewHostile(HostileConfig{
+		Name: "h", Prefix: hostileRegion, Mode: mode, Seed: 7, StormFactor: storm,
+	})
+}
+
+// TestHostileIgnoresOutOfRegionAndErrors: a hostile node only answers
+// forwardable non-error packets inside its claimed region.
+func TestHostileIgnoresOutOfRegionAndErrors(t *testing.T) {
+	h := newTestHostile(HostileAliased, 0)
+	outside := hostileProbe(t, ipv6.MustParseAddr("2001:db8::1"), 1)
+	if ems := h.Handle(h.Iface(), outside); len(ems) != 0 {
+		t.Errorf("replied to a probe outside the region: %d emissions", len(ems))
+	}
+	inside := hostileTarget(t, 0)
+	errPkt := icmpError(nil, inside, hostileProbe(t, inside, 2), wire.ICMPDestUnreach, wire.UnreachNoRoute)
+	if ems := h.Handle(h.Iface(), errPkt); len(ems) != 0 {
+		t.Errorf("replied to an ICMPv6 error: %d emissions", len(ems))
+	}
+}
+
+// TestHostileAliased: every probed address appears to answer itself with
+// a validating echo reply.
+func TestHostileAliased(t *testing.T) {
+	h := newTestHostile(HostileAliased, 0)
+	for i := uint64(0); i < 8; i++ {
+		dst := hostileTarget(t, i)
+		ems := h.Handle(h.Iface(), hostileProbe(t, dst, uint16(i)))
+		if len(ems) != 1 {
+			t.Fatalf("probe %d: %d emissions, want 1", i, len(ems))
+		}
+		var s wire.Summary
+		if err := s.Parse(ems[0].Pkt); err != nil {
+			t.Fatalf("probe %d: reply does not parse: %v", i, err)
+		}
+		if s.IP.Src != dst || s.IP.Dst != hostileScanner {
+			t.Errorf("probe %d: reply %s->%s, want %s->%s", i, s.IP.Src, s.IP.Dst, dst, hostileScanner)
+		}
+		if s.ICMP == nil || s.ICMP.Type != wire.ICMPEchoReply {
+			t.Errorf("probe %d: reply is not an echo reply", i)
+		}
+	}
+	if h.CountReplies != 8 {
+		t.Errorf("CountReplies = %d, want 8", h.CountReplies)
+	}
+}
+
+// TestHostileSpoofer: replies are sourced from the reflector /64, never
+// the probed target, and the error variant quotes the probe verbatim.
+func TestHostileSpoofer(t *testing.T) {
+	h := newTestHostile(HostileSpoofer, 0)
+	reflector, err := hostileRegion.Sub(64, uint128.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawError := false
+	for i := uint64(0); i < 32; i++ {
+		dst := hostileTarget(t, i)
+		probe := hostileProbe(t, dst, uint16(i))
+		ems := h.Handle(h.Iface(), probe)
+		if len(ems) != 1 {
+			t.Fatalf("probe %d: %d emissions, want 1", i, len(ems))
+		}
+		var s wire.Summary
+		if err := s.Parse(ems[0].Pkt); err != nil {
+			t.Fatalf("probe %d: reply does not parse: %v", i, err)
+		}
+		if s.IP.Src == dst {
+			t.Errorf("probe %d: spoofer answered as the probed target", i)
+		}
+		if !reflector.Contains(s.IP.Src) {
+			t.Errorf("probe %d: source %s outside reflector pool %s", i, s.IP.Src, reflector)
+		}
+		if s.ICMP != nil && s.ICMP.Type < 128 {
+			sawError = true
+			inv, err := wire.ParseInvoking(s.ICMP.Body)
+			if err != nil {
+				t.Fatalf("probe %d: quoted packet does not parse: %v", i, err)
+			}
+			if inv.IP.Src != hostileScanner || inv.IP.Dst != dst {
+				t.Errorf("probe %d: quote %s->%s, want the verbatim probe", i, inv.IP.Src, inv.IP.Dst)
+			}
+		}
+	}
+	if !sawError {
+		t.Error("spoofer never produced an ICMPv6 error reply")
+	}
+}
+
+// TestHostileMalformed: every reply is either unparseable (bad checksum,
+// truncation) or a checksum-valid error quoting a forged inner source —
+// nothing it emits may both parse and quote the scanner.
+func TestHostileMalformed(t *testing.T) {
+	h := newTestHostile(HostileMalformed, 0)
+	sawBroken, sawForged := false, false
+	for i := uint64(0); i < 32; i++ {
+		dst := hostileTarget(t, i)
+		ems := h.Handle(h.Iface(), hostileProbe(t, dst, uint16(i)))
+		if len(ems) != 1 {
+			t.Fatalf("probe %d: %d emissions, want 1", i, len(ems))
+		}
+		var s wire.Summary
+		if err := s.Parse(ems[0].Pkt); err != nil {
+			sawBroken = true
+			continue
+		}
+		if s.ICMP == nil || s.ICMP.Type >= 128 {
+			t.Fatalf("probe %d: parseable non-error reply from malformed responder", i)
+		}
+		inv, err := wire.ParseInvoking(s.ICMP.Body)
+		if err != nil {
+			t.Fatalf("probe %d: valid error with unparseable quote: %v", i, err)
+		}
+		if inv.IP.Src == hostileScanner {
+			t.Fatalf("probe %d: forged-quote variant quoted the real scanner", i)
+		}
+		sawForged = true
+	}
+	if !sawBroken || !sawForged {
+		t.Errorf("variant coverage incomplete: broken=%v forged=%v", sawBroken, sawForged)
+	}
+}
+
+// TestHostileStorm: each probe draws StormFactor byte-identical valid
+// replies in distinct buffers.
+func TestHostileStorm(t *testing.T) {
+	const k = 6
+	h := newTestHostile(HostileStorm, k)
+	dst := hostileTarget(t, 3)
+	ems := h.Handle(h.Iface(), hostileProbe(t, dst, 9))
+	if len(ems) != k {
+		t.Fatalf("%d emissions, want %d", len(ems), k)
+	}
+	for i, e := range ems {
+		if !bytes.Equal(e.Pkt, ems[0].Pkt) {
+			t.Errorf("duplicate %d differs from the first reply", i)
+		}
+		if i > 0 && &e.Pkt[0] == &ems[0].Pkt[0] {
+			t.Errorf("duplicate %d shares storage with the first reply", i)
+		}
+	}
+	var s wire.Summary
+	if err := s.Parse(ems[0].Pkt); err != nil {
+		t.Fatalf("storm reply does not parse: %v", err)
+	}
+	if s.IP.Src != dst {
+		t.Errorf("storm reply sourced from %s, want %s", s.IP.Src, dst)
+	}
+	if h.CountReplies != k {
+		t.Errorf("CountReplies = %d, want %d", h.CountReplies, k)
+	}
+}
+
+// TestHostileDeterminism: the RNG stream is positional — the same seed
+// and probe sequence yields byte-identical replies, the property the
+// compiled-vs-interpreted oracle rests on.
+func TestHostileDeterminism(t *testing.T) {
+	for _, mode := range []HostileMode{HostileAliased, HostileSpoofer, HostileMalformed, HostileStorm} {
+		run := func() []string {
+			h := newTestHostile(mode, 3)
+			var out []string
+			for i := uint64(0); i < 16; i++ {
+				ems := h.Handle(h.Iface(), hostileProbe(t, hostileTarget(t, i), uint16(i)))
+				for _, e := range ems {
+					out = append(out, fmt.Sprintf("%x", e.Pkt))
+				}
+			}
+			return out
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("%s: reply counts diverged: %d vs %d", mode, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: reply %d diverged across identical runs", mode, i)
+			}
+		}
+	}
+}

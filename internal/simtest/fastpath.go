@@ -73,6 +73,12 @@ func runFastPathLeg(seed int64, p FaultProfile, fastpath bool, batch int) (fastP
 	if err != nil {
 		return fastPathLeg{}, err
 	}
+	return scanFastPathLeg(f, seed, fastpath, batch)
+}
+
+// scanFastPathLeg runs the two-pass fast-path scan over an already
+// built fixture.
+func scanFastPathLeg(f *ISPFixture, seed int64, fastpath bool, batch int) (fastPathLeg, error) {
 	f.Eng.SetFastPath(fastpath)
 	var drv xmap.Driver = f.Drv
 	if batch > 0 {
@@ -228,6 +234,41 @@ func RunFastPathOracle(seed int64, p FaultProfile) ([]string, error) {
 		// back to per-packet interpretation).
 		if !p.Active() && leg.counters.FastPathBatched == 0 {
 			problems = append(problems, name+" leg replayed zero probes through the batched path")
+		}
+	}
+
+	// Hostile legs: the flow cache must stay invisible under every
+	// adversarial responder model too. Hostile nodes install no compile
+	// hooks, so their flows fall back to interpreted delivery (a negative
+	// cache entry) while the honest flows still compile — the on leg must
+	// therefore still record cache hits. Run once per seed, on the
+	// fault-free profile, so the hostile sweep doesn't multiply the fault
+	// sweep.
+	if !p.Active() {
+		for _, hp := range HostileProfiles {
+			if hp.Mode == 0 {
+				continue
+			}
+			name := "fastpath[hostile=" + hp.Name + "]"
+			build := func(fastpath bool) (fastPathLeg, error) {
+				f, err := BuildHostileFixture(seed, hp)
+				if err != nil {
+					return fastPathLeg{}, err
+				}
+				return scanFastPathLeg(f, seed, fastpath, 0)
+			}
+			hon, err := build(true)
+			if err != nil {
+				return nil, err
+			}
+			hoff, err := build(false)
+			if err != nil {
+				return nil, err
+			}
+			problems = append(problems, diffFastPathLegs(name, hon, hoff)...)
+			if hon.counters.FastPathHits == 0 {
+				problems = append(problems, name+" leg recorded zero flow-cache hits: fast path never engaged")
+			}
 		}
 	}
 	return problems, nil

@@ -30,6 +30,19 @@ type ISPFixture struct {
 	// label for the forwarding decision; the LPM differential oracle
 	// replays lookups against these.
 	Routes []Route
+	// Hostile is the planted adversarial ground truth (BuildHostileFixture).
+	Hostile []PlantedRegion
+
+	// isp is kept so adversarial builders can delegate extra regions.
+	isp *netsim.ISPRouter
+}
+
+// PlantedRegion is ground truth for one adversarial responder planted
+// in a fixture: the claimed region and the model it plays.
+type PlantedRegion struct {
+	Prefix ipv6.Prefix
+	Mode   netsim.HostileMode
+	Node   *netsim.Hostile
 }
 
 // Route is one installed routing entry.
@@ -61,6 +74,7 @@ func BuildISPFixture(seed int64) (*ISPFixture, error) {
 	f.Edge = netsim.NewEdge("scanner", ipv6.MustParseAddr("2001:beef::100"))
 	core := netsim.NewRouter("core", netsim.ErrorPolicy{})
 	isp := netsim.NewISPRouter("isp", f.Block, netsim.ErrorPolicy{})
+	f.isp = isp
 
 	coreScan := core.AddIface(ipv6.MustParseAddr("2001:beef::1"), "core:scan")
 	coreISP := core.AddIface(ipv6.MustParseAddr("2001:feed::1"), "core:isp")

@@ -80,6 +80,12 @@ func TestScenarios(t *testing.T) {
 					report(t, "kill-and-resume/"+p.Name, problems, err)
 				}
 			})
+			t.Run("oracle-hostile", func(t *testing.T) {
+				for _, hp := range HostileProfiles {
+					problems, err := RunHostileOracle(seed, hp)
+					report(t, "defended-vs-undefended/"+hp.Name, problems, err)
+				}
+			})
 			t.Run("oracle-adaptive", func(t *testing.T) {
 				for _, name := range []string{"loss", "ratelimit", "flap"} {
 					p, ok := ProfileByName(name)
@@ -112,6 +118,30 @@ func TestProfilesCoverFaultClasses(t *testing.T) {
 	}
 	if _, ok := ProfileByName("chaos"); !ok {
 		t.Error("chaos profile missing")
+	}
+}
+
+// TestHostileProfilesCoverModes pins the adversarial sweep to every
+// hostile responder model plus the honest baseline.
+func TestHostileProfilesCoverModes(t *testing.T) {
+	want := []netsim.HostileMode{
+		netsim.HostileAliased, netsim.HostileSpoofer,
+		netsim.HostileMalformed, netsim.HostileStorm,
+	}
+	for _, m := range want {
+		found := false
+		for _, hp := range HostileProfiles {
+			if hp.Mode == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("hostile sweep missing mode %s", m)
+		}
+	}
+	if hp, ok := HostileProfileByName("honest"); !ok || hp.Mode != 0 {
+		t.Error("hostile sweep missing the honest baseline")
 	}
 }
 

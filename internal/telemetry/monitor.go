@@ -176,6 +176,12 @@ func (m *Monitor) lineLocked(targets uint64, final bool) {
 	if att := t[SimFastPathHits] + t[SimFastPathMisses]; att > 0 {
 		fmt.Fprintf(m.w, "; fastpath: %.1f%%", 100*float64(t[SimFastPathHits])/float64(att))
 	}
+	// The hostile term appears only once the defenses have something to
+	// report, mirroring the conditional fastpath term.
+	if t[ScanAliasDetected]+t[ScanQuarantined]+t[ScanShed] > 0 {
+		fmt.Fprintf(m.w, "; hostile: %d blocked, %d quarantined, %d shed",
+			t[ScanAliasBlocked], t[ScanQuarantined], t[ScanShed])
+	}
 	switch {
 	case final:
 		fmt.Fprintf(m.w, "; done\n")

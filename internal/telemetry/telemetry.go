@@ -54,6 +54,11 @@ const (
 	ScanRateUp
 	ScanRateDown
 	ScanCheckpoints
+	ScanAliasDetected
+	ScanAliasCooldown
+	ScanAliasBlocked
+	ScanQuarantined
+	ScanShed
 	SimEvents
 	SimTransmissions
 	SimBytes
@@ -88,6 +93,11 @@ var counterNames = [NumCounters]string{
 	ScanRateUp:               "scan.rate_up",
 	ScanRateDown:             "scan.rate_down",
 	ScanCheckpoints:          "scan.checkpoints",
+	ScanAliasDetected:        "scan.alias.detected",
+	ScanAliasCooldown:        "scan.alias.cooldown",
+	ScanAliasBlocked:         "scan.alias.blocked",
+	ScanQuarantined:          "scan.replies.quarantined",
+	ScanShed:                 "scan.shed",
 	SimEvents:                "sim.events",
 	SimTransmissions:         "sim.transmissions",
 	SimBytes:                 "sim.bytes",

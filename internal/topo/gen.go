@@ -49,6 +49,33 @@ type Config struct {
 	// pointing at false forces every delivery onto the interpreted
 	// path, for A/B measurement and differential testing.
 	FastPath *bool
+	// Hostile plants adversarial responders (netsim.Hostile) inside ISP
+	// scan windows: each spec reserves an aligned region of window cells
+	// no honest device may occupy and delegates it to a hostile node.
+	// The planted regions are recorded as ground truth on the
+	// deployment, so detector oracles can score precision and recall.
+	Hostile []HostileSpec
+}
+
+// HostileSpec plants one adversarial responder in one ISP's window.
+type HostileSpec struct {
+	// ISP is the Table VII index (1-15) of the block to poison; it must
+	// be among the ISPs the build materializes.
+	ISP int
+	// Mode is the responder model; zero means netsim.HostileAliased.
+	Mode netsim.HostileMode
+	// RegionBits is the claimed region's prefix length, in
+	// (windowBase, DelegLen]; zero means DelegLen (one window cell).
+	RegionBits int
+	// StormFactor is the netsim.HostileStorm reply multiplier.
+	StormFactor int
+}
+
+// HostileRegion is ground truth for one planted adversarial responder.
+type HostileRegion struct {
+	Prefix ipv6.Prefix
+	Mode   netsim.HostileMode
+	Node   *netsim.Hostile
 }
 
 // DefaultScale is 1/1024 of the paper's population.
@@ -90,6 +117,8 @@ type ISPDeployment struct {
 	Routers []*netsim.ISPRouter
 	Window  ipv6.Window
 	Devices []*Device
+	// Hostile lists the adversarial regions planted in this block.
+	Hostile []HostileRegion
 
 	downAddr ipv6.Addr // shared provider-side address of subscriber links
 	// clonedMACs is the pool future devices may clone from.
@@ -149,6 +178,16 @@ func (d *Deployment) Devices() []*Device {
 	var out []*Device
 	for _, isp := range d.ISPs {
 		out = append(out, isp.Devices...)
+	}
+	return out
+}
+
+// HostileRegions returns the planted adversarial ground truth across
+// ISPs.
+func (d *Deployment) HostileRegions() []HostileRegion {
+	var out []HostileRegion
+	for _, isp := range d.ISPs {
+		out = append(out, isp.Hostile...)
 	}
 	return out
 }
@@ -320,13 +359,87 @@ func buildISP(dep *Deployment, spec *ISPSpec, cfg Config) (*ISPDeployment, error
 		n = cfg.MaxDevicesPerISP
 	}
 	capacity := 1 << cfg.WindowWidth
-	if n*2 > capacity {
+
+	// Plant hostile regions first: each reserves an aligned run of
+	// window cells from the top of the window downward, so honest
+	// devices (whose indices come from the permutation below) can never
+	// land inside an adversarial region — the ground truth stays exact.
+	var used []bool
+	reserved := 0
+	top := capacity
+	hostileN := 0
+	for _, hs := range cfg.Hostile {
+		if hs.ISP != spec.Index {
+			continue
+		}
+		regionBits := hs.RegionBits
+		if regionBits == 0 {
+			regionBits = spec.DelegLen
+		}
+		if regionBits <= winBase.Bits() || regionBits > spec.DelegLen {
+			return nil, fmt.Errorf("hostile region /%d outside window (/%d-%d)",
+				regionBits, winBase.Bits(), spec.DelegLen)
+		}
+		if nshards > 1 && regionBits < winBase.Bits()+shardBitsFor(nshards) {
+			return nil, fmt.Errorf("hostile region /%d wider than a /%d shard chunk",
+				regionBits, winBase.Bits()+shardBitsFor(nshards))
+		}
+		cells := 1 << (spec.DelegLen - regionBits)
+		top = (top - cells) &^ (cells - 1)
+		if top < 0 {
+			return nil, fmt.Errorf("hostile regions exceed window capacity %d", capacity)
+		}
+		if used == nil {
+			used = make([]bool, capacity)
+		}
+		for c := top; c < top+cells; c++ {
+			used[c] = true
+		}
+		reserved += cells
+		region, err := winBase.Sub(regionBits, uint128.From64(uint64(top/cells)))
+		if err != nil {
+			return nil, err
+		}
+		mode := hs.Mode
+		if mode == 0 {
+			mode = netsim.HostileAliased
+		}
+		h := netsim.NewHostile(netsim.HostileConfig{
+			Name:        fmt.Sprintf("%s-hostile%d", spec.Name, hostileN),
+			Prefix:      region,
+			Mode:        mode,
+			Seed:        cfg.Seed*3000 + int64(spec.Index)*64 + int64(hostileN),
+			StormFactor: hs.StormFactor,
+		})
+		shard := isp.shardOf(uint64(top))
+		router := isp.Routers[shard]
+		down := router.AddIface(downAddr, h.Name()+":down")
+		dep.Group.Shard(shard).Connect(down, h.Iface(), 0)
+		if err := router.Delegate(region, down); err != nil {
+			return nil, err
+		}
+		if nshards > 1 {
+			dep.Group.Route(region, shard)
+		}
+		isp.Hostile = append(isp.Hostile, HostileRegion{Prefix: region, Mode: mode, Node: h})
+		hostileN++
+	}
+
+	if n*2+reserved > capacity {
 		return nil, fmt.Errorf("population %d exceeds window capacity %d", n, capacity)
 	}
 
 	indices := rng.Perm(capacity)
 	nextIdx := 0
-	takeIdx := func() uint64 { v := indices[nextIdx]; nextIdx++; return uint64(v) }
+	takeIdx := func() uint64 {
+		for {
+			v := indices[nextIdx]
+			nextIdx++
+			if used == nil || !used[v] {
+				return uint64(v)
+			}
+		}
+	}
 
 	// Normalizers so per-ISP service/loop rates survive vendor weighting.
 	meanSvcW := map[services.ID]float64{}

@@ -3,6 +3,8 @@ package wire
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/ipv6"
 )
 
 // FuzzParsePacket must never panic on arbitrary bytes; errors are fine.
@@ -58,6 +60,60 @@ func FuzzParseInvoking(f *testing.F) {
 	f.Add(body[:10])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = ParseInvoking(data)
+	})
+}
+
+// FuzzParseICMPv6Error covers the scanner's reply-validation chain —
+// the checksum-verifying ICMPv6 parse plus the quoted-packet decode —
+// which every hostile reply reaches. The corpus mirrors the malformed
+// responder model: corrupted checksum, truncated body, forged embedded
+// quote, plus oversized and stub inputs. Errors are fine; panics never.
+func FuzzParseICMPv6Error(f *testing.F) {
+	inner, err := BuildEchoRequest(srcA, dstA, 64, 7, 9, []byte("quote"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := BuildDestUnreach(dstA, srcA, 255, UnreachAddress, inner)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	// Malformed variant 0: one checksum byte flipped.
+	bad := append([]byte(nil), good...)
+	bad[HeaderLen+2] ^= 0xff
+	f.Add(bad)
+	// Malformed variant 1: truncated to a 4-byte ICMPv6 stub, payload
+	// length patched to match.
+	trunc := append([]byte(nil), good[:HeaderLen+4]...)
+	trunc[4], trunc[5] = 0, 4
+	f.Add(trunc)
+	// Malformed variant 2: checksum-valid error quoting a forged inner
+	// source (the strict embedded-quote check's target).
+	forged, err := BuildEchoRequest(dstA, dstA, 64, 7, 9, []byte("quote"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	forgedErr, err := BuildDestUnreach(dstA, srcA, 255, UnreachAddress, forged)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(forgedErr)
+	// Oversized: trailing junk past the declared payload length.
+	f.Add(append(append([]byte(nil), good...), make([]byte, 2000)...))
+	f.Add(good[:HeaderLen])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Summary
+		if err := s.Parse(data); err == nil && s.ICMP != nil && s.ICMP.Type < 128 {
+			_, _ = ParseInvoking(s.ICMP.Body)
+		}
+		if len(data) >= HeaderLen {
+			src := ipv6.AddrFromBytes(data[8:24])
+			dst := ipv6.AddrFromBytes(data[24:40])
+			if m, err := ParseICMPv6(src, dst, data[HeaderLen:]); err == nil && m.Type < 128 {
+				_, _ = ParseErrorBody(m.Body)
+			}
+		}
 	})
 }
 

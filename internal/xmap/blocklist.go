@@ -7,7 +7,21 @@ import (
 	"strings"
 
 	"repro/internal/ipv6"
+	"repro/internal/lpm"
 )
+
+// BlockRuntime inserts a prefix into the scanner's blocklist while a
+// scan runs — the alias detector's feedback path: confirmed-saturated
+// prefixes are folded in so the permutation skips their remaining
+// targets (counted in Stats.Blocked, exactly like configured entries).
+// Not safe to call concurrently with Run from another goroutine; the
+// detector calls it from within the scan loop.
+func (s *Scanner) BlockRuntime(p ipv6.Prefix) {
+	if s.block == nil {
+		s.block = lpm.New[bool]()
+	}
+	s.block.Insert(p, true)
+}
 
 // ParseBlocklist reads a ZMap-style blocklist: one prefix per line,
 // with `#` comments and blank lines ignored. Bare addresses are treated

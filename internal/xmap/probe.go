@@ -98,6 +98,13 @@ type ICMPEchoProbe struct {
 	HopLimit uint8
 	// Data is the echo payload.
 	Data []byte
+	// StrictSource, when non-zero, hardens error-reply validation: the
+	// embedded (quoted) invoking packet must carry this exact source
+	// address — the scanner's own — or the reply is rejected. Closes
+	// the forged-quote hole where a hostile responder fabricates an
+	// error quoting a probe it never received verbatim (Config.Defend
+	// sets it to the driver's source address).
+	StrictSource ipv6.Addr
 
 	// tmpl caches the probe image for the current (src, hop limit,
 	// payload): only the destination, id/seq and checksum vary probe to
@@ -196,6 +203,9 @@ func (p *ICMPEchoProbe) Classify(sum *wire.Summary, validate Validator) (Respons
 	case wire.ICMPDestUnreach, wire.ICMPTimeExceeded:
 		inv, err := wire.ParseInvoking(sum.ICMP.Body)
 		if err != nil || inv.IP.NextHeader != wire.ProtoICMPv6 {
+			return Response{}, false
+		}
+		if p.StrictSource != (ipv6.Addr{}) && inv.IP.Src != p.StrictSource {
 			return Response{}, false
 		}
 		val := validate(inv.IP.Dst)

@@ -102,6 +102,32 @@ type Config struct {
 	// window, driving the periodic ZMap-style status line.
 	Monitor *telemetry.Monitor
 
+	// Defend enables the adversarial defenses: the cooldown alias
+	// detector (saturated prefixes are re-probed and, if confirmed,
+	// folded into the runtime blocklist), strict embedded-quote
+	// validation, reply quarantine, and drain-window overload shedding.
+	// Off by default; the hot path then carries no defense state.
+	Defend bool
+	// AliasPrefixLen is the detect-prefix granularity of the alias
+	// detector, in [16,64] (default 60 — one detect-prefix per 16
+	// window /64s, the aliased-delegation size the periphery papers
+	// report most often).
+	AliasPrefixLen int
+	// CooldownProbes is j, the number of deterministic pseudo-random
+	// re-probes sent into a suspicious prefix (default 3).
+	CooldownProbes int
+	// CooldownWindow is the cooldown length in drain windows before an
+	// unconfirmed suspicious prefix is cleared (default 4).
+	CooldownWindow int
+	// AliasConfirm is the cooldown evidence needed to blocklist a
+	// suspicious prefix (default 2).
+	AliasConfirm int
+	// ShedBudget caps the replies processed per drain under Defend:
+	// when RecvBatch floods past it, lowest-value replies are dropped
+	// deterministically instead of stalling the send path (default
+	// 4*DrainEvery; ignored without Defend).
+	ShedBudget int
+
 	// cycle, when set, is a pre-built permutation shared between the
 	// scanners of one ScanParallel call (a Cycle is immutable, and its
 	// construction — safe-prime search, generator selection — is the
@@ -128,7 +154,13 @@ type Stats struct {
 	// AIMD rate-controller accounting.
 	RateUp   uint64 // additive-increase decisions (clean windows)
 	RateDown uint64 // multiplicative-decrease decisions (lossy windows)
-	Elapsed  time.Duration
+	// Adversarial-defense accounting (Config.Defend).
+	AliasDetected uint64 // prefixes entering an alias cooldown window
+	AliasCooldown uint64 // cooldown re-probes sent
+	AliasBlocked  uint64 // prefixes confirmed saturated and blocklisted
+	Quarantined   uint64 // unvalidatable replies quarantined
+	Shed          uint64 // buffered replies shed under overload
+	Elapsed       time.Duration
 }
 
 // HitRate is unique responders per probe sent.
@@ -158,6 +190,11 @@ func (s *Stats) Merge(o Stats) {
 	s.RetryAbandoned += o.RetryAbandoned
 	s.RateUp += o.RateUp
 	s.RateDown += o.RateDown
+	s.AliasDetected += o.AliasDetected
+	s.AliasCooldown += o.AliasCooldown
+	s.AliasBlocked += o.AliasBlocked
+	s.Quarantined += o.Quarantined
+	s.Shed += o.Shed
 	if o.Elapsed > s.Elapsed {
 		s.Elapsed = o.Elapsed
 	}
@@ -181,6 +218,7 @@ type Scanner struct {
 	dedup   dedupSet
 	retry   *retryRing      // nil unless Config.Retries > 0
 	aimd    *aimdController // nil unless Config.AIMD
+	alias   *aliasDetector  // nil unless Config.Defend
 	tel     *telemetry.Shard
 
 	// prf derives per-sub-prefix material; one derivation feeds both the
@@ -264,6 +302,26 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 			cfg.CooldownDrains = 3
 		}
 	}
+	if cfg.Defend {
+		if cfg.AliasPrefixLen == 0 {
+			cfg.AliasPrefixLen = 60
+		}
+		if cfg.AliasPrefixLen < 16 || cfg.AliasPrefixLen > 64 {
+			return nil, fmt.Errorf("xmap: alias prefix length /%d out of [16,64]", cfg.AliasPrefixLen)
+		}
+		if cfg.CooldownProbes <= 0 {
+			cfg.CooldownProbes = 3
+		}
+		if cfg.CooldownWindow <= 0 {
+			cfg.CooldownWindow = 4
+		}
+		if cfg.AliasConfirm <= 0 {
+			cfg.AliasConfirm = 2
+		}
+		if cfg.ShedBudget <= 0 {
+			cfg.ShedBudget = 4 * cfg.DrainEvery
+		}
+	}
 	cfg.Seed = seedOrDefault(cfg.Seed)
 	size, ok := cfg.Window.Size()
 	if !ok {
@@ -285,6 +343,15 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 	s.probe = cfg.Probe
 	if s.probe == nil {
 		s.probe = &ICMPEchoProbe{}
+	}
+	if cfg.Defend {
+		s.alias = newAliasDetector(&s.cfg)
+		// Strict embedded-quote validation: error replies must quote an
+		// invoking packet sourced from this scanner, closing the forged
+		// verbatim-quote hole the malformed responder exploits.
+		if ep, ok := s.probe.(*ICMPEchoProbe); ok && ep.StrictSource == (ipv6.Addr{}) {
+			ep.StrictSource = drv.SourceAddr()
+		}
 	}
 	if len(cfg.Blocklist) > 0 {
 		s.block = lpm.New[bool]()
@@ -563,12 +630,35 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	pumpDue := func() bool {
 		return sinceDrain >= window || (nextCkpt > 0 && stats.Targets >= nextCkpt)
 	}
+	// sendCooldown fires the alias detector's queued re-probes and
+	// flushes them immediately: cooldown evidence must arrive within the
+	// cooldown window regardless of how full the next send window is.
+	sendCooldown := func() {
+		if s.alias == nil {
+			return
+		}
+		pending := s.alias.takePending()
+		if len(pending) == 0 {
+			return
+		}
+		for _, dst := range pending {
+			pkt, err := buildProbe(dst)
+			if err != nil {
+				continue
+			}
+			send(pkt)
+			stats.AliasCooldown++
+			s.tel.Inc(telemetry.ScanAliasCooldown)
+		}
+		flush()
+	}
 	// pump closes a send window: flush, drain, let AIMD reconsider the
 	// window, and checkpoint if the interval has passed.
 	pump := func() {
 		flush()
 		s.tel.Observe(telemetry.HistDrainBatch, uint64(sinceDrain))
 		s.drain(&stats, handler)
+		sendCooldown()
 		sinceDrain = 0
 		if s.aimd != nil {
 			prevWindow := window
@@ -707,6 +797,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	// drains.
 	for round := 0; round < s.cfg.CooldownDrains; round++ {
 		s.drain(&stats, handler)
+		sendCooldown()
 		if s.retry == nil || round == s.cfg.CooldownDrains-1 {
 			continue
 		}
@@ -786,6 +877,9 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 		s.flusher.Flush()
 	}
 	s.rx = s.drv.RecvBatch(s.rx[:0])
+	if s.alias != nil && len(s.rx) > s.cfg.ShedBudget {
+		s.shed(stats, releaser)
+	}
 	for _, raw := range s.rx {
 		var (
 			resp   Response
@@ -804,6 +898,9 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 		if !ok {
 			stats.Invalid++
 			s.tel.Inc(telemetry.ScanInvalid)
+			if s.alias != nil {
+				s.aliasQuarantine(raw, stats)
+			}
 			continue
 		}
 		stats.Received++
@@ -828,6 +925,12 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 				s.tel.Observe(telemetry.HistReplyLatency, stats.Sent-sentAt)
 			}
 		}
+		if s.alias != nil && s.aliasObserve(&resp, stats) {
+			// Detector traffic (cooldown-probe replies, saturation
+			// chatter from prefixes under suspicion): consumed, never
+			// dedup'd or handed to the handler.
+			continue
+		}
 		if !s.dedup.checkAdd(resp.Responder) {
 			stats.Duplicates++
 			s.tel.Inc(telemetry.ScanDuplicates)
@@ -850,6 +953,9 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 	// pinned until the next drain.
 	clear(s.rx)
 	s.rx = s.rx[:0]
+	if s.alias != nil {
+		s.aliasTick()
+	}
 }
 
 // rateLimiter is a token bucket over wall-clock time. Tokens refill in

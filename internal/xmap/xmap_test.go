@@ -282,6 +282,75 @@ func TestBlocklistSkips(t *testing.T) {
 	}
 }
 
+// TestBlockRuntimeSkipCounts: a prefix folded in via BlockRuntime (the
+// alias detector's feedback path) skips exactly its window-cell count —
+// inserted before the scan, the whole /60 (16 cells of the 256-cell
+// window) is charged to Stats.Blocked and never probed.
+func TestBlockRuntimeSkipCounts(t *testing.T) {
+	f := buildFixture(t)
+	blocked, err := f.block.Sub(60, uint128.From64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Window: window(t, f), Seed: []byte("s")}, f.drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BlockRuntime(blocked)
+	var results []Response
+	stats, err := s.Run(context.Background(), func(r Response) { results = append(results, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocked != 16 {
+		t.Errorf("blocked = %d, want the region's 16 window cells", stats.Blocked)
+	}
+	if stats.Sent != 256-16 {
+		t.Errorf("sent = %d, want %d", stats.Sent, 256-16)
+	}
+	for _, r := range results {
+		if blocked.Contains(r.ProbeDst) {
+			t.Errorf("runtime-blocklisted prefix probed: %s", r.ProbeDst)
+		}
+	}
+}
+
+// TestBlockRuntimeMidScan: insertion from inside the scan loop (a
+// response handler, exactly where the alias detector sits) takes effect
+// for every target the permutation has not yet visited — skipped and
+// sent cells still partition the window.
+func TestBlockRuntimeMidScan(t *testing.T) {
+	f := buildFixture(t)
+	blocked, err := f.block.Sub(58, uint128.From64(1)) // 64 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Window: window(t, f), Seed: []byte("s"), DrainEvery: 8}, f.drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted := false
+	stats, err := s.Run(context.Background(), func(r Response) {
+		if !inserted {
+			s.BlockRuntime(blocked)
+			inserted = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inserted {
+		t.Fatal("no response ever arrived; insertion never exercised")
+	}
+	if stats.Blocked == 0 {
+		t.Error("mid-scan insertion skipped nothing")
+	}
+	if stats.Sent+stats.Blocked != 256 {
+		t.Errorf("sent %d + blocked %d = %d, want the full 256-cell window",
+			stats.Sent, stats.Blocked, stats.Sent+stats.Blocked)
+	}
+}
+
 func TestAllowlistRestricts(t *testing.T) {
 	f := buildFixture(t)
 	allowed, err := f.block.Sub(60, uint128.From64(0)) // first 16 /64s
