@@ -354,6 +354,65 @@ func BenchmarkScannerThroughputInstrumented(b *testing.B) {
 	b.ReportMetric(float64(sent), "probes")
 }
 
+// BenchmarkScannerTraced is BenchmarkScannerThroughput with the
+// probe-lifecycle tracer attached at the production sampling rate
+// (1/1024) plus the stall watchdog's stage/beat bookkeeping. The
+// contract it guards: tracing stays allocation-free (fixed-size span
+// slots, no per-span boxing) and within a few percent of the bare
+// scanner — compare ns/op against BenchmarkScannerThroughput in the
+// same run. The bare benchmarks never attach a tracer, so the 423
+// ns/probe gate measures the feature compiled in but switched off.
+func BenchmarkScannerTraced(b *testing.B) {
+	dep, err := topo.Build(topo.Config{
+		Seed: 3, Scale: 0.0005, WindowWidth: 14, MaxDevicesPerISP: 4000, OnlyISPs: []int{13},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	isp := dep.ISPs[0]
+	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{
+		Seed:        []byte("bench-trace"),
+		SampleShift: 10, // 1/1024, the production default
+		ScanStreams: 1,
+		SimStreams:  1,
+	})
+	drv.RegisterTracer(tracer)
+	wd := telemetry.NewWatchdog(1, 8, tracer)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := uint64(0)
+	for sent < uint64(b.N) {
+		scanner, err := xmap.New(xmap.Config{
+			Window:     isp.Window,
+			Seed:       []byte(fmt.Sprintf("tpt-%d", sent)),
+			DrainEvery: benchBatch(b),
+			MaxTargets: uint64(b.N) - sent,
+			Tracer:     tracer,
+			Watchdog:   wd,
+		}, drv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := scanner.Run(context.Background(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Sent == 0 {
+			b.Fatal("no probes sent")
+		}
+		sent += stats.Sent
+	}
+	b.StopTimer()
+	// At 1/1024 sampling a large-N run must have traced something; a
+	// zero here means the sampler or the wiring silently detached.
+	if b.N > 100000 && tracer.SpansRecorded() == 0 {
+		b.Fatal("tracer recorded no spans")
+	}
+	b.ReportMetric(float64(sent), "probes")
+	b.ReportMetric(float64(tracer.SpansRecorded()), "spans")
+}
+
 // BenchmarkScannerThroughputSharded is the same measurement against an
 // 8-shard EngineGroup deployment: eight scanner goroutines pump eight
 // serialization domains concurrently through a GroupDriver. Compare

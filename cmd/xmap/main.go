@@ -78,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		statusF  = fs.String("status-json", "", "write the merged telemetry snapshot as JSON to this file ('-' for stderr)")
 		listenF  = fs.String("listen", "", "serve /telemetry, /trace, expvar and pprof over HTTP on this address for the scan's duration")
 		traceF   = fs.String("trace", "", "write the flight-recorder dump as JSON to this file ('-' for stderr)")
+		sampleF  = fs.Int("trace-sample", -1, "trace 1/2^k of targets through the full probe lifecycle (0 = every target, -1 = off)")
+		traceOut = fs.String("trace-out", "", "write the probe-lifecycle trace to this file ('-' for stderr); a .json suffix selects Chrome-trace/Perfetto format, anything else NDJSON")
+		watchF   = fs.Bool("watchdog", false, "watch per-shard progress and print a structured stall diagnosis to stderr when a shard wedges")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,6 +179,55 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	drv := xmap.NewSimDriver(dep.Engine, dep.Edge)
 
+	// Probe-lifecycle tracing attaches only when asked for; the sampler
+	// is keyed by the scan seed, so the traced target set — and the
+	// exported trace — is identical across runs of the same scan.
+	var tracer *telemetry.Tracer
+	if *sampleF >= 0 || *traceOut != "" {
+		shift := *sampleF
+		if shift < 0 {
+			shift = 10 // -trace-out alone: a 1/1024 default
+		}
+		scanStreams := *parallel
+		if scanStreams < 1 {
+			scanStreams = 1
+		}
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{
+			Seed:        cfg.Seed,
+			SampleShift: shift,
+			ScanStreams: scanStreams,
+			SimStreams:  1,
+		})
+		cfg.Tracer = tracer
+		drv.RegisterTracer(tracer)
+	}
+	if *watchF {
+		wdShards := *parallel
+		if wdShards < 1 {
+			wdShards = 1
+		}
+		wd := telemetry.NewWatchdog(wdShards, 8, tracer)
+		cfg.Watchdog = wd
+		wdStop := make(chan struct{})
+		defer close(wdStop)
+		go func() {
+			ticker := time.NewTicker(500 * time.Millisecond)
+			defer ticker.Stop()
+			tick := uint64(0)
+			for {
+				select {
+				case <-wdStop:
+					return
+				case <-ticker.C:
+					tick++
+					for _, d := range wd.Check(tick) {
+						fmt.Fprintln(stderr, "xmap:", d)
+					}
+				}
+			}
+		}()
+	}
+
 	// Telemetry attaches only when an observability flag asks for it; a
 	// bare scan keeps the zero-cost detached path.
 	var reg *telemetry.Registry
@@ -187,6 +239,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		reg = telemetry.New(telemetry.Options{Shards: regShards})
 		drv.RegisterTelemetry(reg)
+		reg.AttachTracer(tracer)
 		cfg.Telemetry = reg
 
 		// SIGQUIT dumps the flight recorder without stopping the scan —
@@ -288,6 +341,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *traceF != "" {
 		if err := writeSink(*traceF, stderr, reg.DumpTrace); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if *traceOut != "" {
+		write := tracer.WriteNDJSON
+		if strings.HasSuffix(*traceOut, ".json") {
+			write = tracer.WriteChromeTrace
+		}
+		if err := writeSink(*traceOut, stderr, write); err != nil {
+			return fmt.Errorf("writing probe trace: %w", err)
 		}
 	}
 	if !*quiet {

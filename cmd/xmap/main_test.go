@@ -180,6 +180,137 @@ func TestTraceDump(t *testing.T) {
 	}
 }
 
+// TestProbeTraceNDJSONDeterministic: the -trace-out NDJSON artifact of
+// a seeded scan is byte-identical across two identical runs (the
+// sampler is a seed-keyed PRF and every span stream has a single
+// ordered writer), and it carries the whole lifecycle: sent spans,
+// simulator hop crossings, and replies.
+func TestProbeTraceNDJSONDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.ndjson")
+	b := filepath.Join(dir, "b.ndjson")
+	args := []string{"-max-targets", "40", "-quiet", "-seed", "7", "-trace-sample", "0", "-trace-out"}
+	runOnce(t, append(args, a)...)
+	runOnce(t, append(args, b)...)
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da) == 0 {
+		t.Fatal("empty probe trace")
+	}
+	if !bytes.Equal(da, db) {
+		t.Error("probe trace differs across identical seeded runs")
+	}
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(da)), "\n") {
+		var span struct {
+			Kind string `json:"kind"`
+			Addr string `json:"addr"`
+			Node string `json:"node"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		kinds[span.Kind]++
+		if span.Kind == "hop" && span.Node == "" {
+			t.Errorf("hop span without a node: %q", line)
+		}
+	}
+	if kinds["sent"] != 40 {
+		t.Errorf("trace has %d sent spans at full sampling, want 40", kinds["sent"])
+	}
+	if kinds["hop"] == 0 {
+		t.Error("trace has no simulator hop crossings")
+	}
+	if kinds["reply"]+kinds["icmp-error"] == 0 {
+		t.Error("trace has no reply spans")
+	}
+}
+
+// TestProbeTracePerfettoFormat pins the Chrome-trace/Perfetto export: a
+// .json -trace-out must be one {"traceEvents":[...]} document of
+// instant events with the fields ui.perfetto.dev requires.
+func TestProbeTracePerfettoFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runOnce(t, "-max-targets", "20", "-quiet", "-seed", "7", "-trace-sample", "0", "-trace-out", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(`{"traceEvents":[`)) {
+		t.Fatalf("export does not open a traceEvents document: %.40q", data)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			Scope string `json:"s"`
+			PID   int    `json:"pid"`
+			TID   *int   `json:"tid"`
+			TS    *int64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "i" || e.Scope != "t" || e.PID != 1 || e.TID == nil || e.TS == nil || e.Name == "" {
+			t.Fatalf("malformed event %+v", e)
+		}
+		tids[*e.TID] = true
+	}
+	if len(tids) < 2 {
+		t.Errorf("events span %d tracks, want scanner and simulator streams separated", len(tids))
+	}
+}
+
+// TestTraceStatusAndMonitor: with tracing attached, the status snapshot
+// reports the span and exemplar totals and the monitor line grows a
+// trace term; an honest deployment captures no anomaly exemplars.
+func TestTraceStatusAndMonitor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "status.json")
+	_, errOut := runOnce(t, "-max-targets", "200", "-quiet", "-seed", "7",
+		"-trace-sample", "0", "-monitor-every", "64", "-status-json", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		TraceSpans     uint64 `json:"trace_spans"`
+		TraceExemplars uint64 `json:"trace_exemplars"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.TraceSpans == 0 {
+		t.Error("trace_spans = 0 with full sampling")
+	}
+	if snap.TraceExemplars != 0 {
+		t.Errorf("trace_exemplars = %d on an honest deployment, want 0", snap.TraceExemplars)
+	}
+	if !strings.Contains(errOut, "; trace: ") || !strings.Contains(errOut, " spans, ") {
+		t.Errorf("monitor output missing the trace term:\n%s", errOut)
+	}
+}
+
+// TestWatchdogFlagQuiet: -watchdog on a healthy scan must never print a
+// stall diagnosis.
+func TestWatchdogFlagQuiet(t *testing.T) {
+	_, errOut := runOnce(t, "-max-targets", "50", "-quiet", "-watchdog")
+	if strings.Contains(errOut, "watchdog:") {
+		t.Errorf("healthy scan produced a stall diagnosis:\n%s", errOut)
+	}
+}
+
 // TestRunTwiceNoGlobalState: the FlagSet refactor must allow repeated
 // in-process invocations (the old global flag.* panicked on the second
 // definition).

@@ -194,6 +194,14 @@ type Engine struct {
 	owner       *byte
 	ownerReused bool
 
+	// ftr observes sampled flow crossings (trace.go). trOn/trHi/trLo
+	// latch one fused replay's sampling decision so the plain charging
+	// loops synthesize crossings without re-deriving the flow key.
+	ftr  FlowTracer
+	trOn bool
+	trHi uint64
+	trLo uint64
+
 	// fp is the compiled forwarding fast path (flowcache.go);
 	// fpScratchH/fpScratchC are the hot/cold halves of the entry under
 	// compilation, kept off the stack so flows that turn out unkeyable
@@ -469,6 +477,9 @@ func (e *Engine) transmitLocked(from *Iface, pkt []byte, chain bool) (delivery, 
 	}
 	if e.tap != nil {
 		e.tap(from, pkt, drop)
+	}
+	if e.ftr != nil {
+		e.traceCrossingLocked(from, pkt, drop)
 	}
 	if drop {
 		e.txDropped++

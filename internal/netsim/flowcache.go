@@ -1007,6 +1007,9 @@ func (e *Engine) compileLoopTerm(h *flowHot, c *flowCold, expIn *Iface, term com
 // sequential forwarding would produce.
 func (e *Engine) fpReplay(ent *flowHot, cld *flowCold, d delivery) (fpResult, delivery) {
 	pkt := d.pkt
+	// A flow tracer never forces the interpreted path: the plain loops
+	// below synthesize the crossing sequence from the compiled entry.
+	e.traceFlowStart(pkt)
 	if ent.kind == entryLoop {
 		return e.fpReplayLoop(ent, cld, d)
 	}
@@ -1038,6 +1041,9 @@ func (e *Engine) fpReplay(ent *flowHot, cld *flowCold, d delivery) (fpResult, de
 			e.txPackets++
 			e.txBytes += n
 			e.seq++
+			if e.trOn {
+				e.traceSynthLocked(h.out, pkt[7])
+			}
 			in = l.ends[1-h.out.end]
 		} else {
 			nd, ok := e.transmitLocked(h.out, pkt, true)
@@ -1116,6 +1122,9 @@ func (e *Engine) fpReplayReverse(ent *flowHot, cld *flowCold, reply []byte, plai
 			e.txPackets++
 			e.txBytes += n
 			e.seq++
+			if e.trOn {
+				e.traceSynthLocked(h.out, reply[7])
+			}
 			rin = l.ends[1-h.out.end]
 		} else {
 			nd, ok := e.transmitLocked(h.out, reply, true)
@@ -1170,6 +1179,9 @@ func (e *Engine) fpReplayLoop(ent *flowHot, cld *flowCold, d delivery) (fpResult
 			e.txBytes += cnt * n
 		}
 		e.seq += uint64(cross)
+		if e.trOn {
+			e.traceLoopCrossingsLocked(ent, cld, ent.hlIn, cross)
+		}
 		pkt[7] = ent.hlIn - uint8(cross) // what the expiring node sees
 	} else {
 		for j := 0; j < cross; j++ {

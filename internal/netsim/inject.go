@@ -297,10 +297,19 @@ func (e *Engine) fpReplayRun(from *Iface, pkts [][]byte, d int, sumAll uint64) {
 				cp[7] -= h.nf
 				out = append(out, cp)
 			}
+			if e.ftr != nil {
+				e.traceRunStretch(from, h, c, pkts[i:g], 0)
+			}
 			i = g
 			continue
 		}
-		if m := h.gate.allowN(g - i); m > 0 {
+		m := h.gate.allowN(g - i)
+		if e.ftr != nil {
+			// Synthesize the stretch's crossings — ungranted probes still
+			// crossed every forward link before dying at the gate.
+			e.traceRunStretch(from, h, c, pkts[i:g], m)
+		}
+		if m > 0 {
 			ed := c.edge.node.(*Edge)
 			if cur != ed && len(out) > 0 {
 				cur.handleBatch(out)

@@ -2,6 +2,7 @@ package simtest
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/ipv6"
@@ -20,6 +21,37 @@ type fastPathLeg struct {
 	set      map[ipv6.Addr]bool
 	counters netsim.Counters
 	links    []fastPathLink
+	trace    *traceCollector
+}
+
+// hopRec is one recorded link crossing of a traced flow.
+type hopRec struct {
+	node, iface string
+	hop         uint8
+	drop        bool
+}
+
+// traceCollector is the oracle's netsim.FlowTracer: it samples every
+// flow and keeps each flow's full (node, iface, hop-limit) crossing
+// sequence, so the compiled fast path's synthesized traces can be
+// diffed hop for hop against the interpreted reference.
+type traceCollector struct {
+	flows map[[16]byte][]hopRec
+	total uint64
+}
+
+func newTraceCollector() *traceCollector {
+	return &traceCollector{flows: map[[16]byte][]hopRec{}}
+}
+
+func (t *traceCollector) SampleFlow(hi, lo uint64) bool { return true }
+
+func (t *traceCollector) HopCrossing(hi, lo uint64, node, iface string, hop uint8, drop bool) {
+	var k [16]byte
+	binary.BigEndian.PutUint64(k[:8], hi)
+	binary.BigEndian.PutUint64(k[8:], lo)
+	t.flows[k] = append(t.flows[k], hopRec{node: node, iface: iface, hop: hop, drop: drop})
+	t.total++
 }
 
 // fastPathLink is one link's per-direction transmission counters,
@@ -84,7 +116,8 @@ func scanFastPathLeg(f *ISPFixture, seed int64, fastpath bool, batch int) (fastP
 	if batch > 0 {
 		drv = &chunkDriver{under: f.Drv, n: batch}
 	}
-	leg := fastPathLeg{set: map[ipv6.Addr]bool{}}
+	leg := fastPathLeg{set: map[ipv6.Addr]bool{}, trace: newTraceCollector()}
+	f.Eng.SetFlowTracer(leg.trace)
 	for pass := 0; pass < 2; pass++ {
 		seedTag := append(scanSeed(seed), byte('a'+pass))
 		s, err := xmap.New(xmap.Config{Window: f.Window, Seed: seedTag, DedupExact: true}, drv)
@@ -168,6 +201,61 @@ func diffFastPathLegs(name string, got, ref fastPathLeg) []string {
 			}
 		}
 	}
+	if got.trace != nil && ref.trace != nil {
+		problems = append(problems, diffFlowTraces(name, got.trace, ref.trace)...)
+	}
+	return problems
+}
+
+// diffFlowTraces is the trace-parity leg: every traced flow must have
+// recorded an identical (node, iface, hop-limit, drop) crossing
+// sequence on both legs — the compiled path's synthesized hops against
+// the interpreted reference. Bounded reporting: systematic divergence
+// would otherwise flood the failure with one line per flow.
+func diffFlowTraces(name string, got, ref *traceCollector) []string {
+	var problems []string
+	const maxReports = 10
+	report := func(format string, args ...any) {
+		if len(problems) < maxReports {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+	if len(got.flows) != len(ref.flows) {
+		report("%s leg traced %d flows, interpreted %d", name, len(got.flows), len(ref.flows))
+	}
+	mismatched := 0
+	for k, rseq := range ref.flows {
+		gseq, ok := got.flows[k]
+		if !ok {
+			mismatched++
+			report("%s leg has no trace for flow %s", name, ipv6.AddrFromBytes(k[:]))
+			continue
+		}
+		if len(gseq) != len(rseq) {
+			mismatched++
+			report("%s leg flow %s crossed %d hops, interpreted %d",
+				name, ipv6.AddrFromBytes(k[:]), len(gseq), len(rseq))
+			continue
+		}
+		for i := range rseq {
+			if gseq[i] != rseq[i] {
+				mismatched++
+				report("%s leg flow %s hop %d = %+v, interpreted %+v",
+					name, ipv6.AddrFromBytes(k[:]), i, gseq[i], rseq[i])
+				break
+			}
+		}
+	}
+	for k := range got.flows {
+		if _, ok := ref.flows[k]; !ok {
+			mismatched++
+			report("%s leg traced phantom flow %s", name, ipv6.AddrFromBytes(k[:]))
+		}
+	}
+	if mismatched > maxReports {
+		problems = append(problems, fmt.Sprintf(
+			"%s leg trace parity: %d flows diverged in total", name, mismatched))
+	}
 	return problems
 }
 
@@ -207,6 +295,12 @@ func RunFastPathOracle(seed int64, p FaultProfile) ([]string, error) {
 	// claims: fused replays on one side, none on the other.
 	if on.counters.FastPathHits == 0 {
 		problems = append(problems, "fastpath leg recorded zero flow-cache hits: fast path never engaged")
+	}
+	// The trace-parity comparison is only meaningful if the compiled leg
+	// actually captured crossings (i.e. fused replays synthesized them
+	// rather than silencing the tracer).
+	if on.trace.total == 0 {
+		problems = append(problems, "fastpath leg captured zero flow crossings: trace synthesis never engaged")
 	}
 	if off.counters.FastPathHits != 0 || off.counters.FastPathMisses != 0 {
 		problems = append(problems, fmt.Sprintf(

@@ -86,6 +86,10 @@ func TestScenarios(t *testing.T) {
 					report(t, "defended-vs-undefended/"+hp.Name, problems, err)
 				}
 			})
+			t.Run("watchdog", func(t *testing.T) {
+				problems, err := RunWatchdogScenario(seed)
+				report(t, "wedged-driver-watchdog", problems, err)
+			})
 			t.Run("oracle-adaptive", func(t *testing.T) {
 				for _, name := range []string{"loss", "ratelimit", "flap"} {
 					p, ok := ProfileByName(name)

@@ -182,6 +182,13 @@ func (m *Monitor) lineLocked(targets uint64, final bool) {
 		fmt.Fprintf(m.w, "; hostile: %d blocked, %d quarantined, %d shed",
 			t[ScanAliasBlocked], t[ScanQuarantined], t[ScanShed])
 	}
+	// The trace term appears only once the span tracer has recorded
+	// something, mirroring the conditional fastpath/hostile terms.
+	if tr := m.reg.Tracer(); tr != nil {
+		if n := tr.SpansRecorded(); n > 0 {
+			fmt.Fprintf(m.w, "; trace: %d spans, %d exemplars", n, tr.ExemplarCount())
+		}
+	}
 	switch {
 	case final:
 		fmt.Fprintf(m.w, "; done\n")

@@ -29,6 +29,11 @@ type Snapshot struct {
 	// TraceRecorded is the total flight-recorder events ever recorded
 	// across shards.
 	TraceRecorded uint64 `json:"trace_recorded"`
+	// TraceSpans is the total lifecycle spans the attached span tracer
+	// recorded across streams (0 when no tracer is attached).
+	TraceSpans uint64 `json:"trace_spans"`
+	// TraceExemplars is how many anomaly exemplars the tracer captured.
+	TraceExemplars uint64 `json:"trace_exemplars"`
 }
 
 // HitRate is unique responders per probe sent.
@@ -60,6 +65,10 @@ func (r *Registry) Snapshot() *Snapshot {
 			totals[c] += sh.counters[c].Load()
 		}
 		s.TraceRecorded += sh.ring.Recorded()
+	}
+	if t := r.Tracer(); t != nil {
+		s.TraceSpans = t.SpansRecorded()
+		s.TraceExemplars = uint64(t.ExemplarCount())
 	}
 	r.colMu.Lock()
 	cols := append([]Collector(nil), r.collectors...)

@@ -283,6 +283,8 @@ type Registry struct {
 	shards     []*Shard
 	colMu      sync.Mutex
 	collectors []Collector
+	tracerMu   sync.Mutex
+	tracer     *Tracer
 }
 
 // New creates a registry with o.Shards independent shards.
@@ -336,6 +338,29 @@ func (r *Registry) Register(c Collector) {
 	r.colMu.Lock()
 	r.collectors = append(r.collectors, c)
 	r.colMu.Unlock()
+}
+
+// AttachTracer associates a span tracer with the registry, so the
+// snapshot, the monitor line, the /trace endpoint and the SIGQUIT dump
+// all report the sampled span streams alongside the flight recorder.
+func (r *Registry) AttachTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracerMu.Lock()
+	r.tracer = t
+	r.tracerMu.Unlock()
+}
+
+// Tracer returns the attached span tracer (nil when none, or on a nil
+// registry).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.tracerMu.Lock()
+	defer r.tracerMu.Unlock()
+	return r.tracer
 }
 
 // Events returns every shard's flight-recorder contents, shard by shard

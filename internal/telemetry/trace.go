@@ -174,9 +174,13 @@ func (r *Ring) AppendEvents(dst []Event) []Event {
 // Events returns the ring contents, oldest first.
 func (r *Ring) Events() []Event { return r.AppendEvents(nil) }
 
-// traceDoc is the JSON shape of a flight-recorder dump.
+// traceDoc is the JSON shape of a flight-recorder dump. Spans and
+// exemplars appear only when a span tracer is attached, so the bare
+// flight-recorder dump keeps its original shape.
 type traceDoc struct {
-	Shards []shardTrace `json:"shards"`
+	Shards    []shardTrace   `json:"shards"`
+	Spans     []streamTrace  `json:"spans,omitempty"`
+	Exemplars []exemplarJSON `json:"exemplars,omitempty"`
 }
 
 type shardTrace struct {
@@ -185,8 +189,23 @@ type shardTrace struct {
 	Events   []eventJSON `json:"events"`
 }
 
-// DumpTrace writes every shard's flight-recorder contents as one
-// indented JSON document.
+type streamTrace struct {
+	Stream   int        `json:"stream"`
+	Recorded uint64     `json:"recorded"`
+	Spans    []spanJSON `json:"spans"`
+}
+
+type exemplarJSON struct {
+	Kind   string     `json:"kind"`
+	Clock  uint64     `json:"clock"`
+	Addr   string     `json:"addr,omitempty"`
+	Stream int        `json:"stream"`
+	Spans  []spanJSON `json:"spans"`
+}
+
+// DumpTrace writes every shard's flight-recorder contents — plus, when
+// a span tracer is attached, every stream's sampled spans and the
+// captured anomaly exemplars — as one indented JSON document.
 func (r *Registry) DumpTrace(w io.Writer) error {
 	doc := traceDoc{Shards: []shardTrace{}}
 	if r != nil {
@@ -196,6 +215,31 @@ func (r *Registry) DumpTrace(w io.Writer) error {
 				st.Events = append(st.Events, e.toJSON())
 			}
 			doc.Shards = append(doc.Shards, st)
+		}
+		if t := r.Tracer(); t != nil {
+			var scratch []Span
+			for i := 0; i < t.Streams(); i++ {
+				ring := t.stream(i)
+				st := streamTrace{Stream: i, Recorded: ring.Recorded(), Spans: []spanJSON{}}
+				scratch = ring.AppendSpans(scratch[:0])
+				for _, sp := range scratch {
+					st.Spans = append(st.Spans, spanToJSON(i, sp))
+				}
+				doc.Spans = append(doc.Spans, st)
+			}
+			for _, ex := range t.Exemplars() {
+				ej := exemplarJSON{
+					Kind: ex.Kind.String(), Clock: ex.Clock, Stream: ex.Stream,
+					Spans: []spanJSON{},
+				}
+				if ex.Addr != ([16]byte{}) {
+					ej.Addr = ipv6.AddrFromBytes(ex.Addr[:]).String()
+				}
+				for _, sp := range ex.Spans[:ex.N] {
+					ej.Spans = append(ej.Spans, spanToJSON(ex.Stream, sp))
+				}
+				doc.Exemplars = append(doc.Exemplars, ej)
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Watchdog turns a silent hang into a structured diagnosis. Each
+// scanner shard reports coarse progress — its stage at phase
+// transitions, and a beat per drain window carrying the sent cursor,
+// transmission-ring depth and drain age. A checker (a wall-clock
+// goroutine in cmd/xmap, the test harness in simtest) calls Check with
+// any monotone clock; a shard whose sent cursor has not moved for
+// threshold clock units, and which has not reached the "done" stage, is
+// diagnosed with everything needed to name the hang: which shard, which
+// stage, and the last span its trace stream recorded.
+//
+// All methods are safe on a nil receiver, so the scanner wires beats
+// unconditionally and pays one branch when no watchdog is attached.
+type Watchdog struct {
+	mu        sync.Mutex
+	tr        *Tracer
+	threshold uint64
+	shards    []wdShard
+}
+
+// wdShard is one shard's last-reported progress plus the checker's
+// progress bookkeeping.
+type wdShard struct {
+	stage     string
+	sent      uint64
+	ringDepth int
+	drainAge  uint64
+	beats     uint64
+	lastSent  uint64 // sent cursor at the last progress observation
+	lastMove  uint64 // checker clock of the last observed progress
+	observed  bool
+}
+
+// StageDone is the stage a finished shard reports; done shards are
+// exempt from stall detection.
+const StageDone = "done"
+
+// NewWatchdog builds a watchdog for the given shard count. threshold is
+// how many checker clock units a shard may sit without progress before
+// it is diagnosed; tr (optional) supplies each diagnosis's last-span
+// field from the shard's trace stream.
+func NewWatchdog(shards int, threshold uint64, tr *Tracer) *Watchdog {
+	if shards < 1 {
+		shards = 1
+	}
+	if threshold == 0 {
+		threshold = 8
+	}
+	return &Watchdog{threshold: threshold, tr: tr, shards: make([]wdShard, shards)}
+}
+
+func (w *Watchdog) shard(i int) *wdShard {
+	if i < 0 || i >= len(w.shards) {
+		i = 0
+	}
+	return &w.shards[i]
+}
+
+// Stage records a shard's phase transition ("send", "drain",
+// "cooldown", StageDone). Called at transitions only, never per probe.
+func (w *Watchdog) Stage(shard int, stage string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.shard(shard).stage = stage
+	w.mu.Unlock()
+}
+
+// Beat reports one drain window's progress sample: the sent cursor, the
+// transmission ring's queued depth (0 without a ring), and the drain
+// age (probes since the last receive drain).
+func (w *Watchdog) Beat(shard int, sent uint64, ringDepth int, drainAge uint64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.shard(shard)
+	s.sent, s.ringDepth, s.drainAge = sent, ringDepth, drainAge
+	s.beats++
+	w.mu.Unlock()
+}
+
+// StallDiagnosis names one stalled shard and the state it wedged in.
+type StallDiagnosis struct {
+	Shard      int
+	Stage      string
+	Sent       uint64
+	RingDepth  int
+	DrainAge   uint64
+	Beats      uint64
+	StalledFor uint64 // checker clock units without progress
+	LastSpan   string // most recent span kind on the shard's trace stream
+}
+
+// String renders the diagnosis as the one-line report cmd/xmap prints.
+func (d StallDiagnosis) String() string {
+	return fmt.Sprintf(
+		"watchdog: shard %d stalled in stage %q for %d ticks (sent=%d, ring=%d, drain-age=%d, beats=%d, last-span=%s)",
+		d.Shard, d.Stage, d.StalledFor, d.Sent, d.RingDepth, d.DrainAge, d.Beats, d.LastSpan)
+}
+
+// Check samples every shard against the given monotone clock and
+// returns a diagnosis per stalled shard (nil when all are healthy). A
+// shard is stalled when its sent cursor has not advanced for threshold
+// clock units and it has not reported StageDone. The first Check only
+// baselines; detection needs at least two calls.
+func (w *Watchdog) Check(clock uint64) []StallDiagnosis {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []StallDiagnosis
+	for i := range w.shards {
+		s := &w.shards[i]
+		if !s.observed || s.sent != s.lastSent || s.stage == StageDone {
+			s.observed = true
+			s.lastSent = s.sent
+			s.lastMove = clock
+			continue
+		}
+		if clock-s.lastMove < w.threshold {
+			continue
+		}
+		last := "none"
+		if k := w.tr.LastKind(i); k != 0 {
+			last = k.String()
+		}
+		out = append(out, StallDiagnosis{
+			Shard:      i,
+			Stage:      s.stage,
+			Sent:       s.sent,
+			RingDepth:  s.ringDepth,
+			DrainAge:   s.drainAge,
+			Beats:      s.beats,
+			StalledFor: clock - s.lastMove,
+			LastSpan:   last,
+		})
+	}
+	return out
+}

@@ -176,6 +176,9 @@ func (s *Scanner) aliasCool(key uint64, e *aliasEntry, stats *Stats) {
 	d.cooling = append(d.cooling, key)
 	stats.AliasDetected++
 	s.tel.Inc(telemetry.ScanAliasDetected)
+	if s.tracer != nil {
+		s.tracer.Anomaly(telemetry.AnomalyAlias, s.trStream, stats.Sent, d.prefixOf(key).Addr().Bytes())
+	}
 	for i := 0; i < d.probes; i++ {
 		dst := d.cooldownTarget(key, i)
 		if _, dup := d.outstanding[dst]; dup {
@@ -287,8 +290,16 @@ func (s *Scanner) aliasQuarantine(raw []byte, stats *Stats) {
 	if len(raw) < wire.HeaderLen || raw[0]>>4 != 6 {
 		return
 	}
+	src := ipv6.AddrFromBytes(raw[8:24])
+	if s.tracer != nil {
+		b := src.Bytes()
+		if s.tracer.SampleAddr(b) {
+			s.tracer.Span(s.trStream, telemetry.SpanQuarantine, stats.Sent, b, 0)
+		}
+		s.tracer.Anomaly(telemetry.AnomalyQuarantine, s.trStream, stats.Sent, b)
+	}
 	d := s.alias
-	k := d.keyOf(ipv6.AddrFromBytes(raw[8:24]))
+	k := d.keyOf(src)
 	e := d.entry(k)
 	switch e.state {
 	case aliasCounting:
@@ -359,6 +370,7 @@ func shedSrc(raw []byte) (ipv6.Addr, bool) {
 // recall, only duplicate accounting.
 func (s *Scanner) shed(stats *Stats, releaser Releaser) {
 	need := len(s.rx) - s.cfg.ShedBudget
+	before := stats.Shed
 	d := s.alias
 	for tier := 0; tier < 2 && need > 0; tier++ {
 		kept := s.rx[:0]
@@ -396,5 +408,11 @@ func (s *Scanner) shed(stats *Stats, releaser Releaser) {
 			s.rx[i] = nil
 		}
 		s.rx = kept
+	}
+	if n := stats.Shed - before; n > 0 && s.tracer != nil {
+		// One span and one exemplar per shedding drain, the drop count
+		// as the argument — per-packet spans would amplify the flood.
+		s.tracer.Span(s.trStream, telemetry.SpanShed, stats.Sent, zeroAddr, n)
+		s.tracer.Anomaly(telemetry.AnomalyShed, s.trStream, stats.Sent, zeroAddr)
 	}
 }

@@ -150,6 +150,17 @@ func (d *SimDriver) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.Register(engineCollector(d.eng.Counters))
 }
 
+// RegisterTracer attaches the probe-lifecycle tracer to the engine:
+// sampled flows record their hop-level link crossings on the tracer's
+// first simulator stream. Like RegisterTelemetry, the glue lives here
+// so netsim never imports telemetry.
+func (d *SimDriver) RegisterTracer(tr *telemetry.Tracer) {
+	if tr == nil {
+		return
+	}
+	d.eng.SetFlowTracer(engineTracer{tr: tr, stream: tr.SimStream(0)})
+}
+
 // GroupDriver runs the scanner against a sharded netsim.EngineGroup:
 // every probe is routed to the engine shard owning its destination
 // prefix, so concurrent senders (ScanParallel) pump disjoint
@@ -197,6 +208,32 @@ func (d *GroupDriver) SourceAddr() ipv6.Addr { return d.edge.Addr() }
 // snapshots (see SimDriver.RegisterTelemetry).
 func (d *GroupDriver) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.Register(engineCollector(d.grp.Counters))
+}
+
+// RegisterTracer attaches the probe-lifecycle tracer to every engine
+// shard, each on its own simulator stream (engine shards serialize
+// independently, so per-shard streams keep single-writer ordering).
+func (d *GroupDriver) RegisterTracer(tr *telemetry.Tracer) {
+	if tr == nil {
+		return
+	}
+	for i := 0; i < d.grp.NumShards(); i++ {
+		d.grp.Shard(i).SetFlowTracer(engineTracer{tr: tr, stream: tr.SimStream(i)})
+	}
+}
+
+// engineTracer adapts the telemetry tracer to netsim's FlowTracer
+// observer: the shared sampler decides flow membership, and each
+// crossing lands as a hop span on the engine shard's stream.
+type engineTracer struct {
+	tr     *telemetry.Tracer
+	stream int
+}
+
+func (t engineTracer) SampleFlow(hi, lo uint64) bool { return t.tr.Sample(hi, lo) }
+
+func (t engineTracer) HopCrossing(hi, lo uint64, node, iface string, hopLimit uint8, dropped bool) {
+	t.tr.Hop(t.stream, hi, lo, node, iface, hopLimit, dropped)
 }
 
 // engineCollector adapts a netsim counter source to a telemetry

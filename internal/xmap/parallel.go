@@ -131,6 +131,9 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 	for i := 0; i < shards; i++ {
 		shardCfg := cfg
 		shardCfg.ShardIndex = i
+		// Each shard writes its own tracer span stream: single-writer
+		// streams keep the exported trace deterministic under concurrency.
+		shardCfg.TraceStream = i
 		shardCfg.CheckpointPath = ""
 		shardCfg.ResumeFrom = nil
 		if cfg.ResumeFrom != nil {
@@ -159,6 +162,9 @@ func ScanParallel(ctx context.Context, cfg Config, drv Driver, shards int, handl
 		var ring *RingDriver
 		if cfg.RingSize > 0 {
 			ring = NewRingDriver(drv, cfg.RingSize)
+			if cfg.Tracer != nil {
+				ring.SetTracer(cfg.Tracer, i)
+			}
 			shardDrv = ring
 		}
 		scanner, err := New(shardCfg, shardDrv)

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/ipv6"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // pumpBurst is how many ring entries the transmission pump forwards to
@@ -46,6 +48,12 @@ type RingDriver struct {
 	// stalls counts SendBatch backpressure waits (full ring).
 	stalls atomic.Uint64
 
+	// tracer, when set, records sampled ring-enqueue/ring-stall spans on
+	// stream trStream; SendBatch runs on the owning scanner goroutine,
+	// so the stream keeps its single writer.
+	tracer   *telemetry.Tracer
+	trStream int
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -79,6 +87,12 @@ func NewRingDriver(under Driver, size int) *RingDriver {
 // failures surface through Failed and telemetry, not per call.
 func (d *RingDriver) SendBatch(pkts [][]byte) (int, error) {
 	for _, pkt := range pkts {
+		var traced bool
+		var dst [16]byte
+		if d.tracer != nil && len(pkt) >= wire.HeaderLen && pkt[0]>>4 == 6 {
+			copy(dst[:], pkt[24:40])
+			traced = d.tracer.SampleAddr(dst)
+		}
 		var buf []byte
 		if b, ok := d.free.Pop(); ok && cap(b) >= len(pkt) {
 			buf = b[:len(pkt)]
@@ -86,15 +100,33 @@ func (d *RingDriver) SendBatch(pkts [][]byte) (int, error) {
 			buf = make([]byte, len(pkt), max(len(pkt), 128))
 		}
 		copy(buf, pkt)
+		stalled := false
 		for !d.ring.Push(buf) {
 			// Full ring: the pump is behind. Yield until it catches up —
 			// the scanner-side backpressure signal.
+			if traced && !stalled {
+				// One stall span per packet, however long the spin lasts.
+				stalled = true
+				d.tracer.Span(d.trStream, telemetry.SpanRingStall, d.pushed.Load(), dst, uint64(d.ring.Len()))
+			}
 			d.stalls.Add(1)
 			runtime.Gosched()
 		}
 		d.pushed.Add(1)
+		if traced {
+			d.tracer.Span(d.trStream, telemetry.SpanRingEnqueue, d.pushed.Load(), dst, 0)
+		}
 	}
 	return len(pkts), nil
+}
+
+// SetTracer attaches the probe-lifecycle tracer: SendBatch then records
+// a ring-enqueue span per sampled packet, and a ring-stall span when a
+// sampled packet first meets a full ring. Call before the first
+// SendBatch; stream is the owning shard's span stream.
+func (d *RingDriver) SetTracer(tr *telemetry.Tracer, stream int) {
+	d.tracer = tr
+	d.trStream = stream
 }
 
 // RecvBatch implements Driver, draining the underlying driver directly:

@@ -128,6 +128,18 @@ type Config struct {
 	// 4*DrainEvery; ignored without Defend).
 	ShedBudget int
 
+	// Tracer, when set, records sampled probe-lifecycle spans: the
+	// scanner writes span stream TraceStream and fires anomaly
+	// exemplars on quarantine, alias detection, retry exhaustion and
+	// shedding. Nil costs one predictable branch per hook.
+	Tracer *telemetry.Tracer
+	// TraceStream is the tracer span stream this scanner writes
+	// (its shard index under ScanParallel).
+	TraceStream int
+	// Watchdog, when set, receives this shard's stage transitions and
+	// one progress beat per drain window for stall diagnosis.
+	Watchdog *telemetry.Watchdog
+
 	// cycle, when set, is a pre-built permutation shared between the
 	// scanners of one ScanParallel call (a Cycle is immutable, and its
 	// construction — safe-prime search, generator selection — is the
@@ -220,6 +232,11 @@ type Scanner struct {
 	aimd    *aimdController // nil unless Config.AIMD
 	alias   *aliasDetector  // nil unless Config.Defend
 	tel     *telemetry.Shard
+
+	// Probe-lifecycle tracing (nil tracer/watchdog = detached).
+	tracer   *telemetry.Tracer
+	trStream int
+	wd       *telemetry.Watchdog
 
 	// prf derives per-sub-prefix material; one derivation feeds both the
 	// target IID and the validation value, and the lastSub cache means
@@ -338,6 +355,9 @@ func New(cfg Config, drv Driver) (*Scanner, error) {
 	s := &Scanner{cfg: cfg, drv: drv, cycle: cycle}
 	s.flusher, _ = drv.(Flusher)
 	s.tel = cfg.Telemetry.Shard(cfg.ShardIndex)
+	s.tracer = cfg.Tracer
+	s.trStream = cfg.TraceStream
+	s.wd = cfg.Watchdog
 	s.prf = newSubPRF(cfg.Seed)
 	s.validate = s.Validation
 	s.probe = cfg.Probe
@@ -502,6 +522,20 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		it = s.cycle.Shard(s.cfg.ShardIndex, s.cfg.Shards)
 	}
 	src := s.drv.SourceAddr()
+	s.wd.Stage(s.cfg.ShardIndex, "send")
+	defer s.wd.Stage(s.cfg.ShardIndex, telemetry.StageDone)
+	// pender exposes a pipelined driver's queued depth for watchdog beats.
+	pender, _ := s.drv.(interface{ Pending() int })
+	// traceSpan records one sampled probe-lifecycle span keyed by the
+	// probe target; the address-hash sampler makes the decision, so the
+	// same targets are traced here and in every other layer.
+	traceSpan := func(kind telemetry.SpanKind, dst ipv6.Addr, arg uint64) {
+		if s.tracer != nil {
+			if b := dst.Bytes(); s.tracer.SampleAddr(b) {
+				s.tracer.Span(s.trStream, kind, stats.Sent, b, arg)
+			}
+		}
+	}
 
 	var limiter *rateLimiter
 	if s.cfg.Rate > 0 {
@@ -569,6 +603,13 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			return
 		}
 		limiter.wait()
+		if s.tracer != nil && len(pkt) >= wire.HeaderLen && pkt[0]>>4 == 6 {
+			var dst [16]byte
+			copy(dst[:], pkt[24:40])
+			if s.tracer.SampleAddr(dst) {
+				s.tracer.Span(s.trStream, telemetry.SpanRateGate, stats.Sent, dst, 0)
+			}
+		}
 		s.one[0] = pkt
 		sendAll(s.one[:])
 		s.one[0] = nil
@@ -649,16 +690,26 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			send(pkt)
 			stats.AliasCooldown++
 			s.tel.Inc(telemetry.ScanAliasCooldown)
+			traceSpan(telemetry.SpanAliasCooldown, dst, 0)
 		}
 		flush()
 	}
 	// pump closes a send window: flush, drain, let AIMD reconsider the
 	// window, and checkpoint if the interval has passed.
 	pump := func() {
+		if s.wd != nil {
+			depth := 0
+			if pender != nil {
+				depth = pender.Pending()
+			}
+			s.wd.Beat(s.cfg.ShardIndex, stats.Sent, depth, uint64(sinceDrain))
+		}
 		flush()
 		s.tel.Observe(telemetry.HistDrainBatch, uint64(sinceDrain))
+		s.wd.Stage(s.cfg.ShardIndex, "drain")
 		s.drain(&stats, handler)
 		sendCooldown()
+		s.wd.Stage(s.cfg.ShardIndex, "send")
 		sinceDrain = 0
 		if s.aimd != nil {
 			prevWindow := window
@@ -672,6 +723,11 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			if window != prevWindow {
 				s.tel.Trace(telemetry.EvAIMD, stats.Sent, zeroAddr, uint64(window))
 				s.tel.SetGauge(telemetry.GaugeWindow, int64(window))
+				// Window changes are rare and concern every target, so the
+				// span is recorded unsampled.
+				if s.tracer != nil {
+					s.tracer.Span(s.trStream, telemetry.SpanAIMD, stats.Sent, zeroAddr, uint64(window))
+				}
 			}
 		}
 		if s.retry != nil {
@@ -697,6 +753,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		e.due = stats.Sent + uint64(s.cfg.RetryTimeout)<<(e.attempts-1)
 		s.tel.Inc(telemetry.ScanRetried)
 		s.tel.Trace(telemetry.EvRetry, stats.Sent, e.dst.Bytes(), uint64(e.attempts))
+		traceSpan(telemetry.SpanRetry, e.dst, uint64(e.attempts))
 		if !s.retry.push(e) {
 			stats.RetryDropped++
 			s.tel.Inc(telemetry.ScanRetryDropped)
@@ -729,6 +786,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 				if int(e.attempts) >= 1+s.cfg.Retries {
 					stats.RetryExhausted++
 					s.tel.Inc(telemetry.ScanRetryExhausted)
+					s.tracer.Anomaly(telemetry.AnomalyRetryExhausted, s.trStream, stats.Sent, e.dst.Bytes())
 					continue
 				}
 				if err := sendRetry(e); err != nil {
@@ -784,6 +842,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 		sinceDrain++
 		s.tel.Inc(telemetry.ScanTargets)
 		s.tel.Trace(telemetry.EvProbeSent, stats.Sent, target.Bytes(), stats.Targets)
+		traceSpan(telemetry.SpanSent, target, stats.Targets)
 		if pumpDue() {
 			pump()
 		}
@@ -795,6 +854,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 	// to the next retry deadline, so pending retries get their backoff
 	// tiers fired before the deadline expires; the final round only
 	// drains.
+	s.wd.Stage(s.cfg.ShardIndex, "cooldown")
 	for round := 0; round < s.cfg.CooldownDrains; round++ {
 		s.drain(&stats, handler)
 		sendCooldown()
@@ -813,6 +873,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			if int(e.attempts) >= 1+s.cfg.Retries {
 				stats.RetryExhausted++
 				s.tel.Inc(telemetry.ScanRetryExhausted)
+				s.tracer.Anomaly(telemetry.AnomalyRetryExhausted, s.trStream, stats.Sent, e.dst.Bytes())
 				continue
 			}
 			if err := sendRetry(e); err != nil {
@@ -832,6 +893,7 @@ func (s *Scanner) Run(ctx context.Context, handler Handler) (Stats, error) {
 			if int(e.attempts) >= 1+s.cfg.Retries {
 				stats.RetryExhausted++
 				s.tel.Inc(telemetry.ScanRetryExhausted)
+				s.tracer.Anomaly(telemetry.AnomalyRetryExhausted, s.trStream, stats.Sent, e.dst.Bytes())
 			} else {
 				stats.RetryAbandoned++
 				s.tel.Inc(telemetry.ScanRetryAbandoned)
@@ -915,6 +977,17 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 			ev = telemetry.EvICMPError
 		}
 		s.tel.Trace(ev, stats.Sent, resp.Responder.Bytes(), hop)
+		// Spans key by the probed target (not the responder) so the
+		// reply stitches onto the target's sent/hop spans.
+		if s.tracer != nil {
+			if b := resp.ProbeDst.Bytes(); s.tracer.SampleAddr(b) {
+				kind := telemetry.SpanReply
+				if ev == telemetry.EvICMPError {
+					kind = telemetry.SpanICMPError
+				}
+				s.tracer.Span(s.trStream, kind, stats.Sent, b, hop)
+			}
+		}
 		if s.retry != nil {
 			// Any validated response resolves the probed target, even a
 			// duplicate responder or an ICMP error: the path answered. The
@@ -934,6 +1007,11 @@ func (s *Scanner) drain(stats *Stats, handler Handler) {
 		if !s.dedup.checkAdd(resp.Responder) {
 			stats.Duplicates++
 			s.tel.Inc(telemetry.ScanDuplicates)
+			if s.tracer != nil {
+				if b := resp.ProbeDst.Bytes(); s.tracer.SampleAddr(b) {
+					s.tracer.Span(s.trStream, telemetry.SpanDedup, stats.Sent, b, 0)
+				}
+			}
 			continue
 		}
 		stats.Unique++

@@ -54,7 +54,7 @@ while [ $# -gt 0 ]; do
     esac
 done
 
-pattern='ScannerThroughput|EnginePump'
+pattern='ScannerThroughput|ScannerTraced|EnginePump'
 
 run_suite() {
     go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "${1:-1}" -benchmem ./... 2>/dev/null |
